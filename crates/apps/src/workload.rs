@@ -1,0 +1,172 @@
+//! Seeded synthetic workload generators.
+//!
+//! The experiment harness sweeps parameters over populations of random but
+//! *reproducible* inputs: layered task DAGs for the mapping optimizers,
+//! multi-application mixes for the hybrid scheduler, and jittery execution
+//! times for the dataflow executors. All randomness flows through a caller
+//! supplied seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpsoc_maps::taskgraph::{Task, TaskEdge, TaskGraph};
+use mpsoc_rtkernel::task::{TaskSpec, Workload};
+
+/// Parameters of a random layered DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagParams {
+    /// Number of layers.
+    pub layers: usize,
+    /// Tasks per layer.
+    pub width: usize,
+    /// Cost range per task (inclusive).
+    pub cost: (u64, u64),
+    /// Probability (percent) of an edge between adjacent-layer tasks.
+    pub edge_pct: u8,
+    /// Communication volume range per edge.
+    pub volume: (u64, u64),
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            layers: 4,
+            width: 4,
+            cost: (50, 500),
+            edge_pct: 40,
+            volume: (1, 8),
+        }
+    }
+}
+
+/// Generates a random layered task DAG (tasks in topological order, as the
+/// mapping code requires).
+pub fn random_dag(params: &DagParams, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::new();
+    let mut edges = Vec::new();
+    for l in 0..params.layers {
+        for w in 0..params.width {
+            let idx = tasks.len();
+            tasks.push(Task {
+                name: format!("l{l}t{w}"),
+                cost: rng.gen_range(params.cost.0..=params.cost.1),
+                pref: None,
+                stmts: vec![idx],
+            });
+        }
+    }
+    for l in 1..params.layers {
+        for w in 0..params.width {
+            let to = l * params.width + w;
+            let mut has_pred = false;
+            for p in 0..params.width {
+                if rng.gen_range(0..100u8) < params.edge_pct {
+                    edges.push(TaskEdge {
+                        from: (l - 1) * params.width + p,
+                        to,
+                        volume: rng.gen_range(params.volume.0..=params.volume.1),
+                    });
+                    has_pred = true;
+                }
+            }
+            if !has_pred {
+                // Keep the graph connected layer to layer.
+                let p = rng.gen_range(0..params.width);
+                edges.push(TaskEdge {
+                    from: (l - 1) * params.width + p,
+                    to,
+                    volume: rng.gen_range(params.volume.0..=params.volume.1),
+                });
+            }
+        }
+    }
+    TaskGraph { tasks, edges }
+}
+
+/// Generates a mixed real-time workload: `parallel` gang tasks (periodic,
+/// tight deadlines) and `noise` sequential best-effort tasks.
+pub fn mixed_rt_workload(parallel: usize, noise: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new();
+    for i in 0..parallel {
+        let width = rng.gen_range(2..=6);
+        let work = rng.gen_range(500..2_000);
+        let period = rng.gen_range(200..400);
+        w.push(
+            TaskSpec::parallel(format!("par{i}"), work / 10, work, width, period - 20)
+                .with_period(period, 8)
+                .with_priority(1),
+        );
+    }
+    for i in 0..noise {
+        let work = rng.gen_range(20..200);
+        let period = rng.gen_range(30..80);
+        w.push(
+            TaskSpec::sequential(format!("seq{i}"), work, 1_500)
+                .with_period(period, 30)
+                .with_priority(rng.gen_range(0..=2)),
+        );
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_is_reproducible_per_seed() {
+        let p = DagParams::default();
+        assert_eq!(random_dag(&p, 9), random_dag(&p, 9));
+        assert_ne!(random_dag(&p, 9), random_dag(&p, 10));
+    }
+
+    #[test]
+    fn dag_edges_point_forward() {
+        let g = random_dag(&DagParams::default(), 3);
+        assert!(g.edges.iter().all(|e| e.from < e.to));
+        assert_eq!(g.tasks.len(), 16);
+    }
+
+    #[test]
+    fn dag_layers_connected() {
+        let g = random_dag(
+            &DagParams {
+                edge_pct: 0, // force the fallback edge
+                ..DagParams::default()
+            },
+            1,
+        );
+        for l in 1..4 {
+            for w in 0..4 {
+                let to = l * 4 + w;
+                assert!(g.edges.iter().any(|e| e.to == to), "task {to} unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_is_mappable() {
+        let g = random_dag(&DagParams::default(), 5);
+        let arch = mpsoc_maps::arch::ArchModel::homogeneous(4);
+        let m = mpsoc_maps::mapping::list_schedule(&g, &arch).unwrap();
+        assert!(m.makespan > 0);
+    }
+
+    #[test]
+    fn workload_is_reproducible_and_schedulable() {
+        let w = mixed_rt_workload(2, 6, 11);
+        assert_eq!(w.len(), 8);
+        assert_eq!(w, mixed_rt_workload(2, 6, 11));
+        let cfg = mpsoc_rtkernel::sched::SimConfig {
+            cores: 16,
+            speed: 10,
+            switch_overhead: 1,
+            horizon: 5_000,
+            policy: mpsoc_rtkernel::sched::Policy::TimeShared,
+        };
+        let r = mpsoc_rtkernel::simulate(&w, &cfg).unwrap();
+        assert!(r.total_met() > 0);
+    }
+}

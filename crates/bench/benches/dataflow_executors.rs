@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the Section III executors (E3/E4): data-driven
+//! vs. time-triggered execution cost and buffer-capacity computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpsoc_apps::audio::car_radio_graph;
+use mpsoc_dataflow::buffer::minimal_capacities;
+use mpsoc_dataflow::selftimed::{run_self_timed, SelfTimedConfig, VaryingTimes, WcetTimes};
+use mpsoc_dataflow::ttrigger::time_triggered_experiment;
+
+fn bench_self_timed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow/self_timed");
+    g.sample_size(20);
+    for &iters in &[10u64, 50, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let graph = car_radio_graph(1_000, 4);
+            let caps = minimal_capacities(&graph, 10).unwrap();
+            b.iter(|| {
+                let cfg = SelfTimedConfig {
+                    capacities: Some(caps.clone()),
+                    iterations: iters,
+                    ..Default::default()
+                };
+                black_box(run_self_timed(&graph, &cfg, &mut WcetTimes).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_time_triggered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow/time_triggered");
+    g.sample_size(20);
+    g.bench_function("derive_and_run_50", |b| {
+        let graph = car_radio_graph(1_000, 4);
+        let caps = minimal_capacities(&graph, 10).unwrap();
+        b.iter(|| {
+            let mut times = VaryingTimes::new(7, 80, 140);
+            black_box(time_triggered_experiment(&graph, &caps, 50, &mut times).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_buffer_sizing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow/buffer_sizing");
+    g.sample_size(10);
+    for &frame in &[4u32, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(frame), &frame, |b, &frame| {
+            let graph = car_radio_graph(1_000, frame);
+            b.iter(|| black_box(minimal_capacities(&graph, 20).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_self_timed, bench_time_triggered, bench_buffer_sizing);
+criterion_main!(benches);

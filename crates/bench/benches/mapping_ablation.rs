@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the MAPS mapping optimizers (E5 ablation):
+//! list scheduling vs. simulated annealing — cost and achieved makespan —
+//! over random layered DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpsoc_apps::workload::{random_dag, DagParams};
+use mpsoc_maps::arch::ArchModel;
+use mpsoc_maps::mapping::{anneal, list_schedule};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maps/mapping");
+    g.sample_size(10);
+    for &(layers, width) in &[(4usize, 4usize), (6, 6), (8, 8)] {
+        let params = DagParams {
+            layers,
+            width,
+            ..DagParams::default()
+        };
+        let graph = random_dag(&params, 42);
+        let arch = ArchModel::homogeneous(4);
+        g.bench_with_input(
+            BenchmarkId::new("list", format!("{layers}x{width}")),
+            &graph,
+            |b, graph| b.iter(|| black_box(list_schedule(graph, &arch).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("anneal500", format!("{layers}x{width}")),
+            &graph,
+            |b, graph| b.iter(|| black_box(anneal(graph, &arch, 7, 500).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_quality_report(c: &mut Criterion) {
+    // Not a timing bench per se: prints the ablation table once so
+    // `cargo bench` output records the makespan quality gap.
+    let mut g = c.benchmark_group("maps/quality");
+    g.sample_size(10);
+    println!("\nmapping quality ablation (makespan, lower is better):");
+    println!("{:>8} {:>10} {:>10} {:>8}", "dag", "list", "anneal", "gain");
+    for seed in [1u64, 2, 3] {
+        let graph = random_dag(
+            &DagParams {
+                layers: 6,
+                width: 6,
+                ..DagParams::default()
+            },
+            seed,
+        );
+        let arch = ArchModel::homogeneous(4);
+        let ls = list_schedule(&graph, &arch).unwrap().makespan;
+        let sa = anneal(&graph, &arch, seed, 800).unwrap().makespan;
+        println!(
+            "{:>8} {:>10} {:>10} {:>7.1}%",
+            format!("seed{seed}"),
+            ls,
+            sa,
+            100.0 * (ls as f64 - sa as f64) / ls as f64
+        );
+    }
+    g.bench_function("noop_anchor", |b| b.iter(|| black_box(1 + 1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_quality_report);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the Section II kernel models (E1/E2/E6):
+//! the hybrid scheduler simulation and the OSIP dispatch model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpsoc_apps::workload::mixed_rt_workload;
+use mpsoc_maps::osip::{dispatch, SchedulerKind};
+use mpsoc_rtkernel::sched::{simulate, Policy, SimConfig};
+
+fn bench_sched_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtkernel/simulate");
+    g.sample_size(10);
+    let w = mixed_rt_workload(2, 8, 3);
+    for (name, policy) in [
+        ("time_shared", Policy::TimeShared),
+        (
+            "hybrid",
+            Policy::Hybrid {
+                ts_cores: 4,
+                boost: 1.5,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = SimConfig {
+                cores: 16,
+                speed: 10,
+                switch_overhead: 2,
+                horizon: 3_000,
+                policy,
+            };
+            b.iter(|| black_box(simulate(&w, &cfg).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_osip_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maps/osip_dispatch");
+    g.sample_size(20);
+    for &tasks in &[1_000u64, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("osip", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    black_box(dispatch(tasks, 500, 4, SchedulerKind::typical_osip()).unwrap())
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("sw", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                black_box(dispatch(tasks, 500, 4, SchedulerKind::typical_software()).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched_policies, bench_osip_dispatch);
+criterion_main!(benches);

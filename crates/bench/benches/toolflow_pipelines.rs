@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the complete tool flows (E5/E7/E8): MAPS front
+//! end on the JPEG-like encoder, CIC translation + execution of the
+//! H.264-like model, and the recoder transformation chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpsoc_apps::h264::h264_cic_model;
+use mpsoc_apps::jpeg::{jpeg_frame_minic_source, jpeg_minic_source};
+use mpsoc_cic::archfile::ArchInfo;
+use mpsoc_cic::translator::{auto_map, execute_translation, translate};
+use mpsoc_maps::arch::ArchModel;
+use mpsoc_maps::mapping::list_schedule;
+use mpsoc_maps::taskgraph::extract_task_graph;
+use mpsoc_minic::cost::CostModel;
+use mpsoc_recoder::recoder::Recoder;
+use mpsoc_recoder::transforms;
+
+fn bench_maps_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows/maps");
+    g.sample_size(20);
+    g.bench_function("parse_extract_map_jpeg", |b| {
+        let src = jpeg_frame_minic_source(64);
+        b.iter(|| {
+            let mut session = Recoder::from_source(&src).unwrap();
+            session
+                .apply(|u| transforms::split_loop(u, "encode_frame", 0, 4))
+                .unwrap();
+            let graph =
+                extract_task_graph(session.unit(), "encode_frame", &CostModel::default()).unwrap();
+            black_box(list_schedule(&graph, &ArchModel::homogeneous(4)).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_cic_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows/cic");
+    g.sample_size(10);
+    for arch in [ArchInfo::cell_like(3), ArchInfo::smp_like(4)] {
+        g.bench_function(format!("translate_execute_{}", arch.name), |b| {
+            let model = h264_cic_model().unwrap();
+            b.iter(|| {
+                let mapping = auto_map(&model, &arch).unwrap();
+                let t = translate(&model, &arch, &mapping).unwrap();
+                black_box(execute_translation(&model, &t, 2).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_recoder_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows/recoder");
+    g.sample_size(20);
+    g.bench_function("full_chain_jpeg_block", |b| {
+        let src = jpeg_minic_source();
+        b.iter(|| {
+            let mut session = Recoder::from_source(&src).unwrap();
+            session
+                .apply(|u| transforms::prune_control(u, "encode_block"))
+                .unwrap();
+            black_box(session.stats())
+        });
+    });
+    g.bench_function("interpret_jpeg_block", |b| {
+        let unit = mpsoc_minic::parse(&jpeg_minic_source()).unwrap();
+        let img = mpsoc_apps::jpeg::synthetic_image(8, 8);
+        b.iter(|| {
+            let mut it = mpsoc_minic::interp::Interp::new(&unit);
+            it.set_max_steps(100_000_000);
+            let px = it.alloc_array(&img);
+            let out = it.alloc_array(&[0i64; 64]);
+            it.run("encode_block", &[px, out]).unwrap();
+            black_box(it.read_array(out, 64).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_maps_flow, bench_cic_flow, bench_recoder_chain);
+criterion_main!(benches);

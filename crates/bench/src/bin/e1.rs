@@ -1,0 +1,4 @@
+//! Regenerates experiment E1 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e1_scalability());
+}

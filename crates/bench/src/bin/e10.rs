@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E10 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e10_admission());
+}

@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E11 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e11_explore());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E2 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e2_sched());
+}

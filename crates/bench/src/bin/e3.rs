@@ -1,0 +1,4 @@
+//! Regenerates experiment E3 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e3_corruption());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E4 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e4_buffers());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E5 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e5_maps());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E6 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e6_osip());
+}

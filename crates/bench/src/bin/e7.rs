@@ -1,0 +1,4 @@
+//! Regenerates experiment E7 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e7_cic());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E8 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e8_recoder());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E9 (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mpsoc_bench::experiments::e9_heisenbug());
+}

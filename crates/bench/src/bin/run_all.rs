@@ -1,0 +1,16 @@
+//! Regenerates every experiment of EXPERIMENTS.md in order.
+use mpsoc_bench::experiments as e;
+
+fn main() {
+    println!("{}", e::e1_scalability());
+    println!("{}", e::e2_sched());
+    println!("{}", e::e3_corruption());
+    println!("{}", e::e4_buffers());
+    println!("{}", e::e5_maps());
+    println!("{}", e::e6_osip());
+    println!("{}", e::e7_cic());
+    println!("{}", e::e8_recoder());
+    println!("{}", e::e9_heisenbug());
+    println!("{}", e::e10_admission());
+    println!("{}", e::e11_explore());
+}

@@ -1,0 +1,43 @@
+//! CIC error type.
+
+use std::fmt;
+
+/// Errors raised by the CIC model, architecture files, and translator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A named task/channel/PE/function was not found.
+    NotFound(String),
+    /// The architecture information file is malformed.
+    ArchFile {
+        /// 1-based line.
+        line: usize,
+        /// Reason.
+        msg: String,
+    },
+    /// The CIC model is ill-formed.
+    Model(String),
+    /// A mapping violates a constraint.
+    Mapping(String),
+    /// Execution of the model failed.
+    Exec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(n) => write!(f, "`{n}` not found"),
+            Error::ArchFile { line, msg } => {
+                write!(f, "architecture file error at line {line}: {msg}")
+            }
+            Error::Model(m) => write!(f, "ill-formed CIC model: {m}"),
+            Error::Mapping(m) => write!(f, "invalid mapping: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;

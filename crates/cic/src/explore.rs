@@ -1,0 +1,175 @@
+//! Design-space exploration over target architectures.
+//!
+//! Section V closes with the HOPES agenda: *"There are many issues to be
+//! researched further in the future, which include optimal mapping of CIC
+//! tasks to a given target architecture, **exploration of optimal target
+//! architecture**, and optimizing the CIC translator for specific target
+//! architectures."* This module implements that exploration: it sweeps a
+//! family of candidate platforms (SMP core counts, Cell-like worker
+//! counts), auto-maps and translates the model onto each, and selects the
+//! cheapest candidate whose estimated iteration time meets a deadline.
+
+use crate::archfile::{ArchInfo, PeClass};
+use crate::error::{Error, Result};
+use crate::model::CicModel;
+use crate::translator::{auto_map, translate};
+
+/// One evaluated candidate platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// The architecture name (e.g. `"smplike"`).
+    pub arch: ArchInfo,
+    /// Estimated cycles per graph iteration after translation.
+    pub est_cycles: u64,
+    /// Abstract silicon cost of the platform (RISC = 1.0, DSP = 0.8 —
+    /// smaller cores — plus 0.2 for a DMA interconnect).
+    pub cost: f64,
+    /// Whether the candidate meets the deadline.
+    pub meets_deadline: bool,
+}
+
+/// The exploration outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exploration {
+    /// Every candidate evaluated, in sweep order.
+    pub candidates: Vec<Candidate>,
+    /// Index of the cheapest deadline-meeting candidate, if any.
+    pub best: Option<usize>,
+}
+
+impl Exploration {
+    /// The winning candidate, if any met the deadline.
+    pub fn best_candidate(&self) -> Option<&Candidate> {
+        self.best.map(|i| &self.candidates[i])
+    }
+}
+
+fn platform_cost(arch: &ArchInfo) -> f64 {
+    let pe_cost: f64 = arch
+        .pes
+        .iter()
+        .map(|p| match p.class {
+            PeClass::Risc => 1.0,
+            PeClass::Dsp => 0.8,
+        })
+        .sum();
+    let ic = match arch.interconnect {
+        crate::archfile::InterconnectKind::Dma => 0.2,
+        crate::archfile::InterconnectKind::Bus => 0.1,
+    };
+    pe_cost + ic
+}
+
+/// Explores SMP targets with 1..=`max_cores` cores and Cell-like targets
+/// with 1..=`max_workers` SPEs, returning every candidate and the cheapest
+/// one whose estimated iteration time is at most `deadline_cycles`.
+///
+/// # Errors
+///
+/// [`Error::Mapping`] if the sweep bounds are zero; mapping/translation
+/// errors propagate (they indicate an over-constrained model).
+pub fn explore(
+    model: &CicModel,
+    deadline_cycles: u64,
+    max_cores: usize,
+    max_workers: usize,
+) -> Result<Exploration> {
+    if max_cores == 0 || max_workers == 0 {
+        return Err(Error::Mapping("exploration bounds must be non-zero".into()));
+    }
+    let mut candidates = Vec::new();
+    let mut archs: Vec<ArchInfo> = (1..=max_cores).map(ArchInfo::smp_like).collect();
+    archs.extend((1..=max_workers).map(ArchInfo::cell_like));
+    for arch in archs {
+        let mapping = auto_map(model, &arch)?;
+        let t = translate(model, &arch, &mapping)?;
+        candidates.push(Candidate {
+            est_cycles: t.est_cycles,
+            cost: platform_cost(&arch),
+            meets_deadline: t.est_cycles <= deadline_cycles,
+            arch,
+        });
+    }
+    let best = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.meets_deadline)
+        .min_by(|(_, a), (_, b)| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("costs are finite")
+                .then(a.est_cycles.cmp(&b.est_cycles))
+        })
+        .map(|(i, _)| i);
+    Ok(Exploration { candidates, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CicChannel, CicTask};
+
+    fn model() -> CicModel {
+        let unit = mpsoc_minic::parse(
+            "void gen(int out[]) { for (k = 0; k < 4; k = k + 1) { out[k] = k; } }\n\
+             void work(int in[], int out[]) { for (k = 0; k < 4; k = k + 1) { out[k] = in[k] * 3; } }\n\
+             void fin(int in[]) { int x = in[0]; }",
+        )
+        .unwrap();
+        CicModel::new(
+            unit,
+            vec![
+                CicTask { name: "gen".into(), body_fn: "gen".into(), period: Some(100), deadline: None, work: 200 },
+                CicTask { name: "work".into(), body_fn: "work".into(), period: None, deadline: None, work: 800 },
+                CicTask { name: "fin".into(), body_fn: "fin".into(), period: None, deadline: Some(1_000), work: 100 },
+            ],
+            vec![
+                CicChannel { name: "a".into(), src: 0, dst: 1, tokens: 4 },
+                CicChannel { name: "b".into(), src: 1, dst: 2, tokens: 4 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tight_deadline_needs_bigger_platform() {
+        let m = model();
+        let loose = explore(&m, 2_000, 4, 4).unwrap();
+        let tight = explore(&m, 900, 4, 4).unwrap();
+        let loose_best = loose.best_candidate().expect("loose is feasible");
+        let tight_best = tight.best_candidate().expect("tight is feasible");
+        assert!(
+            tight_best.cost >= loose_best.cost,
+            "tight {tight_best:?} vs loose {loose_best:?}"
+        );
+        // Loose deadline: a single cheap core suffices.
+        assert_eq!(loose_best.arch.pes.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_deadline_has_no_winner() {
+        let m = model();
+        let e = explore(&m, 10, 3, 3).unwrap();
+        assert!(e.best.is_none());
+        assert_eq!(e.candidates.len(), 6);
+        assert!(e.candidates.iter().all(|c| !c.meets_deadline));
+    }
+
+    #[test]
+    fn best_is_cheapest_feasible() {
+        let m = model();
+        let e = explore(&m, 1_500, 4, 4).unwrap();
+        let best = e.best_candidate().unwrap();
+        for c in &e.candidates {
+            if c.meets_deadline {
+                assert!(best.cost <= c.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_validated() {
+        let m = model();
+        assert!(explore(&m, 100, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Dataflow error type.
+
+use std::fmt;
+
+/// Errors raised by dataflow construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A graph referenced a nonexistent actor or channel.
+    NotFound(String),
+    /// The graph is rate-inconsistent (no repetition vector exists).
+    Inconsistent {
+        /// A channel on which the balance equations fail.
+        channel: usize,
+    },
+    /// The graph deadlocks under the given buffer capacities.
+    Deadlock {
+        /// Firings completed before the stall.
+        fired: u64,
+    },
+    /// A parameter was invalid.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(n) => write!(f, "`{n}` not found"),
+            Error::Inconsistent { channel } => {
+                write!(f, "balance equations unsolvable at channel {channel}")
+            }
+            Error::Deadlock { fired } => {
+                write!(f, "graph deadlocked after {fired} firings")
+            }
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,163 @@
+//! Lightweight C-extension annotations.
+//!
+//! Section IV: *"using some lightweight C extensions, real-time properties
+//! such as latency and period as well as preferred PE types can be
+//! optionally annotated."* In mini-C the extensions are intrinsic calls at
+//! the top of a function body:
+//!
+//! ```c
+//! void decoder(int in[], int out[]) {
+//!     maps_period(1000);       // release period in cycles
+//!     maps_latency(800);       // end-to-end latency bound
+//!     maps_prefer_dsp();       // preferred PE class
+//!     ...
+//! }
+//! ```
+//!
+//! [`take_annotations`] extracts them *and removes the calls from the
+//! body*, so the dependence analysis and partitioner see pure application
+//! code (an intrinsic call would otherwise be a conservative `World`
+//! barrier).
+
+use mpsoc_minic::{Expr, StmtKind, Unit};
+
+use crate::arch::PeClass;
+use crate::error::{Error, Result};
+
+/// The annotation set of one application function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Annotations {
+    /// Release period in cycles (`maps_period(n)`).
+    pub period: Option<u64>,
+    /// End-to-end latency bound in cycles (`maps_latency(n)`).
+    pub latency: Option<u64>,
+    /// Preferred PE class (`maps_prefer_dsp()` / `maps_prefer_risc()` /
+    /// `maps_prefer_accel()`).
+    pub pref: Option<PeClass>,
+}
+
+/// Extracts and strips the annotation intrinsics from `func`.
+///
+/// # Errors
+///
+/// [`Error::NotFound`] if the function is missing; [`Error::Config`] for a
+/// malformed intrinsic (wrong arity or non-constant argument).
+pub fn take_annotations(unit: &mut Unit, func: &str) -> Result<Annotations> {
+    let f = unit
+        .function_mut(func)
+        .ok_or_else(|| Error::NotFound(func.to_string()))?;
+    let mut anno = Annotations::default();
+    let mut keep = Vec::with_capacity(f.body.len());
+    for stmt in f.body.drain(..) {
+        let handled = match &stmt.kind {
+            StmtKind::ExprStmt(Expr::Call(name, args)) => match name.as_str() {
+                "maps_period" | "maps_latency" => {
+                    let [arg] = args.as_slice() else {
+                        return Err(Error::Config(format!("`{name}` takes one argument")));
+                    };
+                    let v = arg.const_eval().ok_or_else(|| {
+                        Error::Config(format!("`{name}` needs a constant argument"))
+                    })?;
+                    let v = u64::try_from(v).map_err(|_| {
+                        Error::Config(format!("`{name}` argument must be non-negative"))
+                    })?;
+                    if name == "maps_period" {
+                        anno.period = Some(v);
+                    } else {
+                        anno.latency = Some(v);
+                    }
+                    true
+                }
+                "maps_prefer_dsp" => {
+                    anno.pref = Some(PeClass::Dsp);
+                    true
+                }
+                "maps_prefer_risc" => {
+                    anno.pref = Some(PeClass::Risc);
+                    true
+                }
+                "maps_prefer_accel" => {
+                    anno.pref = Some(PeClass::Accelerator);
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if !handled {
+            keep.push(stmt);
+        }
+    }
+    f.body = keep;
+    Ok(anno)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgraph::extract_task_graph;
+    use mpsoc_minic::cost::CostModel;
+    use mpsoc_minic::parse;
+
+    const SRC: &str = "void app(int n, int out[]) {\n\
+         maps_period(1000);\n\
+         maps_latency(800);\n\
+         maps_prefer_dsp();\n\
+         for (i = 0; i < 32; i = i + 1) { out[i] = i * 2; }\n\
+         for (i = 0; i < 32; i = i + 1) { out[i] = out[i] + 1; }\n\
+         }";
+
+    #[test]
+    fn annotations_extracted_and_stripped() {
+        let mut u = parse(SRC).unwrap();
+        let a = take_annotations(&mut u, "app").unwrap();
+        assert_eq!(a.period, Some(1000));
+        assert_eq!(a.latency, Some(800));
+        assert_eq!(a.pref, Some(PeClass::Dsp));
+        assert_eq!(u.functions[0].body.len(), 2, "intrinsics removed");
+    }
+
+    #[test]
+    fn stripped_body_is_analyzable() {
+        let mut u = parse(SRC).unwrap();
+        // Without stripping, the intrinsic calls are World barriers that
+        // serialize everything.
+        let before = extract_task_graph(&u, "app", &CostModel::default()).unwrap();
+        assert!(!before.edges.is_empty());
+        take_annotations(&mut u, "app").unwrap();
+        let after = extract_task_graph(&u, "app", &CostModel::default()).unwrap();
+        // The two loops remain ordered by the out[] flow dependence only.
+        assert_eq!(after.tasks.len(), 2);
+        assert!(after.edges.iter().all(|e| e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn unannotated_function_yields_defaults() {
+        let mut u = parse("void f(void) { return; }").unwrap();
+        let a = take_annotations(&mut u, "f").unwrap();
+        assert_eq!(a, Annotations::default());
+    }
+
+    #[test]
+    fn malformed_intrinsics_rejected() {
+        let mut u = parse("void f(int x) { maps_period(); }").unwrap();
+        assert!(take_annotations(&mut u, "f").is_err());
+        let mut u = parse("void f(int x) { maps_period(x); }").unwrap();
+        assert!(take_annotations(&mut u, "f").is_err());
+        let mut u = parse("void f(void) { maps_latency(0 - 5); }").unwrap();
+        assert!(take_annotations(&mut u, "f").is_err());
+    }
+
+    #[test]
+    fn unknown_calls_left_alone() {
+        let mut u = parse("void f(void) { helper(); }").unwrap();
+        take_annotations(&mut u, "f").unwrap();
+        assert_eq!(u.functions[0].body.len(), 1);
+    }
+
+    #[test]
+    fn missing_function_reported() {
+        let mut u = parse("void f(void) { return; }").unwrap();
+        assert!(take_annotations(&mut u, "nope").is_err());
+    }
+}

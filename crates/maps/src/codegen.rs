@@ -1,0 +1,212 @@
+//! Per-PE code generation.
+//!
+//! The back end of Figure 1: *"a code generation phase translates the task
+//! graphs into C codes for compilation onto the respective PEs with their
+//! native compilers and OS primitives."* Given a coarsened task graph and a
+//! mapping, [`generate`] emits one mini-C translation unit per PE: a task
+//! function per assigned task (carrying the original statements) and a
+//! `pe_main` that receives cross-PE inputs, invokes its tasks in schedule
+//! order, and sends cross-PE outputs through OS channel primitives
+//! (`ch_recv`/`ch_send`, left extern for the target OS).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mpsoc_minic::printer::print_stmt;
+use mpsoc_minic::{Type, Unit};
+
+use crate::arch::ArchModel;
+use crate::error::{Error, Result};
+use crate::mapping::Mapping;
+use crate::taskgraph::TaskGraph;
+
+/// Generated code for one PE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeCode {
+    /// The PE name.
+    pub pe: String,
+    /// The generated mini-C source.
+    pub source: String,
+}
+
+/// Generates per-PE mini-C sources for `graph` (extracted from `func` of
+/// `unit`) under `mapping` on `arch`.
+///
+/// Channel identifiers are globally numbered per edge; only cross-PE edges
+/// materialise as `ch_recv`/`ch_send` calls, local edges compile away — the
+/// communication-synthesis step of the paper's flow.
+///
+/// # Errors
+///
+/// [`Error::NotFound`] if `func` is missing, [`Error::Config`] if the
+/// mapping does not fit the graph/architecture.
+pub fn generate(
+    unit: &Unit,
+    func: &str,
+    graph: &TaskGraph,
+    mapping: &Mapping,
+    arch: &ArchModel,
+) -> Result<Vec<PeCode>> {
+    let f = unit
+        .function(func)
+        .ok_or_else(|| Error::NotFound(func.to_string()))?;
+    if mapping.assignment.len() != graph.tasks.len() {
+        return Err(Error::Config("mapping does not match graph".into()));
+    }
+    if mapping.assignment.iter().any(|&pe| pe >= arch.len()) {
+        return Err(Error::Config("mapping references a nonexistent PE".into()));
+    }
+
+    let params = f
+        .params
+        .iter()
+        .map(|p| match p.ty {
+            Type::Int => format!("int {}", p.name),
+            Type::Ptr => format!("int *{}", p.name),
+            Type::Array(Some(n)) => format!("int {}[{n}]", p.name),
+            Type::Array(None) => format!("int {}[]", p.name),
+            Type::Void => format!("int {}", p.name),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let args = f
+        .params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let mut per_pe: BTreeMap<usize, String> = BTreeMap::new();
+    for slot in &mapping.schedule {
+        let pe = slot.pe;
+        let task = &graph.tasks[slot.task];
+        let src = per_pe.entry(pe).or_default();
+        // Task function with the original statements.
+        let _ = writeln!(src, "void {}_{}({params}) {{", func, task.name);
+        for &si in &task.stmts {
+            if let Some(stmt) = f.body.get(si) {
+                print_stmt(src, stmt, 1);
+            }
+        }
+        src.push_str("}\n\n");
+    }
+
+    // pe_main per PE, in schedule order.
+    let mut mains: BTreeMap<usize, String> = BTreeMap::new();
+    let mut slots = mapping.schedule.clone();
+    slots.sort_by_key(|s| (s.pe, s.start));
+    for slot in &slots {
+        let main = mains.entry(slot.pe).or_default();
+        let task = &graph.tasks[slot.task];
+        // Receive every cross-PE input first.
+        for (ei, e) in graph.edges.iter().enumerate() {
+            if e.to == slot.task && mapping.assignment[e.from] != slot.pe {
+                let _ = writeln!(main, "    ch_recv({ei});");
+            }
+        }
+        let _ = writeln!(main, "    {}_{}({args});", func, task.name);
+        for (ei, e) in graph.edges.iter().enumerate() {
+            if e.from == slot.task && mapping.assignment[e.to] != slot.pe {
+                let _ = writeln!(main, "    ch_send({ei});");
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (pe, mut src) in per_pe {
+        let name = arch.pes()[pe].name.clone();
+        let _ = writeln!(src, "void pe_main({params}) {{");
+        src.push_str(mains.get(&pe).map(String::as_str).unwrap_or(""));
+        src.push_str("}\n");
+        out.push(PeCode {
+            pe: name,
+            source: src,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::list_schedule;
+    use crate::taskgraph::{coarsen, extract_task_graph};
+    use mpsoc_minic::cost::CostModel;
+    use mpsoc_minic::parse;
+
+    const SRC: &str = "void f(int a[], int b[]) {\n\
+         int x = 1;\n\
+         for (i = 0; i < 64; i = i + 1) { a[i] = i * x; }\n\
+         for (j = 0; j < 64; j = j + 1) { b[j] = j + j; }\n\
+         a[0] = a[1] + b[1];\n\
+         }";
+
+    fn setup() -> (mpsoc_minic::Unit, TaskGraph, Mapping, ArchModel) {
+        let unit = parse(SRC).unwrap();
+        let g = extract_task_graph(&unit, "f", &CostModel::default()).unwrap();
+        let g = coarsen(&g, 3).unwrap();
+        let arch = ArchModel::homogeneous(2);
+        let m = list_schedule(&g, &arch).unwrap();
+        (unit, g, m, arch)
+    }
+
+    #[test]
+    fn generates_one_source_per_used_pe() {
+        let (unit, g, m, arch) = setup();
+        let codes = generate(&unit, "f", &g, &m, &arch).unwrap();
+        let used: std::collections::BTreeSet<_> = m.assignment.iter().collect();
+        assert_eq!(codes.len(), used.len());
+    }
+
+    #[test]
+    fn generated_code_parses_as_minic() {
+        let (unit, g, m, arch) = setup();
+        for code in generate(&unit, "f", &g, &m, &arch).unwrap() {
+            parse(&code.source).unwrap_or_else(|e| {
+                panic!("PE `{}` code does not parse: {e}\n{}", code.pe, code.source)
+            });
+        }
+    }
+
+    #[test]
+    fn cross_pe_edges_become_channel_calls() {
+        let (unit, g, m, arch) = setup();
+        let codes = generate(&unit, "f", &g, &m, &arch).unwrap();
+        let crosses = g
+            .edges
+            .iter()
+            .filter(|e| m.assignment[e.from] != m.assignment[e.to])
+            .count();
+        let sends: usize = codes
+            .iter()
+            .map(|c| c.source.matches("ch_send(").count())
+            .sum();
+        let recvs: usize = codes
+            .iter()
+            .map(|c| c.source.matches("ch_recv(").count())
+            .sum();
+        assert_eq!(sends, crosses);
+        assert_eq!(recvs, crosses);
+    }
+
+    #[test]
+    fn original_statements_survive() {
+        let (unit, g, m, arch) = setup();
+        let all: String = generate(&unit, "f", &g, &m, &arch)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.source)
+            .collect();
+        assert!(all.contains("a[i] = i * x;"));
+        assert!(all.contains("b[j] = j + j;"));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (unit, g, _m, arch) = setup();
+        let bad = Mapping::default();
+        assert!(generate(&unit, "f", &g, &bad, &arch).is_err());
+        let (_u2, _g2, m2, arch2) = setup();
+        assert!(generate(&unit, "nope", &g, &m2, &arch2).is_err());
+    }
+}

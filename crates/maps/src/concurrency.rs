@@ -1,0 +1,173 @@
+//! Multi-application concurrency graphs.
+//!
+//! MAPS targets *"multiple applications at a time"*: *"a concurrency graph
+//! is used to capture potential parallelism between applications, in order
+//! to derive the worst case computational loads"* (Section IV). Nodes are
+//! applications; an edge says the two applications may be active
+//! simultaneously (e.g. a phone call while the browser renders). The worst
+//! case load is the heaviest set of pairwise-concurrent applications — a
+//! maximum-weight clique, which is small-n exact here (wireless terminals
+//! run a handful of apps).
+
+use std::collections::BTreeSet;
+
+use crate::error::{Error, Result};
+
+/// An application node with its computational load (reference cycles per
+/// period, or any consistent unit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppNode {
+    /// Application name.
+    pub name: String,
+    /// Worst-case computational load.
+    pub load: u64,
+}
+
+/// The concurrency graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrencyGraph {
+    apps: Vec<AppNode>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl ConcurrencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an application; returns its index.
+    pub fn add_app(&mut self, name: impl Into<String>, load: u64) -> usize {
+        self.apps.push(AppNode {
+            name: name.into(),
+            load,
+        });
+        self.apps.len() - 1
+    }
+
+    /// Declares that applications `a` and `b` may run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for out-of-range indices, [`Error::Config`] for
+    /// a self-edge.
+    pub fn add_concurrent(&mut self, a: usize, b: usize) -> Result<()> {
+        if a == b {
+            return Err(Error::Config("an app is trivially concurrent with itself".into()));
+        }
+        if a >= self.apps.len() || b >= self.apps.len() {
+            return Err(Error::NotFound(format!("app {}", a.max(b))));
+        }
+        self.edges.insert((a.min(b), a.max(b)));
+        Ok(())
+    }
+
+    /// The applications.
+    pub fn apps(&self) -> &[AppNode] {
+        &self.apps
+    }
+
+    /// Whether `a` and `b` may overlap.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// The worst-case simultaneous load and the app set realising it
+    /// (maximum-weight clique, exact via branch and bound).
+    pub fn worst_case_load(&self) -> (u64, Vec<usize>) {
+        let n = self.apps.len();
+        let mut best: (u64, Vec<usize>) = (0, Vec::new());
+        let mut current: Vec<usize> = Vec::new();
+        self.extend_clique(&mut current, 0, 0, &mut best);
+        let _ = n;
+        best
+    }
+
+    fn extend_clique(
+        &self,
+        current: &mut Vec<usize>,
+        start: usize,
+        load: u64,
+        best: &mut (u64, Vec<usize>),
+    ) {
+        if load > best.0 {
+            *best = (load, current.clone());
+        }
+        for cand in start..self.apps.len() {
+            if current.iter().all(|&m| self.concurrent(m, cand)) {
+                current.push(cand);
+                self.extend_clique(current, cand + 1, load + self.apps[cand].load, best);
+                current.pop();
+            }
+        }
+    }
+
+    /// The minimum platform capacity (same unit as loads) that survives the
+    /// worst case with `headroom` (e.g. 1.2 = 20 % margin).
+    pub fn required_capacity(&self, headroom: f64) -> u64 {
+        (self.worst_case_load().0 as f64 * headroom).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Phone scenario: call+mp3 never overlap browser+video fully.
+    fn phone() -> ConcurrencyGraph {
+        let mut g = ConcurrencyGraph::new();
+        let call = g.add_app("voice_call", 30);
+        let mp3 = g.add_app("mp3", 20);
+        let browser = g.add_app("browser", 40);
+        let video = g.add_app("video", 80);
+        g.add_concurrent(call, browser).unwrap();
+        g.add_concurrent(mp3, browser).unwrap();
+        g.add_concurrent(browser, video).unwrap();
+        g.add_concurrent(call, mp3).unwrap();
+        g
+    }
+
+    #[test]
+    fn worst_case_is_max_weight_clique() {
+        let g = phone();
+        let (load, set) = g.worst_case_load();
+        // Cliques: {call,mp3,?} call+mp3=50 (browser? call-browser yes,
+        // mp3-browser yes => {call,mp3,browser}=90); {browser,video}=120.
+        assert_eq!(load, 120);
+        assert_eq!(set, vec![2, 3]);
+    }
+
+    #[test]
+    fn triangle_clique_found() {
+        let mut g = ConcurrencyGraph::new();
+        let a = g.add_app("a", 10);
+        let b = g.add_app("b", 11);
+        let c = g.add_app("c", 12);
+        g.add_concurrent(a, b).unwrap();
+        g.add_concurrent(b, c).unwrap();
+        g.add_concurrent(a, c).unwrap();
+        assert_eq!(g.worst_case_load().0, 33);
+    }
+
+    #[test]
+    fn isolated_apps_do_not_sum() {
+        let mut g = ConcurrencyGraph::new();
+        g.add_app("a", 50);
+        g.add_app("b", 60);
+        assert_eq!(g.worst_case_load().0, 60);
+    }
+
+    #[test]
+    fn capacity_includes_headroom() {
+        let g = phone();
+        assert_eq!(g.required_capacity(1.5), 180);
+    }
+
+    #[test]
+    fn validation() {
+        let mut g = ConcurrencyGraph::new();
+        let a = g.add_app("a", 1);
+        assert!(g.add_concurrent(a, a).is_err());
+        assert!(g.add_concurrent(a, 5).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Front-end error type.
+
+use std::fmt;
+
+/// A lexing, parsing, or semantic error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl Error {
+    /// Creates an error at a position.
+    pub fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Error {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the mini-C front end.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position() {
+        let e = Error::new(3, 14, "unexpected token `)`");
+        assert_eq!(e.to_string(), "3:14: unexpected token `)`");
+    }
+}

@@ -1,0 +1,589 @@
+//! A reference interpreter for mini-C.
+//!
+//! The interpreter defines the language's semantics and serves as the
+//! *oracle* for the rest of the suite: the Source Recoder's transformations
+//! (Section VI) are validated by checking that recoded programs compute the
+//! same results, and the CIC translator (Section V) checks functional
+//! equivalence of its per-target outputs the same way.
+//!
+//! The memory model is a single flat word array; arrays and scalars are
+//! allocated cells, and pointers are plain addresses into it — close enough
+//! to C to make pointer recoding meaningful.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::*;
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Reference to an unknown variable.
+    Undefined(String),
+    /// Call to an unknown function with no external handler.
+    UnknownFunction(String),
+    /// Memory access outside any allocation.
+    OutOfBounds(i64),
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// The step budget was exhausted (likely an infinite loop).
+    StepLimit,
+    /// An address-of was applied to a non-addressable expression.
+    NotAddressable,
+    /// Wrong number of call arguments.
+    Arity {
+        /// Callee name.
+        function: String,
+        /// Expected parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Undefined(n) => write!(f, "undefined variable `{n}`"),
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::OutOfBounds(a) => write!(f, "memory access out of bounds at {a}"),
+            InterpError::DivideByZero => write!(f, "division by zero"),
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::NotAddressable => write!(f, "operand of `&` is not addressable"),
+            InterpError::Arity {
+                function,
+                expected,
+                got,
+            } => write!(f, "`{function}` expects {expected} argument(s), got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result alias for interpretation.
+pub type Result<T> = std::result::Result<T, InterpError>;
+
+#[derive(Clone, Copy, Debug)]
+enum Binding {
+    /// A cell holding a scalar or pointer value.
+    Cell(usize),
+    /// An array allocation `[addr, addr+len)`.
+    ArrayAlloc(usize),
+}
+
+enum Flow {
+    Normal,
+    Return(Option<i64>),
+}
+
+/// An external-function handler: `(name, args) -> Some(result)`.
+pub type ExternFn<'a> = Box<dyn FnMut(&str, &[i64]) -> Option<i64> + 'a>;
+
+/// The interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_minic::{parser::parse, interp::Interp};
+/// let unit = parse("int sq(int x) { return x * x; }").unwrap();
+/// let mut it = Interp::new(&unit);
+/// assert_eq!(it.run("sq", &[9]).unwrap(), Some(81));
+/// ```
+pub struct Interp<'u> {
+    unit: &'u Unit,
+    mem: Vec<i64>,
+    globals: HashMap<String, Binding>,
+    externs: Option<ExternFn<'u>>,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl fmt::Debug for Interp<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interp")
+            .field("mem_words", &self.mem.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl<'u> Interp<'u> {
+    /// Creates an interpreter over `unit`, allocating and initialising its
+    /// globals.
+    pub fn new(unit: &'u Unit) -> Self {
+        let mut it = Interp {
+            unit,
+            mem: Vec::new(),
+            globals: HashMap::new(),
+            externs: None,
+            steps: 0,
+            max_steps: 50_000_000,
+        };
+        // Allocate globals; initializers may only use constants.
+        for g in &unit.globals {
+            if let StmtKind::Decl { name, ty, init } = &g.kind {
+                let b = match ty {
+                    Type::Array(Some(n)) => it.alloc(*n),
+                    _ => it.alloc(1),
+                };
+                if let (Binding::Cell(addr), Some(e)) = (b, init) {
+                    it.mem[addr] = e.const_eval().unwrap_or(0);
+                }
+                it.globals.insert(name.clone(), b);
+            }
+        }
+        it
+    }
+
+    /// Installs a handler for calls to functions not defined in the unit.
+    pub fn set_externs(&mut self, f: ExternFn<'u>) {
+        self.externs = Some(f);
+    }
+
+    /// Caps the number of executed statements/expressions.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    fn alloc(&mut self, len: usize) -> Binding {
+        let addr = self.mem.len();
+        self.mem.extend(std::iter::repeat_n(0, len.max(1)));
+        if len == 1 {
+            Binding::Cell(addr)
+        } else {
+            Binding::ArrayAlloc(addr)
+        }
+    }
+
+    /// Allocates an array in interpreter memory and returns its address, for
+    /// passing buffers to functions taking `int a[]`.
+    pub fn alloc_array(&mut self, data: &[i64]) -> i64 {
+        let addr = self.mem.len();
+        self.mem.extend_from_slice(data);
+        addr as i64
+    }
+
+    /// Reads `len` words starting at `addr` (e.g. an output buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::OutOfBounds`] if the range escapes memory.
+    pub fn read_array(&self, addr: i64, len: usize) -> Result<Vec<i64>> {
+        let start = usize::try_from(addr).map_err(|_| InterpError::OutOfBounds(addr))?;
+        let end = start + len;
+        if end > self.mem.len() {
+            return Err(InterpError::OutOfBounds(end as i64));
+        }
+        Ok(self.mem[start..end].to_vec())
+    }
+
+    fn load(&self, addr: i64) -> Result<i64> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.mem.get(a).copied())
+            .ok_or(InterpError::OutOfBounds(addr))
+    }
+
+    fn store(&mut self, addr: i64, v: i64) -> Result<()> {
+        let a = usize::try_from(addr).map_err(|_| InterpError::OutOfBounds(addr))?;
+        match self.mem.get_mut(a) {
+            Some(c) => {
+                *c = v;
+                Ok(())
+            }
+            None => Err(InterpError::OutOfBounds(addr)),
+        }
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            Err(InterpError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Calls function `name` with `args` (scalars, or addresses from
+    /// [`alloc_array`](Interp::alloc_array) for array/pointer parameters).
+    ///
+    /// # Errors
+    ///
+    /// Any [`InterpError`] raised during evaluation.
+    pub fn run(&mut self, name: &str, args: &[i64]) -> Result<Option<i64>> {
+        let f = self
+            .unit
+            .function(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        if f.params.len() != args.len() {
+            return Err(InterpError::Arity {
+                function: name.to_string(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut frame: HashMap<String, Binding> = HashMap::new();
+        for (p, &a) in f.params.iter().zip(args) {
+            let b = self.alloc(1);
+            if let Binding::Cell(addr) = b {
+                self.mem[addr] = a;
+            }
+            frame.insert(p.name.clone(), b);
+        }
+        match self.exec_block(&f.body, &mut frame)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], frame: &mut HashMap<String, Binding>) -> Result<Flow> {
+        for s in stmts {
+            match self.exec_stmt(s, frame)? {
+                Flow::Normal => {}
+                r => return Ok(r),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, frame: &mut HashMap<String, Binding>) -> Result<Flow> {
+        self.tick()?;
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let b = match ty {
+                    Type::Array(Some(n)) => self.alloc(*n),
+                    _ => self.alloc(1),
+                };
+                frame.insert(name.clone(), b);
+                if let Some(e) = init {
+                    let v = self.eval(e, frame)?;
+                    if let Binding::Cell(addr) = b {
+                        self.mem[addr] = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let v = self.eval(rhs, frame)?;
+                let addr = self.lvalue_addr(lhs, frame)?;
+                self.store(addr, v)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond, frame)? != 0 {
+                    self.exec_block(then_branch, frame)
+                } else {
+                    self.exec_block(else_branch, frame)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                while self.eval(cond, frame)? != 0 {
+                    self.tick()?;
+                    match self.exec_block(body, frame)? {
+                        Flow::Normal => {}
+                        r => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                var,
+                from,
+                to,
+                step,
+                body,
+            } => {
+                let init = self.eval(from, frame)?;
+                if !frame.contains_key(var) && !self.globals.contains_key(var) {
+                    let b = self.alloc(1);
+                    frame.insert(var.clone(), b);
+                }
+                let vaddr = self.binding_addr(var, frame)?;
+                self.store(vaddr, init)?;
+                loop {
+                    let cur = self.load(vaddr)?;
+                    let bound = self.eval(to, frame)?;
+                    if cur >= bound {
+                        break;
+                    }
+                    self.tick()?;
+                    match self.exec_block(body, frame)? {
+                        Flow::Normal => {}
+                        r => return Ok(r),
+                    }
+                    let stepv = self.eval(step, frame)?;
+                    let cur = self.load(vaddr)?;
+                    self.store(vaddr, cur.wrapping_add(stepv))?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.eval(e, frame)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::ExprStmt(e) => {
+                self.eval(e, frame)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Block(body) => self.exec_block(body, frame),
+        }
+    }
+
+    fn binding_addr(&self, name: &str, frame: &HashMap<String, Binding>) -> Result<i64> {
+        match frame.get(name).or_else(|| self.globals.get(name)) {
+            Some(Binding::Cell(a)) => Ok(*a as i64),
+            Some(Binding::ArrayAlloc(a)) => Ok(*a as i64),
+            None => Err(InterpError::Undefined(name.to_string())),
+        }
+    }
+
+    /// Base address for indexing `name`: arrays yield their allocation,
+    /// scalars/pointers yield the *pointer value stored in* their cell.
+    fn index_base(&self, name: &str, frame: &HashMap<String, Binding>) -> Result<i64> {
+        match frame.get(name).or_else(|| self.globals.get(name)) {
+            Some(Binding::ArrayAlloc(a)) => Ok(*a as i64),
+            Some(Binding::Cell(a)) => self.load(*a as i64),
+            None => Err(InterpError::Undefined(name.to_string())),
+        }
+    }
+
+    fn lvalue_addr(&mut self, lv: &LValue, frame: &mut HashMap<String, Binding>) -> Result<i64> {
+        match lv {
+            LValue::Var(n) => self.binding_addr(n, frame),
+            LValue::Index(a, i) => {
+                let base = self.index_base(a, frame)?;
+                let idx = self.eval(i, frame)?;
+                Ok(base + idx)
+            }
+            LValue::Deref(p) => {
+                let paddr = self.binding_addr(p, frame)?;
+                self.load(paddr)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut HashMap<String, Binding>) -> Result<i64> {
+        self.tick()?;
+        match e {
+            Expr::Lit(v) => Ok(*v),
+            Expr::Var(n) => match frame.get(n).or_else(|| self.globals.get(n)) {
+                Some(Binding::Cell(a)) => self.load(*a as i64),
+                // An array used as a value decays to its address.
+                Some(Binding::ArrayAlloc(a)) => Ok(*a as i64),
+                None => Err(InterpError::Undefined(n.clone())),
+            },
+            Expr::Index(a, i) => {
+                let base = self.index_base(a, frame)?;
+                let idx = self.eval(i, frame)?;
+                self.load(base + idx)
+            }
+            Expr::Un(op, x) => match op {
+                UnOp::Neg => Ok(self.eval(x, frame)?.wrapping_neg()),
+                UnOp::Not => Ok((self.eval(x, frame)? == 0) as i64),
+                UnOp::Deref => {
+                    let addr = self.eval(x, frame)?;
+                    self.load(addr)
+                }
+                UnOp::Addr => match &**x {
+                    Expr::Var(n) => self.binding_addr(n, frame),
+                    Expr::Index(a, i) => {
+                        let base = self.index_base(a, frame)?;
+                        let idx = self.eval(i, frame)?;
+                        Ok(base + idx)
+                    }
+                    _ => Err(InterpError::NotAddressable),
+                },
+            },
+            Expr::Bin(op, l, r) => {
+                let a = self.eval(l, frame)?;
+                // Short-circuit logic.
+                match op {
+                    BinOp::LAnd if a == 0 => return Ok(0),
+                    BinOp::LOr if a != 0 => return Ok(1),
+                    _ => {}
+                }
+                let b = self.eval(r, frame)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(InterpError::DivideByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(InterpError::DivideByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                    BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::LAnd => ((a != 0) && (b != 0)) as i64,
+                    BinOp::LOr => ((a != 0) || (b != 0)) as i64,
+                })
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                if self.unit.function(name).is_some() {
+                    Ok(self.run(name, &vals)?.unwrap_or(0))
+                } else if let Some(h) = self.externs.as_mut() {
+                    h(name, &vals).ok_or_else(|| InterpError::UnknownFunction(name.clone()))
+                } else {
+                    Err(InterpError::UnknownFunction(name.clone()))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run1(src: &str, f: &str, args: &[i64]) -> Option<i64> {
+        let unit = parse(src).unwrap();
+        let result = Interp::new(&unit).run(f, args).unwrap();
+        result
+    }
+
+    #[test]
+    fn arithmetic_and_control() {
+        assert_eq!(
+            run1(
+                "int fac(int n) { int r = 1; while (n > 1) { r = r * n; n = n - 1; } return r; }",
+                "fac",
+                &[5]
+            ),
+            Some(120)
+        );
+    }
+
+    #[test]
+    fn for_loop_and_arrays() {
+        let src = "int sum(int n, int a[]) { int s = 0; for (i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }";
+        let unit = parse(src).unwrap();
+        let mut it = Interp::new(&unit);
+        let buf = it.alloc_array(&[1, 2, 3, 4]);
+        assert_eq!(it.run("sum", &[4, buf]).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn local_arrays_and_writeback() {
+        let src = "void fill(int n, int out[]) { int tmp[8]; for (i = 0; i < n; i = i + 1) { tmp[i] = i * i; } for (i = 0; i < n; i = i + 1) { out[i] = tmp[i]; } }";
+        let unit = parse(src).unwrap();
+        let mut it = Interp::new(&unit);
+        let out = it.alloc_array(&[0; 4]);
+        it.run("fill", &[4, out]).unwrap();
+        assert_eq!(it.read_array(out, 4).unwrap(), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn pointers_and_address_of() {
+        let src = "int f(void) { int x = 3; int *p = &x; *p = *p + 4; return x; }";
+        assert_eq!(run1(src, "f", &[]), Some(7));
+    }
+
+    #[test]
+    fn pointer_into_array() {
+        let src = "int f(int a[]) { int *p = &a[2]; *p = 99; return a[2]; }";
+        let unit = parse(src).unwrap();
+        let mut it = Interp::new(&unit);
+        let a = it.alloc_array(&[0, 0, 0, 0]);
+        assert_eq!(it.run("f", &[a]).unwrap(), Some(99));
+        assert_eq!(it.read_array(a, 4).unwrap()[2], 99);
+    }
+
+    #[test]
+    fn nested_calls_and_recursion() {
+        let src = "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }";
+        assert_eq!(run1(src, "fib", &[10]), Some(55));
+    }
+
+    #[test]
+    fn globals_are_shared_across_calls() {
+        let src = "int g = 0;\nvoid bump(void) { g = g + 1; }\nint get(void) { return g; }";
+        let unit = parse(src).unwrap();
+        let mut it = Interp::new(&unit);
+        it.run("bump", &[]).unwrap();
+        it.run("bump", &[]).unwrap();
+        assert_eq!(it.run("get", &[]).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // Division by zero on the RHS must not be reached.
+        let src = "int f(int x) { if (x == 0 || 10 / x > 1) { return 1; } return 0; }";
+        assert_eq!(run1(src, "f", &[0]), Some(1));
+    }
+
+    #[test]
+    fn extern_handler_called() {
+        let unit = parse("int f(int x) { return magic(x) + 1; }").unwrap();
+        let mut it = Interp::new(&unit);
+        it.set_externs(Box::new(|name, args| {
+            (name == "magic").then(|| args[0] * 10)
+        }));
+        assert_eq!(it.run("f", &[4]).unwrap(), Some(41));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let unit = parse("int f(int x) { return 1 / x; }").unwrap();
+        assert_eq!(
+            Interp::new(&unit).run("f", &[0]),
+            Err(InterpError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let unit = parse("void f(void) { while (1) { } }").unwrap();
+        let mut it = Interp::new(&unit);
+        it.set_max_steps(10_000);
+        assert_eq!(it.run("f", &[]), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let unit = parse("int f(int x) { return x; }").unwrap();
+        assert!(matches!(
+            Interp::new(&unit).run("f", &[]),
+            Err(InterpError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let unit = parse("int f(int a[]) { return a[1000000]; }").unwrap();
+        let mut it = Interp::new(&unit);
+        let a = it.alloc_array(&[1]);
+        assert!(matches!(
+            it.run("f", &[a]),
+            Err(InterpError::OutOfBounds(_))
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! The mini-C lexer.
+
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes mini-C source text.
+///
+/// Supports `//` line comments and `/* */` block comments, decimal and
+/// `0x` hexadecimal integer literals.
+///
+/// # Errors
+///
+/// Returns an [`Error`] at the first unrecognised character or unterminated
+/// block comment.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_minic::lexer::lex;
+/// let toks = lex("int x = 42;").unwrap();
+/// assert_eq!(toks.len(), 6); // int, x, =, 42, ;, eof
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(Error::new(sl, sc, "unterminated block comment"));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let scol = col;
+                let value: i64;
+                if c == '0' && matches!(next, Some('x') | Some('X')) {
+                    i += 2;
+                    let hstart = i;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        return Err(Error::new(line, scol, "empty hex literal"));
+                    }
+                    let text: String = chars[hstart..i].iter().collect();
+                    value = i64::from_str_radix(&text, 16)
+                        .map_err(|_| Error::new(line, scol, "hex literal overflows i64"))?;
+                } else {
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    value = text
+                        .parse()
+                        .map_err(|_| Error::new(line, scol, "integer literal overflows i64"))?;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                    col: scol,
+                });
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let scol = col;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = match text.as_str() {
+                    "int" => TokenKind::KwInt,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "for" => TokenKind::KwFor,
+                    "return" => TokenKind::KwReturn,
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token {
+                    kind,
+                    line,
+                    col: scol,
+                });
+                col += i - start;
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            '^' => push!(TokenKind::Caret, 1),
+            '&' if next == Some('&') => push!(TokenKind::AndAnd, 2),
+            '&' => push!(TokenKind::Amp, 1),
+            '|' if next == Some('|') => push!(TokenKind::OrOr, 2),
+            '|' => push!(TokenKind::Pipe, 1),
+            '<' if next == Some('<') => push!(TokenKind::Shl, 2),
+            '<' if next == Some('=') => push!(TokenKind::Le, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' if next == Some('>') => push!(TokenKind::Shr, 2),
+            '>' if next == Some('=') => push!(TokenKind::Ge, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '=' if next == Some('=') => push!(TokenKind::EqEq, 2),
+            '=' => push!(TokenKind::Assign, 1),
+            '!' if next == Some('=') => push!(TokenKind::Ne, 2),
+            '!' => push!(TokenKind::Not, 1),
+            other => {
+                return Err(Error::new(line, col, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >>"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("int /* block \n comment */ x; // line\nint y;"),
+            kinds("int x; int y;")
+        );
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0x1F")[0], TokenKind::Int(31));
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("int\n  foo;").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        let e = lex("int $x;").unwrap_err();
+        assert!(e.msg.contains('$'));
+        assert_eq!(e.col, 5);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("form")[0], TokenKind::Ident("form".into()));
+        assert_eq!(kinds("for")[0], TokenKind::KwFor);
+        assert_eq!(kinds("_int")[0], TokenKind::Ident("_int".into()));
+    }
+}

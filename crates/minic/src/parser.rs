@@ -1,0 +1,643 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing [`Error`] with source position.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_minic::parser::parse;
+/// let unit = parse("int inc(int x) { return x + 1; }").unwrap();
+/// assert_eq!(unit.functions[0].name, "inc");
+/// ```
+pub fn parse(src: &str) -> Result<Unit> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        ids: NodeIdGen::new(),
+    };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ids: NodeIdGen,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (l, c) = self.here();
+        Error::new(l, c, msg)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> Result<()> {
+        if self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{k}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn fresh(&mut self) -> NodeId {
+        self.ids.fresh()
+    }
+
+    fn unit(&mut self) -> Result<Unit> {
+        let mut unit = Unit::default();
+        while *self.peek() != TokenKind::Eof {
+            match self.peek() {
+                TokenKind::KwInt | TokenKind::KwVoid => {
+                    // Lookahead: `int name (` = function, else global decl.
+                    let save = self.pos;
+                    let ret = if self.bump() == TokenKind::KwVoid {
+                        Type::Void
+                    } else {
+                        Type::Int
+                    };
+                    let is_ptr = *self.peek() == TokenKind::Star;
+                    if is_ptr {
+                        self.bump();
+                    }
+                    let name = self.eat_ident()?;
+                    if *self.peek() == TokenKind::LParen && !is_ptr {
+                        let f = self.function(ret, name)?;
+                        unit.functions.push(f);
+                    } else {
+                        self.pos = save;
+                        let d = self.declaration()?;
+                        unit.globals.push(d);
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `int` or `void` at top level, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn function(&mut self, ret: Type, name: String) -> Result<Function> {
+        self.eat(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                if *self.peek() == TokenKind::KwVoid && *self.peek2() == TokenKind::RParen {
+                    self.bump();
+                    break;
+                }
+                self.eat(&TokenKind::KwInt)?;
+                let ty;
+                let pname;
+                if *self.peek() == TokenKind::Star {
+                    self.bump();
+                    pname = self.eat_ident()?;
+                    ty = Type::Ptr;
+                } else {
+                    pname = self.eat_ident()?;
+                    if *self.peek() == TokenKind::LBracket {
+                        self.bump();
+                        let size = if let TokenKind::Int(v) = self.peek() {
+                            let n = *v as usize;
+                            self.bump();
+                            Some(n)
+                        } else {
+                            None
+                        };
+                        self.eat(&TokenKind::RBracket)?;
+                        ty = Type::Array(size);
+                    } else {
+                        ty = Type::Int;
+                    }
+                }
+                params.push(Param { name: pname, ty });
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.eat(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn declaration(&mut self) -> Result<Stmt> {
+        self.eat(&TokenKind::KwInt)?;
+        let id = self.fresh();
+        if *self.peek() == TokenKind::Star {
+            self.bump();
+            let name = self.eat_ident()?;
+            let init = if *self.peek() == TokenKind::Assign {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.eat(&TokenKind::Semi)?;
+            return Ok(Stmt {
+                id,
+                kind: StmtKind::Decl {
+                    name,
+                    ty: Type::Ptr,
+                    init,
+                },
+            });
+        }
+        let name = self.eat_ident()?;
+        if *self.peek() == TokenKind::LBracket {
+            self.bump();
+            let size = match self.bump() {
+                TokenKind::Int(v) if v >= 0 => v as usize,
+                other => {
+                    return Err(self.err(format!("array size must be a literal, found `{other}`")))
+                }
+            };
+            self.eat(&TokenKind::RBracket)?;
+            self.eat(&TokenKind::Semi)?;
+            return Ok(Stmt {
+                id,
+                kind: StmtKind::Decl {
+                    name,
+                    ty: Type::Array(Some(size)),
+                    init: None,
+                },
+            });
+        }
+        let init = if *self.peek() == TokenKind::Assign {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.eat(&TokenKind::Semi)?;
+        Ok(Stmt {
+            id,
+            kind: StmtKind::Decl {
+                name,
+                ty: Type::Int,
+                init,
+            },
+        })
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        match self.peek().clone() {
+            TokenKind::KwInt => self.declaration(),
+            TokenKind::KwIf => {
+                let id = self.fresh();
+                self.bump();
+                self.eat(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if *self.peek() == TokenKind::KwElse {
+                    self.bump();
+                    if *self.peek() == TokenKind::KwIf {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                })
+            }
+            TokenKind::KwWhile => {
+                let id = self.fresh();
+                self.bump();
+                self.eat(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            TokenKind::KwFor => {
+                let id = self.fresh();
+                self.bump();
+                self.eat(&TokenKind::LParen)?;
+                let var = self.eat_ident()?;
+                self.eat(&TokenKind::Assign)?;
+                let from = self.expr()?;
+                self.eat(&TokenKind::Semi)?;
+                let cvar = self.eat_ident()?;
+                if cvar != var {
+                    return Err(self.err(format!(
+                        "for-loop condition must test `{var}`, found `{cvar}`"
+                    )));
+                }
+                self.eat(&TokenKind::Lt)?;
+                let to = self.expr()?;
+                self.eat(&TokenKind::Semi)?;
+                let ivar = self.eat_ident()?;
+                if ivar != var {
+                    return Err(self.err(format!(
+                        "for-loop increment must update `{var}`, found `{ivar}`"
+                    )));
+                }
+                self.eat(&TokenKind::Assign)?;
+                let vvar = self.eat_ident()?;
+                if vvar != var {
+                    return Err(self.err("for-loop increment must be `i = i + step`"));
+                }
+                self.eat(&TokenKind::Plus)?;
+                let step = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::For {
+                        var,
+                        from,
+                        to,
+                        step,
+                        body,
+                    },
+                })
+            }
+            TokenKind::KwReturn => {
+                let id = self.fresh();
+                self.bump();
+                let e = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::Return(e),
+                })
+            }
+            TokenKind::LBrace => {
+                let id = self.fresh();
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::Block(body),
+                })
+            }
+            TokenKind::Star => {
+                // `*p = e;`
+                let id = self.fresh();
+                self.bump();
+                let name = self.eat_ident()?;
+                self.eat(&TokenKind::Assign)?;
+                let rhs = self.expr()?;
+                self.eat(&TokenKind::Semi)?;
+                Ok(Stmt {
+                    id,
+                    kind: StmtKind::Assign {
+                        lhs: LValue::Deref(name),
+                        rhs,
+                    },
+                })
+            }
+            TokenKind::Ident(name) => {
+                let id = self.fresh();
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::Assign => {
+                        self.bump();
+                        let rhs = self.expr()?;
+                        self.eat(&TokenKind::Semi)?;
+                        Ok(Stmt {
+                            id,
+                            kind: StmtKind::Assign {
+                                lhs: LValue::Var(name),
+                                rhs,
+                            },
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.eat(&TokenKind::RBracket)?;
+                        self.eat(&TokenKind::Assign)?;
+                        let rhs = self.expr()?;
+                        self.eat(&TokenKind::Semi)?;
+                        Ok(Stmt {
+                            id,
+                            kind: StmtKind::Assign {
+                                lhs: LValue::Index(name, Box::new(idx)),
+                                rhs,
+                            },
+                        })
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        let args = self.call_args()?;
+                        self.eat(&TokenKind::Semi)?;
+                        Ok(Stmt {
+                            id,
+                            kind: StmtKind::ExprStmt(Expr::Call(name, args)),
+                        })
+                    }
+                    other => Err(self.err(format!(
+                        "expected `=`, `[`, or `(` after identifier, found `{other}`"
+                    ))),
+                }
+            }
+            other => Err(self.err(format!("unexpected token `{other}` at statement start"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // Expression precedence climbing.
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::OrOr => (BinOp::LOr, 1),
+                TokenKind::AndAnd => (BinOp::LAnd, 2),
+                TokenKind::Pipe => (BinOp::Or, 3),
+                TokenKind::Caret => (BinOp::Xor, 4),
+                TokenKind::Amp => (BinOp::And, 5),
+                TokenKind::EqEq => (BinOp::Eq, 6),
+                TokenKind::Ne => (BinOp::Ne, 6),
+                TokenKind::Lt => (BinOp::Lt, 7),
+                TokenKind::Gt => (BinOp::Gt, 7),
+                TokenKind::Le => (BinOp::Le, 7),
+                TokenKind::Ge => (BinOp::Ge, 7),
+                TokenKind::Shl => (BinOp::Shl, 8),
+                TokenKind::Shr => (BinOp::Shr, 8),
+                TokenKind::Plus => (BinOp::Add, 9),
+                TokenKind::Minus => (BinOp::Sub, 9),
+                TokenKind::Star => (BinOp::Mul, 10),
+                TokenKind::Slash => (BinOp::Div, 10),
+                TokenKind::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Deref, Box::new(self.unary()?)))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Addr, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.eat(&TokenKind::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        let args = self.call_args()?;
+                        Ok(Expr::Call(name, args))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let u = parse("int add(int a, int b) { return a + b; }").unwrap();
+        let f = &u.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert!(matches!(f.body[0].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn parses_array_and_pointer_params() {
+        let u = parse("void f(int a[], int b[8], int *p) { return; }").unwrap();
+        let f = &u.functions[0];
+        assert_eq!(f.params[0].ty, Type::Array(None));
+        assert_eq!(f.params[1].ty, Type::Array(Some(8)));
+        assert_eq!(f.params[2].ty, Type::Ptr);
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let u = parse("int g = 5;\nint a[16];\nvoid main(void) { g = g + 1; }").unwrap();
+        assert_eq!(u.globals.len(), 2);
+        assert_eq!(u.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_canonical_for_loop() {
+        let u = parse("void f(int n, int a[]) { for (i = 0; i < n; i = i + 1) { a[i] = i; } }");
+        // `i` undeclared is fine for the parser (semantic checks are separate).
+        let u = u.unwrap();
+        match &u.functions[0].body[0].kind {
+            StmtKind::For { var, step, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(step.const_eval(), Some(1));
+            }
+            k => panic!("expected for, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_for() {
+        assert!(parse("void f(void) { for (i = 0; j < 5; i = i + 1) { } }").is_err());
+        assert!(parse("void f(void) { for (i = 0; i < 5; j = j + 1) { } }").is_err());
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let u = parse(
+            "int sign(int x) { if (x > 0) { return 1; } else if (x < 0) { return 0 - 1; } else { return 0; } }",
+        )
+        .unwrap();
+        match &u.functions[0].body[0].kind {
+            StmtKind::If { else_branch, .. } => {
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(else_branch[0].kind, StmtKind::If { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let u = parse("void f(void) { x = 1 + 2 * 3; }").unwrap();
+        match &u.functions[0].body[0].kind {
+            StmtKind::Assign { rhs, .. } => assert_eq!(rhs.const_eval(), Some(7)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_pointer_statements() {
+        let u = parse("void f(int *p) { *p = 5; x = *p + 1; int *q = &x; }").unwrap();
+        let b = &u.functions[0].body;
+        assert!(matches!(
+            b[0].kind,
+            StmtKind::Assign { lhs: LValue::Deref(_), .. }
+        ));
+        assert!(matches!(b[2].kind, StmtKind::Decl { ty: Type::Ptr, .. }));
+    }
+
+    #[test]
+    fn parses_calls_as_statements_and_exprs() {
+        let u = parse("void f(void) { g(1, 2); x = h(3) + 1; }").unwrap();
+        assert!(matches!(
+            u.functions[0].body[0].kind,
+            StmtKind::ExprStmt(Expr::Call(..))
+        ));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let u = parse("void f(void) { x = 1; if (x) { y = 2; } while (x) { z = 3; } }").unwrap();
+        let mut ids = Vec::new();
+        crate::ast::visit_stmts(&u.functions[0].body, &mut |s| ids.push(s.id));
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("int f(int x) { return x +; }").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("expected expression"));
+    }
+
+    #[test]
+    fn rejects_garbage_top_level() {
+        assert!(parse("banana").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Timing-only set-associative cache model.
+//!
+//! Section II argues for distributed memory with *"L1 and L2 cache / local
+//! memory bound to cores"*. The platform gives every core a private L1 over
+//! the shared-memory region. The cache is a **timing model only**: data is
+//! always functionally read from and written to the backing RAM
+//! (write-through), so the model never introduces incoherence into the
+//! functional state — it only decides whether an access pays the local hit
+//! latency or the full interconnect + memory round trip.
+//!
+//! This separation keeps the simulator deterministic and lets the Section VII
+//! debugger inspect one authoritative memory image, while still exposing the
+//! performance cliffs (cold misses, capacity misses, sharing misses) that the
+//! paper's scheduling arguments rely on.
+
+/// Outcome of a cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present: the access pays only the hit latency.
+    Hit,
+    /// The line was absent and has been filled: full miss penalty.
+    Miss,
+}
+
+/// A set-associative, LRU, write-through, write-allocate cache tag store.
+///
+/// Addresses are word addresses; a line holds `line_words` consecutive words.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_platform::cache::{Cache, CacheOutcome};
+/// let mut c = Cache::new(4, 2, 4); // 4 sets, 2-way, 4-word lines
+/// assert_eq!(c.access(0x100), CacheOutcome::Miss);
+/// assert_eq!(c.access(0x101), CacheOutcome::Hit); // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<CacheSet>,
+    line_words: u32,
+    hits: u64,
+    misses: u64,
+    tick: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CacheSet {
+    /// (tag, last-use tick) per way; `None` = invalid way.
+    ways: Vec<Option<(u32, u64)>>,
+}
+
+impl Cache {
+    /// Creates a cache with `num_sets` sets of `assoc` ways, each line
+    /// covering `line_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `num_sets`/`line_words` is not a
+    /// power of two (required for bit-sliced indexing).
+    pub fn new(num_sets: u32, assoc: u32, line_words: u32) -> Self {
+        assert!(num_sets > 0 && assoc > 0 && line_words > 0, "cache dims must be non-zero");
+        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(line_words.is_power_of_two(), "line_words must be a power of two");
+        Cache {
+            sets: (0..num_sets)
+                .map(|_| CacheSet {
+                    ways: vec![None; assoc as usize],
+                })
+                .collect(),
+            line_words,
+            hits: 0,
+            misses: 0,
+            tick: 0,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> u32 {
+        self.sets.len() as u32 * self.sets[0].ways.len() as u32 * self.line_words
+    }
+
+    /// Looks up (and on miss, fills) the line containing word address `addr`.
+    pub fn access(&mut self, addr: u32) -> CacheOutcome {
+        self.tick += 1;
+        let line = addr / self.line_words;
+        let set_idx = (line as usize) & (self.sets.len() - 1);
+        let tag = line / self.sets.len() as u32;
+        let set = &mut self.sets[set_idx];
+
+        // Hit?
+        for (t, used) in set.ways.iter_mut().flatten() {
+            if *t == tag {
+                *used = self.tick;
+                self.hits += 1;
+                return CacheOutcome::Hit;
+            }
+        }
+        // Miss: fill LRU (preferring an invalid way).
+        self.misses += 1;
+        let victim = set
+            .ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.map_or(0, |(_, used)| used + 1))
+            .map(|(i, _)| i)
+            .expect("cache has at least one way");
+        set.ways[victim] = Some((tag, self.tick));
+        CacheOutcome::Miss
+    }
+
+    /// Invalidates every line (e.g. on task migration, per Section II's
+    /// locality argument).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                *way = None;
+            }
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over the cache's lifetime (0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_hits_after_fill() {
+        let mut c = Cache::new(8, 2, 4);
+        assert_eq!(c.access(100), CacheOutcome::Miss);
+        assert_eq!(c.access(101), CacheOutcome::Hit);
+        assert_eq!(c.access(103), CacheOutcome::Hit);
+        assert_eq!(c.access(104), CacheOutcome::Miss); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1 set, 2 ways, 1-word lines: three distinct addresses thrash.
+        let mut c = Cache::new(1, 2, 1);
+        assert_eq!(c.access(0), CacheOutcome::Miss);
+        assert_eq!(c.access(1), CacheOutcome::Miss);
+        assert_eq!(c.access(0), CacheOutcome::Hit); // 1 is now LRU
+        assert_eq!(c.access(2), CacheOutcome::Miss); // evicts 1
+        assert_eq!(c.access(1), CacheOutcome::Miss); // 1 was evicted; evicts 0 (LRU)
+        assert_eq!(c.access(2), CacheOutcome::Hit); // 2 survived (MRU before 1's fill)
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut c = Cache::new(4, 1, 2);
+        c.access(10);
+        assert_eq!(c.access(10), CacheOutcome::Hit);
+        c.flush();
+        assert_eq!(c.access(10), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = Cache::new(4, 1, 1);
+        c.access(0);
+        c.access(0);
+        c.access(1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_words_computed() {
+        assert_eq!(Cache::new(8, 2, 4).capacity_words(), 64);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(2, 1, 1);
+        assert_eq!(c.access(0), CacheOutcome::Miss); // set 0
+        assert_eq!(c.access(1), CacheOutcome::Miss); // set 1
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(1), CacheOutcome::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = Cache::new(3, 1, 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! The platform's homogeneous RISC instruction set.
+//!
+//! Section II of the paper argues that MPSoC hardware *"shall have
+//! homogeneous ISA"* so that *"any piece of software can be executed on any
+//! of the processor cores"*. The platform therefore defines exactly one
+//! instruction set, shared by every core regardless of its clock frequency
+//! or role (time-shared vs. space-shared).
+//!
+//! The ISA is a small word-oriented load/store machine: 16 general-purpose
+//! 64-bit registers, word-addressed memory, and the usual ALU / branch /
+//! memory instructions. It is deliberately compact — large enough to run the
+//! workloads of `mpsoc-apps` and to demonstrate the Section VII debugging
+//! scenarios, small enough to stay fully analyzable.
+//!
+//! A text [assembler](assemble) is provided so tests and examples can write
+//! readable programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// The machine word: every register and memory cell holds an `i64`.
+pub type Word = i64;
+
+/// A general-purpose register index (`r0`–`r15`).
+///
+/// `r0` is an ordinary register (not hard-wired to zero); by convention the
+/// assembler uses `r14` as stack pointer and `r15` as link register, but the
+/// hardware imposes no roles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+    /// The conventional link register, written by [`Instr::Jal`].
+    pub const LINK: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    pub fn new(idx: u8) -> Self {
+        assert!((idx as usize) < Self::COUNT, "register index out of range");
+        Reg(idx)
+    }
+
+    /// The register's index (0–15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One machine instruction.
+///
+/// Cost model: every instruction has a base cost in cycles (see
+/// [`Instr::base_cycles`]); loads and stores additionally pay the memory
+/// system's latency, which depends on the target (local store, cache
+/// hit/miss over the interconnect, peripheral page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instr {
+    /// Does nothing for one cycle.
+    Nop,
+    /// Stops the core permanently (until platform reset).
+    Halt,
+    /// `rd <- imm`
+    Movi(Reg, Word),
+    /// `rd <- rs`
+    Mov(Reg, Reg),
+    /// `rd <- rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd <- rs + imm`
+    Addi(Reg, Reg, Word),
+    /// `rd <- rs - rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd <- rs * rt` (3-cycle multiplier)
+    Mul(Reg, Reg, Reg),
+    /// `rd <- rs / rt` (10-cycle divider; traps on zero divisor)
+    Div(Reg, Reg, Reg),
+    /// `rd <- rs % rt` (10-cycle divider; traps on zero divisor)
+    Rem(Reg, Reg, Reg),
+    /// `rd <- rs & rt`
+    And(Reg, Reg, Reg),
+    /// `rd <- rs | rt`
+    Or(Reg, Reg, Reg),
+    /// `rd <- rs ^ rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd <- rs << (rt & 63)`
+    Shl(Reg, Reg, Reg),
+    /// `rd <- rs >> (rt & 63)` (arithmetic)
+    Shr(Reg, Reg, Reg),
+    /// `rd <- (rs < rt) ? 1 : 0` (signed)
+    Slt(Reg, Reg, Reg),
+    /// `rd <- (rs == rt) ? 1 : 0`
+    Seq(Reg, Reg, Reg),
+    /// `rd <- mem[rs + off]`
+    Ld(Reg, Reg, Word),
+    /// `mem[ra + off] <- rv`
+    St(Reg, Reg, Word),
+    /// Branch to `target` if `rs == rt`.
+    Beq(Reg, Reg, u32),
+    /// Branch to `target` if `rs != rt`.
+    Bne(Reg, Reg, u32),
+    /// Branch to `target` if `rs < rt` (signed).
+    Blt(Reg, Reg, u32),
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Jump and link: `r15 <- pc + 1; pc <- target`.
+    Jal(u32),
+    /// Jump to register: `pc <- rs`.
+    Jr(Reg),
+    /// Sleep until an interrupt is delivered to this core.
+    Wfi,
+    /// Return from interrupt: `pc <- saved_pc`, re-enables interrupts.
+    Rti,
+}
+
+impl Instr {
+    /// The instruction's base cost in core cycles, excluding memory latency.
+    pub fn base_cycles(self) -> u64 {
+        match self {
+            Instr::Mul(..) => 3,
+            Instr::Div(..) | Instr::Rem(..) => 10,
+            Instr::Ld(..) | Instr::St(..) => 1, // plus memory latency
+            _ => 1,
+        }
+    }
+}
+
+/// An assembled program: instructions plus its label table.
+///
+/// Programs are position-independent in the sense that the program counter
+/// indexes into [`Program::instrs`]; data lives in the platform's memories,
+/// not in the program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program directly from instructions (no labels).
+    pub fn from_instrs<I: IntoIterator<Item = Instr>>(instrs: I) -> Self {
+        Program {
+            instrs: instrs.into_iter().collect(),
+            labels: HashMap::new(),
+        }
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn fetch(&self, pc: u32) -> Option<Instr> {
+        self.instrs.get(pc as usize).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All instructions, in order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Resolves a label to its instruction address.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Every `(label, address)` pair, sorted by address then name — the
+    /// program's symbol table, used by debuggers for function-execution
+    /// histories.
+    pub fn labels_snapshot(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> = self
+            .labels
+            .iter()
+            .map(|(n, a)| (n.clone(), *a))
+            .collect();
+        v.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Assembles textual assembly into a [`Program`].
+///
+/// Syntax, one instruction per line:
+///
+/// ```text
+/// ; comment                      -- `;` or `#` start a comment
+/// loop:                          -- labels end with `:`
+///     movi r1, 42
+///     addi r1, r1, -1
+///     bne  r1, r0, loop          -- branch targets are labels or numbers
+///     halt
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::Assembler`] with the offending line number for unknown
+/// mnemonics, malformed operands, bad register names, or unresolved labels.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_platform::isa::assemble;
+/// let prog = assemble("movi r1, 7\nhalt").unwrap();
+/// assert_eq!(prog.len(), 2);
+/// ```
+pub fn assemble(src: &str) -> Result<Program> {
+    // Pass 1: collect labels.
+    let mut labels = HashMap::new();
+    let mut pc = 0u32;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (lbl, after) = rest.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || lbl.contains(char::is_whitespace) {
+                return Err(Error::Assembler {
+                    line: lineno + 1,
+                    msg: format!("malformed label `{lbl}`"),
+                });
+            }
+            if labels.insert(lbl.to_string(), pc).is_some() {
+                return Err(Error::Assembler {
+                    line: lineno + 1,
+                    msg: format!("duplicate label `{lbl}`"),
+                });
+            }
+            rest = after[1..].trim();
+        }
+        if !rest.is_empty() {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: encode instructions.
+    let mut instrs = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        instrs.push(parse_instr(rest, &labels, lineno + 1)?);
+    }
+    Ok(Program { instrs, labels })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_instr(text: &str, labels: &HashMap<String, u32>, line: usize) -> Result<Instr> {
+    let err = |msg: String| Error::Assembler { line, msg };
+    let (mn, ops) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if ops.is_empty() {
+        Vec::new()
+    } else {
+        ops.split(',').map(str::trim).collect()
+    };
+    let reg = |s: &str| -> Result<Reg> {
+        let idx = s
+            .strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| (n as usize) < Reg::COUNT)
+            .ok_or_else(|| err(format!("bad register `{s}`")))?;
+        Ok(Reg::new(idx))
+    };
+    let imm = |s: &str| -> Result<Word> {
+        parse_int(s).ok_or_else(|| err(format!("bad immediate `{s}`")))
+    };
+    let target = |s: &str| -> Result<u32> {
+        if let Some(t) = labels.get(s) {
+            return Ok(*t);
+        }
+        parse_int(s)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| err(format!("unresolved branch target `{s}`")))
+    };
+    let need = |n: usize| -> Result<()> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{mn}` expects {n} operand(s), got {}",
+                ops.len()
+            )))
+        }
+    };
+
+    let mn_lc = mn.to_ascii_lowercase();
+    let i = match mn_lc.as_str() {
+        "nop" => {
+            need(0)?;
+            Instr::Nop
+        }
+        "halt" => {
+            need(0)?;
+            Instr::Halt
+        }
+        "wfi" => {
+            need(0)?;
+            Instr::Wfi
+        }
+        "rti" => {
+            need(0)?;
+            Instr::Rti
+        }
+        "movi" => {
+            need(2)?;
+            Instr::Movi(reg(ops[0])?, imm(ops[1])?)
+        }
+        "mov" => {
+            need(2)?;
+            Instr::Mov(reg(ops[0])?, reg(ops[1])?)
+        }
+        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "shl" | "shr" | "slt"
+        | "seq" => {
+            need(3)?;
+            let (d, s, t) = (reg(ops[0])?, reg(ops[1])?, reg(ops[2])?);
+            match mn_lc.as_str() {
+                "add" => Instr::Add(d, s, t),
+                "sub" => Instr::Sub(d, s, t),
+                "mul" => Instr::Mul(d, s, t),
+                "div" => Instr::Div(d, s, t),
+                "rem" => Instr::Rem(d, s, t),
+                "and" => Instr::And(d, s, t),
+                "or" => Instr::Or(d, s, t),
+                "xor" => Instr::Xor(d, s, t),
+                "shl" => Instr::Shl(d, s, t),
+                "shr" => Instr::Shr(d, s, t),
+                "slt" => Instr::Slt(d, s, t),
+                _ => Instr::Seq(d, s, t),
+            }
+        }
+        "addi" => {
+            need(3)?;
+            Instr::Addi(reg(ops[0])?, reg(ops[1])?, imm(ops[2])?)
+        }
+        "ld" => {
+            need(3)?;
+            Instr::Ld(reg(ops[0])?, reg(ops[1])?, imm(ops[2])?)
+        }
+        "st" => {
+            need(3)?;
+            Instr::St(reg(ops[0])?, reg(ops[1])?, imm(ops[2])?)
+        }
+        "beq" | "bne" | "blt" => {
+            need(3)?;
+            let (a, b, t) = (reg(ops[0])?, reg(ops[1])?, target(ops[2])?);
+            match mn_lc.as_str() {
+                "beq" => Instr::Beq(a, b, t),
+                "bne" => Instr::Bne(a, b, t),
+                _ => Instr::Blt(a, b, t),
+            }
+        }
+        "jmp" => {
+            need(1)?;
+            Instr::Jmp(target(ops[0])?)
+        }
+        "jal" => {
+            need(1)?;
+            Instr::Jal(target(ops[0])?)
+        }
+        "jr" => {
+            need(1)?;
+            Instr::Jr(reg(ops[0])?)
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(i)
+}
+
+/// Parses a decimal or `0x` hexadecimal integer, with optional leading `-`.
+fn parse_int(s: &str) -> Option<Word> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        Word::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<Word>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "; count down from 5\n\
+             start: movi r1, 5\n\
+             loop:  addi r1, r1, -1\n\
+                    bne r1, r0, loop\n\
+                    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.label("loop"), Some(1));
+        assert_eq!(p.fetch(3), Some(Instr::Halt));
+        assert_eq!(p.fetch(2), Some(Instr::Bne(Reg::new(1), Reg::new(0), 1)));
+    }
+
+    #[test]
+    fn label_on_own_line_binds_to_next_instr() {
+        let p = assemble("a:\nb: nop\nhalt").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("movi r2, 0x10\nmovi r3, -7\nhalt").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Movi(Reg::new(2), 16)));
+        assert_eq!(p.fetch(1), Some(Instr::Movi(Reg::new(3), -7)));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert!(matches!(e, Error::Assembler { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_register() {
+        assert!(assemble("movi r16, 1").is_err());
+        assert!(assemble("movi rx, 1").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = assemble("a: nop\na: halt").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unresolved_target() {
+        assert!(assemble("jmp nowhere").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(assemble("add r1, r2").is_err());
+        assert!(assemble("halt r1").is_err());
+    }
+
+    #[test]
+    fn numeric_branch_targets_allowed() {
+        let p = assemble("jmp 0").unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Jmp(0)));
+    }
+
+    #[test]
+    fn base_cycles_reflect_functional_units() {
+        assert_eq!(Instr::Nop.base_cycles(), 1);
+        assert_eq!(Instr::Mul(Reg::new(0), Reg::new(0), Reg::new(0)).base_cycles(), 3);
+        assert_eq!(Instr::Div(Reg::new(0), Reg::new(0), Reg::new(1)).base_cycles(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_constructor_validates() {
+        let _ = Reg::new(16);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mpsoc-platform — a cycle-approximate MPSoC virtual platform
+//!
+//! The hardware substrate for the reproduction of *"Programming MPSoC
+//! Platforms: Road Works Ahead!"* (DATE 2009). Every system described in the
+//! paper — the real-time manycore kernel (Section II), the data-driven
+//! streaming runtime (Section III), the MAPS/HOPES tool flows (IV, V), and
+//! especially the virtual-platform debugger (VII) — presupposes a
+//! multiprocessor system-on-chip. This crate provides one, in simulation:
+//!
+//! * **Homogeneous-ISA cores** ([`isa`], [`core`]) with per-core,
+//!   runtime-adjustable clock [frequencies](time::Frequency) — the paper's
+//!   fine-grained DVFS requirement.
+//! * **Distributed memory** ([`mem`]): shared RAM behind the interconnect,
+//!   a private local store per core (with optional *strict locality
+//!   enforcement*), and per-core timing-model [caches](cache).
+//! * **Scalable interconnect** ([`interconnect`]): a contended shared bus
+//!   and a 2-D mesh NoC, so the paper's centralisation-vs-distribution
+//!   argument is measurable.
+//! * **Shared peripherals** ([`periph`]): timers, mailboxes, hardware
+//!   semaphores, and DMA engines — the exact resource list Section VII
+//!   blames for multi-core debugging pain.
+//! * **Deterministic discrete-event simulation** ([`platform`]): the same
+//!   configuration and software always produce the same interleaving, the
+//!   property that lets a virtual platform reproduce Heisenbugs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpsoc_platform::platform::PlatformBuilder;
+//! use mpsoc_platform::isa::assemble;
+//! use mpsoc_platform::time::Frequency;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = PlatformBuilder::new()
+//!     .cores(2, Frequency::mhz(200))
+//!     .shared_words(1024)
+//!     .build()?;
+//! let prog = assemble("movi r1, 21\nadd r2, r1, r1\nmovi r3, 0x10\nst r2, r3, 0\nhalt")?;
+//! p.load_program(0, prog, 0)?;
+//! p.run_to_completion(1_000)?;
+//! assert_eq!(p.debug_read(0x10)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod core;
+pub mod error;
+pub mod interconnect;
+pub mod isa;
+pub mod mem;
+pub mod periph;
+pub mod platform;
+pub mod signal;
+pub mod time;
+
+pub use crate::core::{Core, CoreStatus};
+pub use crate::error::{Error, Result};
+pub use crate::platform::{
+    Access, AccessKind, Originator, Platform, PlatformBuilder, StepEvent, StepKind,
+};
+pub use crate::time::{Cycles, Frequency, Time};

@@ -1,0 +1,237 @@
+//! Memory map and storage: shared RAM, per-core local stores.
+//!
+//! The platform address space is word-addressed (each address names one
+//! 64-bit [`Word`]) and split into three windows:
+//!
+//! | Window | Base | Contents |
+//! |---|---|---|
+//! | shared | `0x0000_0000` | shared RAM, reachable by every initiator over the interconnect |
+//! | local  | `0x1000_0000 + core * 0x1_0000` | the private local store (scratchpad) of one core |
+//! | periph | `0xF000_0000 + page * 0x100` | memory-mapped peripheral registers |
+//!
+//! Per Section II's *"strict enforcement of locality"*, a core touching
+//! another core's local store faults with
+//! [`crate::error::Error::LocalityViolation`]
+//! unless the platform is configured with locality enforcement disabled
+//! (which the experiments use as the "conventional shared-everything"
+//! baseline).
+
+use crate::error::{Error, Result};
+use crate::isa::Word;
+
+/// Base word address of the local-store window.
+pub const LOCAL_BASE: u32 = 0x1000_0000;
+/// Word-address stride between consecutive cores' local stores.
+pub const LOCAL_STRIDE: u32 = 0x1_0000;
+/// Base word address of the peripheral window.
+pub const PERIPH_BASE: u32 = 0xF000_0000;
+/// Words of register space per peripheral page.
+pub const PERIPH_PAGE: u32 = 0x100;
+
+/// Classification of a word address by the platform memory map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Offset into shared RAM.
+    Shared(u32),
+    /// Offset into a specific core's local store.
+    Local {
+        /// Core that owns the store.
+        owner: usize,
+        /// Word offset within the store.
+        offset: u32,
+    },
+    /// Register within a peripheral page.
+    Periph {
+        /// Peripheral page index.
+        page: usize,
+        /// Register offset within the page.
+        offset: u32,
+    },
+}
+
+/// Decodes a word address into its [`Region`].
+///
+/// # Errors
+///
+/// Returns [`Error::UnmappedAddress`] for addresses in none of the windows.
+pub fn decode(addr: u32, shared_words: u32, num_cores: usize) -> Result<Region> {
+    if addr < shared_words {
+        return Ok(Region::Shared(addr));
+    }
+    if (LOCAL_BASE..PERIPH_BASE).contains(&addr) {
+        let rel = addr - LOCAL_BASE;
+        let owner = (rel / LOCAL_STRIDE) as usize;
+        let offset = rel % LOCAL_STRIDE;
+        if owner < num_cores {
+            return Ok(Region::Local { owner, offset });
+        }
+        return Err(Error::UnmappedAddress { addr });
+    }
+    if addr >= PERIPH_BASE {
+        let rel = addr - PERIPH_BASE;
+        return Ok(Region::Periph {
+            page: (rel / PERIPH_PAGE) as usize,
+            offset: rel % PERIPH_PAGE,
+        });
+    }
+    Err(Error::UnmappedAddress { addr })
+}
+
+/// The word address of `offset` within core `core`'s local store.
+pub fn local_addr(core: usize, offset: u32) -> u32 {
+    LOCAL_BASE + core as u32 * LOCAL_STRIDE + offset
+}
+
+/// The word address of register `offset` within peripheral page `page`.
+pub fn periph_addr(page: usize, offset: u32) -> u32 {
+    PERIPH_BASE + page as u32 * PERIPH_PAGE + offset
+}
+
+/// A flat word-addressable RAM.
+///
+/// Reads of never-written cells return 0, mirroring zero-initialised SRAM.
+#[derive(Clone, Debug)]
+pub struct Ram {
+    words: Vec<Word>,
+}
+
+impl Ram {
+    /// Allocates a zeroed RAM of `words` cells.
+    pub fn new(words: u32) -> Self {
+        Ram {
+            words: vec![0; words as usize],
+        }
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Whether the RAM has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnmappedAddress`] past the end of the RAM.
+    pub fn read(&self, offset: u32) -> Result<Word> {
+        self.words
+            .get(offset as usize)
+            .copied()
+            .ok_or(Error::UnmappedAddress { addr: offset })
+    }
+
+    /// Writes the word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnmappedAddress`] past the end of the RAM.
+    pub fn write(&mut self, offset: u32, value: Word) -> Result<()> {
+        match self.words.get_mut(offset as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(Error::UnmappedAddress { addr: offset }),
+        }
+    }
+
+    /// Bulk-loads `data` starting at `offset` (for test fixtures and DMA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnmappedAddress`] if the slice does not fit.
+    pub fn load(&mut self, offset: u32, data: &[Word]) -> Result<()> {
+        let start = offset as usize;
+        let end = start + data.len();
+        if end > self.words.len() {
+            return Err(Error::UnmappedAddress { addr: end as u32 });
+        }
+        self.words[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// A read-only view of the whole RAM (debugger use).
+    pub fn as_slice(&self) -> &[Word] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_shared() {
+        assert_eq!(decode(0, 1024, 2).unwrap(), Region::Shared(0));
+        assert_eq!(decode(1023, 1024, 2).unwrap(), Region::Shared(1023));
+        assert!(decode(1024, 1024, 2).is_err());
+    }
+
+    #[test]
+    fn decode_local_per_core() {
+        assert_eq!(
+            decode(LOCAL_BASE + 5, 1024, 2).unwrap(),
+            Region::Local { owner: 0, offset: 5 }
+        );
+        assert_eq!(
+            decode(LOCAL_BASE + LOCAL_STRIDE + 7, 1024, 2).unwrap(),
+            Region::Local { owner: 1, offset: 7 }
+        );
+        // Core 2 does not exist on a 2-core platform.
+        assert!(decode(LOCAL_BASE + 2 * LOCAL_STRIDE, 1024, 2).is_err());
+    }
+
+    #[test]
+    fn decode_periph_pages() {
+        assert_eq!(
+            decode(PERIPH_BASE, 1024, 1).unwrap(),
+            Region::Periph { page: 0, offset: 0 }
+        );
+        assert_eq!(
+            decode(periph_addr(3, 0x10), 1024, 1).unwrap(),
+            Region::Periph { page: 3, offset: 0x10 }
+        );
+    }
+
+    #[test]
+    fn addr_helpers_roundtrip() {
+        let a = local_addr(1, 42);
+        assert_eq!(
+            decode(a, 16, 4).unwrap(),
+            Region::Local { owner: 1, offset: 42 }
+        );
+        let p = periph_addr(2, 3);
+        assert_eq!(
+            decode(p, 16, 4).unwrap(),
+            Region::Periph { page: 2, offset: 3 }
+        );
+    }
+
+    #[test]
+    fn ram_reads_zero_initialised() {
+        let r = Ram::new(8);
+        assert_eq!(r.read(7).unwrap(), 0);
+        assert!(r.read(8).is_err());
+    }
+
+    #[test]
+    fn ram_write_read_roundtrip() {
+        let mut r = Ram::new(4);
+        r.write(2, -99).unwrap();
+        assert_eq!(r.read(2).unwrap(), -99);
+        assert!(r.write(4, 0).is_err());
+    }
+
+    #[test]
+    fn ram_bulk_load() {
+        let mut r = Ram::new(6);
+        r.load(2, &[1, 2, 3]).unwrap();
+        assert_eq!(r.as_slice(), &[0, 0, 1, 2, 3, 0]);
+        assert!(r.load(5, &[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,800 @@
+//! Memory-mapped peripherals: timers, mailboxes, hardware semaphores, DMA.
+//!
+//! Section VII lists the shared platform resources that make MPSoC debugging
+//! hard: *"timers, interrupt controllers, DMAs, memory controllers,
+//! memories, semaphores may not be controlled anymore by a single software
+//! stack."* The platform models each of them as a device page of
+//! word-addressed registers (see [`crate::mem::PERIPH_BASE`]), fully
+//! inspectable without side effects via [`Peripheral::snapshot`] — the
+//! *"consistent view into the state of all cores and peripherals"* that a
+//! virtual platform provides.
+//!
+//! Peripherals interact with the rest of the platform through a
+//! [`PeriphCtx`]: they drive [signals](crate::signal::SignalBoard) and emit
+//! [`Effect`]s (interrupt requests, DMA transfers) that the platform
+//! executes.
+
+use crate::error::{Error, Result};
+use crate::isa::Word;
+use crate::signal::SignalBoard;
+use crate::time::Time;
+
+/// A side effect requested by a peripheral, executed by the platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Deliver interrupt `irq` to core `core`.
+    RaiseIrq {
+        /// Target core.
+        core: usize,
+        /// Interrupt number (0–31).
+        irq: u32,
+    },
+    /// Start a DMA block copy of `len` words from `src` to `dst`,
+    /// attributed to the peripheral page `page`.
+    DmaCopy {
+        /// Peripheral page of the requesting DMA engine.
+        page: usize,
+        /// Source word address.
+        src: u32,
+        /// Destination word address.
+        dst: u32,
+        /// Number of words.
+        len: u32,
+    },
+}
+
+/// Context handed to peripheral register accesses and event ticks.
+#[derive(Debug)]
+pub struct PeriphCtx<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// The platform signal board.
+    pub signals: &'a mut SignalBoard,
+    /// Effects for the platform to execute after the access returns.
+    pub effects: &'a mut Vec<Effect>,
+}
+
+/// A memory-mapped device occupying one peripheral page.
+///
+/// Register `offset`s are word offsets within the page. Reads may have side
+/// effects (e.g. popping a mailbox); the debugger uses [`snapshot`] instead,
+/// which never perturbs state — the essence of non-intrusive inspection.
+///
+/// [`snapshot`]: Peripheral::snapshot
+pub trait Peripheral: std::fmt::Debug {
+    /// The peripheral instance name (e.g. `"timer0"`).
+    fn name(&self) -> &str;
+
+    /// Reads register `offset` (may have side effects, like hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadPeripheralRegister`] if the register does not exist.
+    fn read(&mut self, offset: u32, ctx: &mut PeriphCtx<'_>) -> Result<Word>;
+
+    /// Writes register `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadPeripheralRegister`] if the register does not exist or
+    /// [`Error::BadRegisterValue`] if the value is unrepresentable.
+    fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()>;
+
+    /// The next instant at which the device needs [`on_event`] to run, if
+    /// any (e.g. the next timer expiry).
+    ///
+    /// [`on_event`]: Peripheral::on_event
+    fn next_event(&self) -> Option<Time>;
+
+    /// Runs the device's internal event scheduled for `ctx.now`.
+    fn on_event(&mut self, ctx: &mut PeriphCtx<'_>);
+
+    /// A side-effect-free dump of `(offset, value)` register pairs for
+    /// debugger inspection.
+    fn snapshot(&self) -> Vec<(u32, Word)>;
+
+    /// Hook invoked by the platform when a transfer this device initiated
+    /// completes. Only DMA-like devices override it; the default ignores
+    /// the notification. Returns `(core, irq)` to raise, if any.
+    fn transfer_done(&mut self, _now: Time, _signals: &mut SignalBoard) -> Option<(usize, u32)> {
+        None
+    }
+}
+
+fn bad_reg(name: &str, offset: u32) -> Error {
+    Error::BadPeripheralRegister {
+        peripheral: name.to_string(),
+        offset,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+/// Periodic interval timer.
+///
+/// | offset | name | access | meaning |
+/// |---|---|---|---|
+/// | 0 | `PERIOD` | rw | tick period in **nanoseconds** |
+/// | 1 | `CTRL`   | rw | bit 0: enable |
+/// | 2 | `COUNT`  | r  | ticks delivered so far |
+/// | 3 | `CORE`   | rw | core receiving the tick IRQ |
+/// | 4 | `IRQ`    | rw | interrupt number raised |
+///
+/// Each expiry raises `IRQ` on `CORE`, pulses the signal
+/// `"<name>.tick"`, and re-arms.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    name: String,
+    period_ns: u64,
+    enabled: bool,
+    count: u64,
+    core: usize,
+    irq: u32,
+    next_fire: Option<Time>,
+}
+
+/// Register offsets of [`Timer`].
+pub mod timer_reg {
+    /// Tick period in nanoseconds.
+    pub const PERIOD: u32 = 0;
+    /// Control: bit 0 enables the timer.
+    pub const CTRL: u32 = 1;
+    /// Ticks delivered so far (read-only).
+    pub const COUNT: u32 = 2;
+    /// Core that receives the tick interrupt.
+    pub const CORE: u32 = 3;
+    /// Interrupt number raised on each tick.
+    pub const IRQ: u32 = 4;
+}
+
+impl Timer {
+    /// Creates a disabled timer named `name` targeting core 0, IRQ 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timer {
+            name: name.into(),
+            period_ns: 1_000,
+            enabled: false,
+            count: 0,
+            core: 0,
+            irq: 0,
+            next_fire: None,
+        }
+    }
+}
+
+impl Peripheral for Timer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(&mut self, offset: u32, _ctx: &mut PeriphCtx<'_>) -> Result<Word> {
+        Ok(match offset {
+            timer_reg::PERIOD => self.period_ns as Word,
+            timer_reg::CTRL => self.enabled as Word,
+            timer_reg::COUNT => self.count as Word,
+            timer_reg::CORE => self.core as Word,
+            timer_reg::IRQ => self.irq as Word,
+            _ => return Err(bad_reg(&self.name, offset)),
+        })
+    }
+
+    fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        let nonneg = |v: Word| -> Result<u64> {
+            u64::try_from(v).map_err(|_| Error::BadRegisterValue {
+                peripheral: self.name.clone(),
+                offset,
+                value: v,
+            })
+        };
+        match offset {
+            timer_reg::PERIOD => {
+                let p = nonneg(value)?;
+                if p == 0 {
+                    return Err(Error::BadRegisterValue {
+                        peripheral: self.name.clone(),
+                        offset,
+                        value,
+                    });
+                }
+                self.period_ns = p;
+            }
+            timer_reg::CTRL => {
+                let enable = value & 1 != 0;
+                if enable && !self.enabled {
+                    self.next_fire = Some(ctx.now + Time::from_ns(self.period_ns));
+                } else if !enable {
+                    self.next_fire = None;
+                }
+                self.enabled = enable;
+            }
+            timer_reg::CORE => self.core = nonneg(value)? as usize,
+            timer_reg::IRQ => self.irq = nonneg(value)? as u32,
+            timer_reg::COUNT => self.count = nonneg(value)?,
+            _ => return Err(bad_reg(&self.name, offset)),
+        }
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.next_fire
+    }
+
+    fn on_event(&mut self, ctx: &mut PeriphCtx<'_>) {
+        self.count += 1;
+        ctx.effects.push(Effect::RaiseIrq {
+            core: self.core,
+            irq: self.irq,
+        });
+        // Pulse the tick line so signal watchpoints can trigger on it.
+        let sig = format!("{}.tick", self.name);
+        ctx.signals.drive(&sig, ctx.now, self.count as Word);
+        self.next_fire = Some(ctx.now + Time::from_ns(self.period_ns));
+    }
+
+    fn snapshot(&self) -> Vec<(u32, Word)> {
+        vec![
+            (timer_reg::PERIOD, self.period_ns as Word),
+            (timer_reg::CTRL, self.enabled as Word),
+            (timer_reg::COUNT, self.count as Word),
+            (timer_reg::CORE, self.core as Word),
+            (timer_reg::IRQ, self.irq as Word),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------------
+
+/// A bounded hardware FIFO for inter-core messaging.
+///
+/// | offset | name | access | meaning |
+/// |---|---|---|---|
+/// | 0 | `DATA`   | rw | write: push; read: pop (0 if empty) |
+/// | 1 | `COUNT`  | r  | words queued |
+/// | 2 | `CAP`    | r  | capacity |
+/// | 3 | `DROPS`  | r  | pushes dropped because full |
+/// | 4 | `NOTIFY` | rw | core to interrupt when the box becomes non-empty (-1 = none) |
+/// | 5 | `IRQ`    | rw | interrupt number used for notification |
+///
+/// The signal `"<name>.avail"` carries the current occupancy, enabling
+/// data-driven task activation (Section III) and watchpoints on message
+/// arrival.
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    name: String,
+    fifo: std::collections::VecDeque<Word>,
+    capacity: usize,
+    drops: u64,
+    notify_core: Option<usize>,
+    irq: u32,
+}
+
+/// Register offsets of [`Mailbox`].
+pub mod mailbox_reg {
+    /// Push (write) / pop (read) port.
+    pub const DATA: u32 = 0;
+    /// Current occupancy (read-only).
+    pub const COUNT: u32 = 1;
+    /// Capacity in words (read-only).
+    pub const CAP: u32 = 2;
+    /// Number of dropped pushes (read-only).
+    pub const DROPS: u32 = 3;
+    /// Core notified on data arrival (-1 disables).
+    pub const NOTIFY: u32 = 4;
+    /// Interrupt number used for notification.
+    pub const IRQ: u32 = 5;
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox holding up to `capacity` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be non-zero");
+        Mailbox {
+            name: name.into(),
+            fifo: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            drops: 0,
+            notify_core: None,
+            irq: 1,
+        }
+    }
+}
+
+impl Peripheral for Mailbox {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(&mut self, offset: u32, ctx: &mut PeriphCtx<'_>) -> Result<Word> {
+        Ok(match offset {
+            mailbox_reg::DATA => {
+                let v = self.fifo.pop_front().unwrap_or(0);
+                let sig = format!("{}.avail", self.name);
+                ctx.signals.drive(&sig, ctx.now, self.fifo.len() as Word);
+                v
+            }
+            mailbox_reg::COUNT => self.fifo.len() as Word,
+            mailbox_reg::CAP => self.capacity as Word,
+            mailbox_reg::DROPS => self.drops as Word,
+            mailbox_reg::NOTIFY => self.notify_core.map_or(-1, |c| c as Word),
+            mailbox_reg::IRQ => self.irq as Word,
+            _ => return Err(bad_reg(&self.name, offset)),
+        })
+    }
+
+    fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        match offset {
+            mailbox_reg::DATA => {
+                if self.fifo.len() >= self.capacity {
+                    self.drops += 1;
+                } else {
+                    let was_empty = self.fifo.is_empty();
+                    self.fifo.push_back(value);
+                    let sig = format!("{}.avail", self.name);
+                    ctx.signals.drive(&sig, ctx.now, self.fifo.len() as Word);
+                    if was_empty {
+                        if let Some(core) = self.notify_core {
+                            ctx.effects.push(Effect::RaiseIrq { core, irq: self.irq });
+                        }
+                    }
+                }
+            }
+            mailbox_reg::NOTIFY => {
+                self.notify_core = usize::try_from(value).ok();
+            }
+            mailbox_reg::IRQ => {
+                self.irq = u32::try_from(value).map_err(|_| Error::BadRegisterValue {
+                    peripheral: self.name.clone(),
+                    offset,
+                    value,
+                })?;
+            }
+            _ => return Err(bad_reg(&self.name, offset)),
+        }
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        None
+    }
+
+    fn on_event(&mut self, _ctx: &mut PeriphCtx<'_>) {}
+
+    fn snapshot(&self) -> Vec<(u32, Word)> {
+        vec![
+            (mailbox_reg::COUNT, self.fifo.len() as Word),
+            (mailbox_reg::CAP, self.capacity as Word),
+            (mailbox_reg::DROPS, self.drops as Word),
+            (mailbox_reg::NOTIFY, self.notify_core.map_or(-1, |c| c as Word)),
+            (mailbox_reg::IRQ, self.irq as Word),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+/// A hardware counting semaphore with atomic test-and-decrement.
+///
+/// | offset | name | access | meaning |
+/// |---|---|---|---|
+/// | 0 | `TRYACQ` | r | atomically acquires: returns 1 on success, 0 if unavailable |
+/// | 1 | `RELEASE`| w | releases one unit |
+/// | 2 | `VALUE`  | r | current count |
+/// | 3 | `INIT`   | w | sets the count |
+///
+/// Because a register *read* performs the acquire, the operation is a single
+/// bus transaction and therefore atomic across cores — exactly how MPSoC
+/// spinlock peripherals work.
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    name: String,
+    count: u64,
+    acquires: u64,
+    contentions: u64,
+}
+
+/// Register offsets of [`Semaphore`].
+pub mod semaphore_reg {
+    /// Atomic try-acquire port (read).
+    pub const TRYACQ: u32 = 0;
+    /// Release port (write).
+    pub const RELEASE: u32 = 1;
+    /// Current count (read-only).
+    pub const VALUE: u32 = 2;
+    /// Re-initialisation port (write).
+    pub const INIT: u32 = 3;
+}
+
+impl Semaphore {
+    /// Creates a semaphore with initial count `count`.
+    pub fn new(name: impl Into<String>, count: u64) -> Self {
+        Semaphore {
+            name: name.into(),
+            count,
+            acquires: 0,
+            contentions: 0,
+        }
+    }
+
+    /// How many acquire attempts failed (lock contention metric).
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+}
+
+impl Peripheral for Semaphore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(&mut self, offset: u32, ctx: &mut PeriphCtx<'_>) -> Result<Word> {
+        Ok(match offset {
+            semaphore_reg::TRYACQ => {
+                if self.count > 0 {
+                    self.count -= 1;
+                    self.acquires += 1;
+                    let sig = format!("{}.held", self.name);
+                    ctx.signals.drive(&sig, ctx.now, 1);
+                    1
+                } else {
+                    self.contentions += 1;
+                    0
+                }
+            }
+            semaphore_reg::VALUE => self.count as Word,
+            _ => return Err(bad_reg(&self.name, offset)),
+        })
+    }
+
+    fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        match offset {
+            semaphore_reg::RELEASE => {
+                self.count += 1;
+                let sig = format!("{}.held", self.name);
+                ctx.signals.drive(&sig, ctx.now, 0);
+            }
+            semaphore_reg::INIT => {
+                self.count = u64::try_from(value).map_err(|_| Error::BadRegisterValue {
+                    peripheral: self.name.clone(),
+                    offset,
+                    value,
+                })?;
+            }
+            _ => return Err(bad_reg(&self.name, offset)),
+        }
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        None
+    }
+
+    fn on_event(&mut self, _ctx: &mut PeriphCtx<'_>) {}
+
+    fn snapshot(&self) -> Vec<(u32, Word)> {
+        vec![(semaphore_reg::VALUE, self.count as Word)]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DMA engine
+// ---------------------------------------------------------------------------
+
+/// A single-channel DMA block-copy engine.
+///
+/// | offset | name | access | meaning |
+/// |---|---|---|---|
+/// | 0 | `SRC`  | rw | source word address |
+/// | 1 | `DST`  | rw | destination word address |
+/// | 2 | `LEN`  | rw | words to copy |
+/// | 3 | `CTRL` | w  | writing 1 starts the transfer |
+/// | 4 | `BUSY` | r  | 1 while a transfer is in flight |
+/// | 5 | `CORE` | rw | core interrupted on completion (-1 = none) |
+/// | 6 | `IRQ`  | rw | completion interrupt number |
+///
+/// Starting a transfer emits [`Effect::DmaCopy`]; the platform performs the
+/// timed copy (its accesses are attributed to the DMA, so Section VII's
+/// *"peripheral access watchpoints"* can catch a DMA writing a shared
+/// resource) and calls [`Dma::complete`] when done.
+#[derive(Debug, Clone)]
+pub struct Dma {
+    name: String,
+    page: usize,
+    src: u32,
+    dst: u32,
+    len: u32,
+    busy: bool,
+    core: Option<usize>,
+    irq: u32,
+    completed: u64,
+}
+
+/// Register offsets of [`Dma`].
+pub mod dma_reg {
+    /// Source word address.
+    pub const SRC: u32 = 0;
+    /// Destination word address.
+    pub const DST: u32 = 1;
+    /// Transfer length in words.
+    pub const LEN: u32 = 2;
+    /// Control: write 1 to start.
+    pub const CTRL: u32 = 3;
+    /// Busy flag (read-only).
+    pub const BUSY: u32 = 4;
+    /// Core interrupted on completion (-1 = none).
+    pub const CORE: u32 = 5;
+    /// Completion interrupt number.
+    pub const IRQ: u32 = 6;
+}
+
+impl Dma {
+    /// Creates an idle DMA engine that will occupy peripheral page `page`.
+    pub fn new(name: impl Into<String>, page: usize) -> Self {
+        Dma {
+            name: name.into(),
+            page,
+            src: 0,
+            dst: 0,
+            len: 0,
+            busy: false,
+            core: None,
+            irq: 2,
+            completed: 0,
+        }
+    }
+
+    /// Marks the in-flight transfer finished; called by the platform at the
+    /// transfer's completion time. Returns the completion IRQ to raise, if
+    /// any.
+    pub fn complete(&mut self, now: Time, signals: &mut SignalBoard) -> Option<(usize, u32)> {
+        self.busy = false;
+        self.completed += 1;
+        let sig = format!("{}.busy", self.name);
+        signals.drive(&sig, now, 0);
+        self.core.map(|c| (c, self.irq))
+    }
+
+    /// Number of completed transfers.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+impl Peripheral for Dma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read(&mut self, offset: u32, _ctx: &mut PeriphCtx<'_>) -> Result<Word> {
+        Ok(match offset {
+            dma_reg::SRC => self.src as Word,
+            dma_reg::DST => self.dst as Word,
+            dma_reg::LEN => self.len as Word,
+            dma_reg::BUSY => self.busy as Word,
+            dma_reg::CORE => self.core.map_or(-1, |c| c as Word),
+            dma_reg::IRQ => self.irq as Word,
+            _ => return Err(bad_reg(&self.name, offset)),
+        })
+    }
+
+    fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        let addr = |v: Word| -> Result<u32> {
+            u32::try_from(v).map_err(|_| Error::BadRegisterValue {
+                peripheral: self.name.clone(),
+                offset,
+                value: v,
+            })
+        };
+        match offset {
+            dma_reg::SRC => self.src = addr(value)?,
+            dma_reg::DST => self.dst = addr(value)?,
+            dma_reg::LEN => self.len = addr(value)?,
+            dma_reg::CORE => self.core = usize::try_from(value).ok(),
+            dma_reg::IRQ => self.irq = addr(value)?,
+            dma_reg::CTRL => {
+                if value & 1 != 0 && !self.busy && self.len > 0 {
+                    self.busy = true;
+                    let sig = format!("{}.busy", self.name);
+                    ctx.signals.drive(&sig, ctx.now, 1);
+                    ctx.effects.push(Effect::DmaCopy {
+                        page: self.page,
+                        src: self.src,
+                        dst: self.dst,
+                        len: self.len,
+                    });
+                }
+            }
+            _ => return Err(bad_reg(&self.name, offset)),
+        }
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        None
+    }
+
+    fn on_event(&mut self, _ctx: &mut PeriphCtx<'_>) {}
+
+    fn transfer_done(&mut self, now: Time, signals: &mut SignalBoard) -> Option<(usize, u32)> {
+        self.complete(now, signals)
+    }
+
+    fn snapshot(&self) -> Vec<(u32, Word)> {
+        vec![
+            (dma_reg::SRC, self.src as Word),
+            (dma_reg::DST, self.dst as Word),
+            (dma_reg::LEN, self.len as Word),
+            (dma_reg::BUSY, self.busy as Word),
+            (dma_reg::CORE, self.core.map_or(-1, |c| c as Word)),
+            (dma_reg::IRQ, self.irq as Word),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (SignalBoard, Vec<Effect>) {
+        (SignalBoard::new(), Vec::new())
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut t = Timer::new("timer0");
+        {
+            let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+            t.write(timer_reg::PERIOD, 100, &mut ctx).unwrap(); // 100 ns
+            t.write(timer_reg::IRQ, 3, &mut ctx).unwrap();
+            t.write(timer_reg::CTRL, 1, &mut ctx).unwrap();
+        }
+        assert_eq!(t.next_event(), Some(Time::from_ns(100)));
+        {
+            let mut ctx = PeriphCtx { now: Time::from_ns(100), signals: &mut sb, effects: &mut fx };
+            t.on_event(&mut ctx);
+        }
+        assert_eq!(fx, vec![Effect::RaiseIrq { core: 0, irq: 3 }]);
+        assert_eq!(t.next_event(), Some(Time::from_ns(200)));
+        assert_eq!(sb.value("timer0.tick"), 1);
+    }
+
+    #[test]
+    fn timer_rejects_zero_period() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut t = Timer::new("t");
+        assert!(t.write(timer_reg::PERIOD, 0, &mut ctx).is_err());
+        assert!(t.write(timer_reg::PERIOD, -5, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn timer_disable_cancels() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut t = Timer::new("t");
+        t.write(timer_reg::CTRL, 1, &mut ctx).unwrap();
+        assert!(t.next_event().is_some());
+        t.write(timer_reg::CTRL, 0, &mut ctx).unwrap();
+        assert!(t.next_event().is_none());
+    }
+
+    #[test]
+    fn mailbox_fifo_order_and_drops() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut mb = Mailbox::new("mb0", 2);
+        mb.write(mailbox_reg::DATA, 10, &mut ctx).unwrap();
+        mb.write(mailbox_reg::DATA, 20, &mut ctx).unwrap();
+        mb.write(mailbox_reg::DATA, 30, &mut ctx).unwrap(); // dropped
+        assert_eq!(mb.read(mailbox_reg::COUNT, &mut ctx).unwrap(), 2);
+        assert_eq!(mb.read(mailbox_reg::DROPS, &mut ctx).unwrap(), 1);
+        assert_eq!(mb.read(mailbox_reg::DATA, &mut ctx).unwrap(), 10);
+        assert_eq!(mb.read(mailbox_reg::DATA, &mut ctx).unwrap(), 20);
+        assert_eq!(mb.read(mailbox_reg::DATA, &mut ctx).unwrap(), 0); // empty
+    }
+
+    #[test]
+    fn mailbox_notifies_on_first_word() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut mb = Mailbox::new("mb0", 4);
+        mb.write(mailbox_reg::NOTIFY, 1, &mut ctx).unwrap();
+        mb.write(mailbox_reg::DATA, 42, &mut ctx).unwrap();
+        mb.write(mailbox_reg::DATA, 43, &mut ctx).unwrap(); // no second IRQ
+        assert_eq!(ctx.effects, &vec![Effect::RaiseIrq { core: 1, irq: 1 }]);
+        assert_eq!(ctx.signals.value("mb0.avail"), 2);
+    }
+
+    #[test]
+    fn semaphore_atomic_tryacq() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut s = Semaphore::new("lock0", 1);
+        assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 1);
+        assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 0);
+        assert_eq!(s.contentions(), 1);
+        s.write(semaphore_reg::RELEASE, 0, &mut ctx).unwrap();
+        assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 1);
+        assert_eq!(s.read(semaphore_reg::VALUE, &mut ctx).unwrap(), 0);
+    }
+
+    #[test]
+    fn semaphore_counting_init() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut s = Semaphore::new("s", 0);
+        s.write(semaphore_reg::INIT, 3, &mut ctx).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 1);
+        }
+        assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 0);
+    }
+
+    #[test]
+    fn dma_start_emits_copy_effect() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut d = Dma::new("dma0", 7);
+        d.write(dma_reg::SRC, 100, &mut ctx).unwrap();
+        d.write(dma_reg::DST, 200, &mut ctx).unwrap();
+        d.write(dma_reg::LEN, 16, &mut ctx).unwrap();
+        d.write(dma_reg::CTRL, 1, &mut ctx).unwrap();
+        assert_eq!(
+            ctx.effects,
+            &vec![Effect::DmaCopy { page: 7, src: 100, dst: 200, len: 16 }]
+        );
+        assert_eq!(d.read(dma_reg::BUSY, &mut ctx).unwrap(), 1);
+        assert_eq!(ctx.signals.value("dma0.busy"), 1);
+        // Starting again while busy is ignored.
+        d.write(dma_reg::CTRL, 1, &mut ctx).unwrap();
+        assert_eq!(ctx.effects.len(), 1);
+    }
+
+    #[test]
+    fn dma_complete_clears_busy_and_notifies() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut d = Dma::new("dma0", 7);
+        {
+            let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+            d.write(dma_reg::LEN, 4, &mut ctx).unwrap();
+            d.write(dma_reg::CORE, 2, &mut ctx).unwrap();
+            d.write(dma_reg::CTRL, 1, &mut ctx).unwrap();
+        }
+        let irq = d.complete(Time::from_ns(500), &mut sb);
+        assert_eq!(irq, Some((2, 2)));
+        assert_eq!(sb.value("dma0.busy"), 0);
+        assert_eq!(d.completed(), 1);
+    }
+
+    #[test]
+    fn unknown_registers_rejected() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut t = Timer::new("t");
+        assert!(t.read(99, &mut ctx).is_err());
+        let mut mb = Mailbox::new("m", 1);
+        assert!(mb.write(99, 0, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn snapshots_do_not_perturb() {
+        let (mut sb, mut fx) = ctx_parts();
+        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut mb = Mailbox::new("m", 2);
+        mb.write(mailbox_reg::DATA, 5, &mut ctx).unwrap();
+        let snap = mb.snapshot();
+        assert!(snap.contains(&(mailbox_reg::COUNT, 1)));
+        // The word is still there: snapshot did not pop.
+        assert_eq!(mb.read(mailbox_reg::DATA, &mut ctx).unwrap(), 5);
+    }
+}

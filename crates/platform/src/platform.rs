@@ -1,0 +1,1336 @@
+//! The MPSoC platform: cores + memories + interconnect + peripherals under a
+//! deterministic discrete-event simulation loop.
+//!
+//! The platform is *functionally accurate and cycle-approximate*: it executes
+//! real [`Program`]s on the homogeneous ISA and charges realistic latencies
+//! (pipeline base cost, cache hit/miss, interconnect contention, peripheral
+//! round trips), the modelling level Section VII attributes to virtual
+//! platforms that *"execute exactly the same binary software that the real
+//! hardware executes"*.
+//!
+//! Determinism is load-bearing: [`Platform::step`] has no hidden state and
+//! consumes no entropy, so a given configuration and program always yields
+//! the identical interleaving. Stopping between steps and resuming is
+//! invisible to the simulated software — the non-intrusive *"synchronous
+//! system suspension"* the paper contrasts with intrusive JTAG debugging.
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::core::{Core, CoreStatus};
+use crate::error::{Error, Result};
+use crate::interconnect::{Bus, Interconnect, Mesh};
+use crate::isa::{Instr, Program, Reg, Word};
+use crate::mem::{decode, Ram, Region, LOCAL_STRIDE};
+use crate::periph::{Dma, Effect, Mailbox, PeriphCtx, Peripheral, Semaphore, Timer};
+use crate::signal::SignalBoard;
+use crate::time::{Cycles, Frequency, Time};
+
+/// Who performed a memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Originator {
+    /// A processor core.
+    Core(usize),
+    /// A DMA engine, identified by its peripheral page.
+    Dma(usize),
+}
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One observed memory or peripheral access — the raw material for
+/// Section VII's access watchpoints and trace history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Initiator of the access.
+    pub originator: Originator,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Word address.
+    pub addr: u32,
+    /// Value read or written.
+    pub value: Word,
+    /// Completion time of the access.
+    pub at: Time,
+}
+
+/// What a single simulation step did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// A core executed one instruction.
+    Instr {
+        /// The executing core.
+        core: usize,
+        /// Program counter of the executed instruction.
+        pc: u32,
+        /// The instruction.
+        instr: Instr,
+        /// Interrupt taken *instead of* the fetch, if any.
+        irq_taken: Option<u32>,
+    },
+    /// A peripheral's internal event (e.g. timer expiry) ran.
+    PeriphEvent {
+        /// Peripheral page.
+        page: usize,
+    },
+    /// A DMA transfer completed.
+    DmaComplete {
+        /// DMA peripheral page.
+        page: usize,
+    },
+    /// Nothing can run: all cores halted/sleeping and no events pending.
+    Idle,
+}
+
+/// The result of one [`Platform::step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepEvent {
+    /// Completion time of the step.
+    pub at: Time,
+    /// What happened.
+    pub kind: StepKind,
+    /// Memory/peripheral accesses performed during the step.
+    pub accesses: Vec<Access>,
+}
+
+impl StepEvent {
+    /// Whether this event indicates the platform has nothing left to do.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.kind, StepKind::Idle)
+    }
+}
+
+/// Cache geometry for per-core L1s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Words per line (power of two).
+    pub line_words: u32,
+    /// Cycles charged for a hit.
+    pub hit_cycles: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            sets: 64,
+            assoc: 2,
+            line_words: 8,
+            hit_cycles: 1,
+        }
+    }
+}
+
+/// Interconnect topology selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterconnectConfig {
+    /// One shared bus: `latency` end-to-end, `occupancy` serialization per
+    /// transfer.
+    Bus {
+        /// End-to-end latency of an uncontended transfer.
+        latency: Time,
+        /// Bus occupancy per transfer (arbitration bottleneck).
+        occupancy: Time,
+    },
+    /// A `w × h` mesh with XY routing. Cores map to nodes in index order;
+    /// the shared-memory controller sits at the last node.
+    Mesh {
+        /// Mesh width.
+        w: usize,
+        /// Mesh height.
+        h: usize,
+        /// Per-hop latency.
+        hop_latency: Time,
+        /// Per-link occupancy.
+        link_occupancy: Time,
+    },
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig::Bus {
+            latency: Time::from_ns(50),
+            occupancy: Time::from_ns(10),
+        }
+    }
+}
+
+/// Builder for a [`Platform`].
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_platform::platform::PlatformBuilder;
+/// use mpsoc_platform::time::Frequency;
+///
+/// let mut p = PlatformBuilder::new()
+///     .cores(4, Frequency::mhz(200))
+///     .shared_words(4096)
+///     .build()
+///     .unwrap();
+/// assert_eq!(p.num_cores(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlatformBuilder {
+    core_freqs: Vec<Frequency>,
+    shared_words: u32,
+    local_words: u32,
+    cache: Option<CacheConfig>,
+    interconnect: InterconnectConfig,
+    enforce_locality: bool,
+    local_latency_cycles: u64,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        PlatformBuilder {
+            core_freqs: vec![Frequency::default(); 2],
+            shared_words: 64 * 1024,
+            local_words: 16 * 1024,
+            cache: Some(CacheConfig::default()),
+            interconnect: InterconnectConfig::default(),
+            enforce_locality: false,
+            local_latency_cycles: 2,
+        }
+    }
+}
+
+impl PlatformBuilder {
+    /// Starts from the default 2-core, bus-based configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `n` cores, all clocked at `freq`.
+    pub fn cores(mut self, n: usize, freq: Frequency) -> Self {
+        self.core_freqs = vec![freq; n];
+        self
+    }
+
+    /// Sets cores with individual frequencies.
+    pub fn cores_with_freqs(mut self, freqs: Vec<Frequency>) -> Self {
+        self.core_freqs = freqs;
+        self
+    }
+
+    /// Sets the shared RAM size in words.
+    pub fn shared_words(mut self, words: u32) -> Self {
+        self.shared_words = words;
+        self
+    }
+
+    /// Sets each core's local-store size in words.
+    pub fn local_words(mut self, words: u32) -> Self {
+        self.local_words = words;
+        self
+    }
+
+    /// Configures per-core L1 caches (`None` disables caching).
+    pub fn cache(mut self, cfg: Option<CacheConfig>) -> Self {
+        self.cache = cfg;
+        self
+    }
+
+    /// Selects the interconnect topology.
+    pub fn interconnect(mut self, cfg: InterconnectConfig) -> Self {
+        self.interconnect = cfg;
+        self
+    }
+
+    /// Enables Section II's strict locality enforcement: a core touching a
+    /// foreign local store faults instead of paying a remote access.
+    pub fn enforce_locality(mut self, on: bool) -> Self {
+        self.enforce_locality = on;
+        self
+    }
+
+    /// Cycles charged for a local-store access.
+    pub fn local_latency_cycles(mut self, cycles: u64) -> Self {
+        self.local_latency_cycles = cycles;
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for zero cores, oversized local stores, an
+    /// undersized mesh, or zero shared memory.
+    pub fn build(self) -> Result<Platform> {
+        if self.core_freqs.is_empty() {
+            return Err(Error::Config("platform needs at least one core".into()));
+        }
+        if self.shared_words == 0 {
+            return Err(Error::Config("shared memory must be non-empty".into()));
+        }
+        if self.local_words > LOCAL_STRIDE {
+            return Err(Error::Config(format!(
+                "local store of {} words exceeds the {} word window",
+                self.local_words, LOCAL_STRIDE
+            )));
+        }
+        let n = self.core_freqs.len();
+        let interconnect: Box<dyn Interconnect> = match self.interconnect {
+            InterconnectConfig::Bus { latency, occupancy } => Box::new(Bus::new(latency, occupancy)),
+            InterconnectConfig::Mesh {
+                w,
+                h,
+                hop_latency,
+                link_occupancy,
+            } => {
+                if w * h < n + 1 {
+                    return Err(Error::Config(format!(
+                        "{w}x{h} mesh too small for {n} cores + memory controller"
+                    )));
+                }
+                Box::new(Mesh::new(w, h, hop_latency, link_occupancy))
+            }
+        };
+        Ok(Platform {
+            now: Time::ZERO,
+            cores: self
+                .core_freqs
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Core::new(i, f))
+                .collect(),
+            shared: Ram::new(self.shared_words),
+            locals: (0..n).map(|_| Ram::new(self.local_words)).collect(),
+            caches: (0..n)
+                .map(|_| {
+                    self.cache
+                        .map(|c| Cache::new(c.sets, c.assoc, c.line_words))
+                })
+                .collect(),
+            cache_hit_cycles: self.cache.map_or(1, |c| c.hit_cycles),
+            interconnect,
+            periphs: Vec::new(),
+            signals: SignalBoard::new(),
+            pending_dma: Vec::new(),
+            enforce_locality: self.enforce_locality,
+            local_latency_cycles: self.local_latency_cycles,
+            shared_words: self.shared_words,
+            steps: 0,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct PendingDma {
+    finish: Time,
+    page: usize,
+    src: u32,
+    dst: u32,
+    len: u32,
+}
+
+/// A complete simulated MPSoC.
+///
+/// Built by [`PlatformBuilder`]; driven by [`step`](Platform::step) or the
+/// `run_*` helpers; inspected non-intrusively through the accessor methods
+/// (every one of them takes `&self` or is side-effect free on simulated
+/// state).
+#[derive(Debug)]
+pub struct Platform {
+    now: Time,
+    cores: Vec<Core>,
+    shared: Ram,
+    locals: Vec<Ram>,
+    caches: Vec<Option<Cache>>,
+    cache_hit_cycles: u64,
+    interconnect: Box<dyn Interconnect>,
+    periphs: Vec<Box<dyn Peripheral>>,
+    signals: SignalBoard,
+    pending_dma: Vec<PendingDma>,
+    enforce_locality: bool,
+    local_latency_cycles: u64,
+    shared_words: u32,
+    steps: u64,
+}
+
+impl Platform {
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Immutable access to core `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchCore`] if `id` is out of range.
+    pub fn core(&self, id: usize) -> Result<&Core> {
+        self.cores.get(id).ok_or(Error::NoSuchCore(id))
+    }
+
+    /// Mutable access to core `id` (program loading, DVFS, debug halt).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchCore`] if `id` is out of range.
+    pub fn core_mut(&mut self, id: usize) -> Result<&mut Core> {
+        self.cores.get_mut(id).ok_or(Error::NoSuchCore(id))
+    }
+
+    /// Loads `program` onto core `id`, starting at instruction `entry` at
+    /// the current simulation time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchCore`] if `id` is out of range.
+    pub fn load_program(&mut self, id: usize, program: Program, entry: u32) -> Result<()> {
+        let now = self.now;
+        self.core_mut(id)?.load_program(program, entry, now);
+        Ok(())
+    }
+
+    /// The signal board (for debuggers and trace tools).
+    pub fn signals(&self) -> &SignalBoard {
+        &self.signals
+    }
+
+    /// Registers a peripheral; returns its page index (its registers appear
+    /// at [`crate::mem::periph_addr`]`(page, ..)`).
+    pub fn add_peripheral(&mut self, p: Box<dyn Peripheral>) -> usize {
+        self.periphs.push(p);
+        self.periphs.len() - 1
+    }
+
+    /// Adds a [`Timer`] named `name`; returns its page.
+    pub fn add_timer(&mut self, name: &str) -> usize {
+        self.add_peripheral(Box::new(Timer::new(name)))
+    }
+
+    /// Adds a [`Mailbox`] named `name` with `capacity` words; returns its page.
+    pub fn add_mailbox(&mut self, name: &str, capacity: usize) -> usize {
+        self.add_peripheral(Box::new(Mailbox::new(name, capacity)))
+    }
+
+    /// Adds a [`Semaphore`] named `name` with initial `count`; returns its page.
+    pub fn add_semaphore(&mut self, name: &str, count: u64) -> usize {
+        self.add_peripheral(Box::new(Semaphore::new(name, count)))
+    }
+
+    /// Adds a [`Dma`] engine named `name`; returns its page.
+    pub fn add_dma(&mut self, name: &str) -> usize {
+        let page = self.periphs.len();
+        self.add_peripheral(Box::new(Dma::new(name, page)))
+    }
+
+    /// Debugger register dump of peripheral `page` without side effects.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if the page is unoccupied.
+    pub fn peripheral_snapshot(&self, page: usize) -> Result<Vec<(u32, Word)>> {
+        self.periphs
+            .get(page)
+            .map(|p| p.snapshot())
+            .ok_or_else(|| Error::NotFound(format!("peripheral page {page}")))
+    }
+
+    /// The name of peripheral `page`, if occupied.
+    pub fn peripheral_name(&self, page: usize) -> Option<&str> {
+        self.periphs.get(page).map(|p| p.name())
+    }
+
+    /// Reads a word for the debugger, bypassing timing, caches, and
+    /// peripheral side effects (peripheral pages are **not** readable this
+    /// way precisely because reads may perturb them — use
+    /// [`peripheral_snapshot`](Platform::peripheral_snapshot)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] outside RAM windows.
+    pub fn debug_read(&self, addr: u32) -> Result<Word> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => self.shared.read(o),
+            Region::Local { owner, offset } => self.locals[owner].read(offset),
+            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+        }
+    }
+
+    /// Writes a word as the debugger (no timing, no cache effects).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] outside RAM windows.
+    pub fn debug_write(&mut self, addr: u32, value: Word) -> Result<()> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => self.shared.write(o, value),
+            Region::Local { owner, offset } => self.locals[owner].write(offset, value),
+            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+        }
+    }
+
+    /// Bulk-loads words into shared memory (test/DMA fixture helper).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] if the data does not fit.
+    pub fn load_shared(&mut self, addr: u32, data: &[Word]) -> Result<()> {
+        self.shared.load(addr, data)
+    }
+
+    /// Cache statistics of core `id` as `(hits, misses)`, if it has a cache.
+    pub fn cache_stats(&self, id: usize) -> Option<(u64, u64)> {
+        self.caches
+            .get(id)
+            .and_then(|c| c.as_ref())
+            .map(|c| (c.hits(), c.misses()))
+    }
+
+    /// Total interconnect transfers and accumulated contention.
+    pub fn interconnect_stats(&self) -> (u64, Time) {
+        (
+            self.interconnect.transfers(),
+            self.interconnect.total_contention(),
+        )
+    }
+
+    /// Whether every core is halted or faulted and no events are pending.
+    pub fn is_finished(&self) -> bool {
+        self.next_actor().is_none()
+    }
+
+    // -- the scheduler -----------------------------------------------------
+
+    /// Returns the next thing to simulate, if any.
+    fn next_actor(&self) -> Option<(Time, Actor)> {
+        let mut best: Option<(Time, Actor)> = None;
+        let mut consider = |t: Time, a: Actor| {
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, a));
+            }
+        };
+        for c in &self.cores {
+            if c.status() == CoreStatus::Running {
+                consider(c.next_ready(), Actor::Core(c.id()));
+            }
+        }
+        for (page, p) in self.periphs.iter().enumerate() {
+            if let Some(t) = p.next_event() {
+                consider(t, Actor::Periph(page));
+            }
+        }
+        for (i, d) in self.pending_dma.iter().enumerate() {
+            consider(d.finish, Actor::Dma(i));
+        }
+        best
+    }
+
+    /// Advances the simulation by one atomic step (one instruction, one
+    /// peripheral event, or one DMA completion — whichever is earliest).
+    ///
+    /// Returns [`StepKind::Idle`] when nothing can run. Time never goes
+    /// backwards; ties are broken deterministically (cores before
+    /// peripherals before DMA, lower ids first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults ([`Error::UnmappedAddress`],
+    /// [`Error::LocalityViolation`], [`Error::DivideByZero`],
+    /// [`Error::PcOutOfRange`]); the offending core is left in
+    /// [`CoreStatus::Faulted`] and the rest of the platform remains usable.
+    pub fn step(&mut self) -> Result<StepEvent> {
+        self.steps += 1;
+        let Some((t, actor)) = self.next_actor() else {
+            return Ok(StepEvent {
+                at: self.now,
+                kind: StepKind::Idle,
+                accesses: Vec::new(),
+            });
+        };
+        self.now = self.now.max(t);
+        match actor {
+            Actor::Core(id) => self.step_core(id),
+            Actor::Periph(page) => {
+                let mut effects = Vec::new();
+                {
+                    let mut ctx = PeriphCtx {
+                        now: self.now,
+                        signals: &mut self.signals,
+                        effects: &mut effects,
+                    };
+                    self.periphs[page].on_event(&mut ctx);
+                }
+                let accesses = self.run_effects(effects)?;
+                Ok(StepEvent {
+                    at: self.now,
+                    kind: StepKind::PeriphEvent { page },
+                    accesses,
+                })
+            }
+            Actor::Dma(i) => {
+                let d = self.pending_dma.remove(i);
+                let mut accesses = Vec::new();
+                // Perform the functional copy now, emitting the access
+                // trail attributed to the DMA engine.
+                for w in 0..d.len {
+                    let v = self.plain_read(d.src + w)?;
+                    self.plain_write(d.dst + w, v)?;
+                    accesses.push(Access {
+                        originator: Originator::Dma(d.page),
+                        kind: AccessKind::Read,
+                        addr: d.src + w,
+                        value: v,
+                        at: d.finish,
+                    });
+                    accesses.push(Access {
+                        originator: Originator::Dma(d.page),
+                        kind: AccessKind::Write,
+                        addr: d.dst + w,
+                        value: v,
+                        at: d.finish,
+                    });
+                }
+                // Tell the engine it is done; deliver its completion IRQ.
+                let mut irq_req = None;
+                if let Some(dma) = self.periphs.get_mut(d.page) {
+                    irq_req = dma.transfer_done(self.now, &mut self.signals);
+                }
+                if let Some((core, irq)) = irq_req {
+                    if let Some(c) = self.cores.get_mut(core) {
+                        c.post_irq(irq, self.now);
+                    }
+                }
+                Ok(StepEvent {
+                    at: self.now,
+                    kind: StepKind::DmaComplete { page: d.page },
+                    accesses,
+                })
+            }
+        }
+    }
+
+    fn step_core(&mut self, id: usize) -> Result<StepEvent> {
+        // Interrupt delivery happens at fetch boundaries.
+        let irq_taken = self.cores[id].maybe_take_irq();
+        let pc = self.cores[id].pc();
+        let Some(instr) = self.cores[id].program().fetch(pc) else {
+            self.cores[id].set_status(CoreStatus::Faulted);
+            return Err(Error::PcOutOfRange { core: id, pc });
+        };
+
+        let freq = self.cores[id].frequency();
+        let start = self.now;
+        let mut cycles = Cycles(instr.base_cycles());
+        let mut wall_extra = Time::ZERO;
+        let mut accesses = Vec::new();
+        let mut next_pc = pc.wrapping_add(1);
+
+        macro_rules! fault {
+            ($e:expr) => {{
+                self.cores[id].set_status(CoreStatus::Faulted);
+                return Err($e);
+            }};
+        }
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.cores[id].set_status(CoreStatus::Halted);
+            }
+            Instr::Wfi => {
+                self.cores[id].set_status(CoreStatus::Sleeping);
+            }
+            Instr::Rti => {
+                self.cores[id].return_from_irq();
+                next_pc = self.cores[id].pc();
+            }
+            Instr::Movi(d, imm) => self.cores[id].set_reg(d, imm),
+            Instr::Mov(d, s) => {
+                let v = self.cores[id].reg(s);
+                self.cores[id].set_reg(d, v);
+            }
+            Instr::Add(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_add(b)),
+            Instr::Sub(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_sub(b)),
+            Instr::Mul(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_mul(b)),
+            Instr::Div(d, s, t) => {
+                if self.cores[id].reg(t) == 0 {
+                    fault!(Error::DivideByZero { core: id, pc });
+                }
+                self.alu(id, d, s, t, |a, b| a.wrapping_div(b));
+            }
+            Instr::Rem(d, s, t) => {
+                if self.cores[id].reg(t) == 0 {
+                    fault!(Error::DivideByZero { core: id, pc });
+                }
+                self.alu(id, d, s, t, |a, b| a.wrapping_rem(b));
+            }
+            Instr::And(d, s, t) => self.alu(id, d, s, t, |a, b| a & b),
+            Instr::Or(d, s, t) => self.alu(id, d, s, t, |a, b| a | b),
+            Instr::Xor(d, s, t) => self.alu(id, d, s, t, |a, b| a ^ b),
+            Instr::Shl(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_shl(b as u32 & 63)),
+            Instr::Shr(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_shr(b as u32 & 63)),
+            Instr::Slt(d, s, t) => self.alu(id, d, s, t, |a, b| (a < b) as Word),
+            Instr::Seq(d, s, t) => self.alu(id, d, s, t, |a, b| (a == b) as Word),
+            Instr::Addi(d, s, imm) => {
+                let v = self.cores[id].reg(s).wrapping_add(imm);
+                self.cores[id].set_reg(d, v);
+            }
+            Instr::Ld(d, base, off) => {
+                let addr = (self.cores[id].reg(base).wrapping_add(off)) as u32;
+                match self.timed_read(id, addr, start) {
+                    Ok((v, cy, wall)) => {
+                        self.cores[id].set_reg(d, v);
+                        cycles += cy;
+                        wall_extra += wall;
+                        accesses.push(Access {
+                            originator: Originator::Core(id),
+                            kind: AccessKind::Read,
+                            addr,
+                            value: v,
+                            at: start + wall,
+                        });
+                    }
+                    Err(e) => fault!(e),
+                }
+            }
+            Instr::St(val, base, off) => {
+                let addr = (self.cores[id].reg(base).wrapping_add(off)) as u32;
+                let v = self.cores[id].reg(val);
+                match self.timed_write(id, addr, v, start) {
+                    Ok((cy, wall)) => {
+                        cycles += cy;
+                        wall_extra += wall;
+                        accesses.push(Access {
+                            originator: Originator::Core(id),
+                            kind: AccessKind::Write,
+                            addr,
+                            value: v,
+                            at: start + wall,
+                        });
+                    }
+                    Err(e) => fault!(e),
+                }
+            }
+            Instr::Beq(a, b, t) => {
+                if self.cores[id].reg(a) == self.cores[id].reg(b) {
+                    next_pc = t;
+                }
+            }
+            Instr::Bne(a, b, t) => {
+                if self.cores[id].reg(a) != self.cores[id].reg(b) {
+                    next_pc = t;
+                }
+            }
+            Instr::Blt(a, b, t) => {
+                if self.cores[id].reg(a) < self.cores[id].reg(b) {
+                    next_pc = t;
+                }
+            }
+            Instr::Jmp(t) => next_pc = t,
+            Instr::Jal(t) => {
+                self.cores[id].set_reg(Reg::LINK, (pc + 1) as Word);
+                next_pc = t;
+            }
+            Instr::Jr(s) => next_pc = self.cores[id].reg(s) as u32,
+        }
+
+        if !matches!(instr, Instr::Rti) {
+            self.cores[id].set_pc(next_pc);
+        }
+        self.cores[id].retire();
+        let done = start + freq.cycles_to_time(cycles) + wall_extra;
+        self.cores[id].set_next_ready(done);
+
+        Ok(StepEvent {
+            at: done,
+            kind: StepKind::Instr {
+                core: id,
+                pc,
+                instr,
+                irq_taken,
+            },
+            accesses,
+        })
+    }
+
+    fn alu(&mut self, id: usize, d: Reg, s: Reg, t: Reg, f: impl Fn(Word, Word) -> Word) {
+        let v = f(self.cores[id].reg(s), self.cores[id].reg(t));
+        self.cores[id].set_reg(d, v);
+    }
+
+    /// A functional (untimed) read used by DMA; faults like a core access
+    /// but without locality enforcement (DMA is the sanctioned transfer
+    /// mechanism between stores).
+    fn plain_read(&mut self, addr: u32) -> Result<Word> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => self.shared.read(o),
+            Region::Local { owner, offset } => self.locals[owner].read(offset),
+            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+        }
+    }
+
+    fn plain_write(&mut self, addr: u32, v: Word) -> Result<()> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => self.shared.write(o, v),
+            Region::Local { owner, offset } => self.locals[owner].write(offset, v),
+            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+        }
+    }
+
+    /// Timed load: returns `(value, extra_cycles, extra_wall_time)`.
+    fn timed_read(&mut self, core: usize, addr: u32, start: Time) -> Result<(Word, Cycles, Time)> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => {
+                let v = self.shared.read(o)?;
+                let (cy, wall) = self.shared_access_cost(core, addr, start);
+                Ok((v, cy, wall))
+            }
+            Region::Local { owner, offset } => {
+                if owner != core && self.enforce_locality {
+                    return Err(Error::LocalityViolation { core, owner, addr });
+                }
+                let v = self.locals[owner].read(offset)?;
+                if owner == core {
+                    Ok((v, Cycles(self.local_latency_cycles), Time::ZERO))
+                } else {
+                    let done = self.interconnect.transfer(core, owner, start);
+                    Ok((v, Cycles::ZERO, done.saturating_sub(start)))
+                }
+            }
+            Region::Periph { page, offset } => {
+                let mem_node = self.cores.len();
+                let done = self.interconnect.transfer(core, mem_node, start);
+                let mut effects = Vec::new();
+                let v = {
+                    let p = self
+                        .periphs
+                        .get_mut(page)
+                        .ok_or(Error::UnmappedAddress { addr })?;
+                    let mut ctx = PeriphCtx {
+                        now: done,
+                        signals: &mut self.signals,
+                        effects: &mut effects,
+                    };
+                    p.read(offset, &mut ctx)?
+                };
+                self.run_effects(effects)?;
+                Ok((v, Cycles::ZERO, done.saturating_sub(start)))
+            }
+        }
+    }
+
+    /// Timed store: returns `(extra_cycles, extra_wall_time)`.
+    fn timed_write(
+        &mut self,
+        core: usize,
+        addr: u32,
+        v: Word,
+        start: Time,
+    ) -> Result<(Cycles, Time)> {
+        match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => {
+                self.shared.write(o, v)?;
+                Ok(self.shared_access_cost(core, addr, start))
+            }
+            Region::Local { owner, offset } => {
+                if owner != core && self.enforce_locality {
+                    return Err(Error::LocalityViolation { core, owner, addr });
+                }
+                self.locals[owner].write(offset, v)?;
+                if owner == core {
+                    Ok((Cycles(self.local_latency_cycles), Time::ZERO))
+                } else {
+                    let done = self.interconnect.transfer(core, owner, start);
+                    Ok((Cycles::ZERO, done.saturating_sub(start)))
+                }
+            }
+            Region::Periph { page, offset } => {
+                let mem_node = self.cores.len();
+                let done = self.interconnect.transfer(core, mem_node, start);
+                let mut effects = Vec::new();
+                {
+                    let p = self
+                        .periphs
+                        .get_mut(page)
+                        .ok_or(Error::UnmappedAddress { addr })?;
+                    let mut ctx = PeriphCtx {
+                        now: done,
+                        signals: &mut self.signals,
+                        effects: &mut effects,
+                    };
+                    p.write(offset, v, &mut ctx)?;
+                }
+                self.run_effects(effects)?;
+                Ok((Cycles::ZERO, done.saturating_sub(start)))
+            }
+        }
+    }
+
+    /// Cost of a shared-memory access: cache hit cycles, or an interconnect
+    /// round trip on a miss (write-through writes always ride the bus).
+    fn shared_access_cost(&mut self, core: usize, addr: u32, start: Time) -> (Cycles, Time) {
+        let mem_node = self.cores.len();
+        match self.caches[core].as_mut().map(|c| c.access(addr)) {
+            Some(CacheOutcome::Hit) => (Cycles(self.cache_hit_cycles), Time::ZERO),
+            _ => {
+                let done = self.interconnect.transfer(core, mem_node, start);
+                (Cycles::ZERO, done.saturating_sub(start))
+            }
+        }
+    }
+
+    fn run_effects(&mut self, effects: Vec<Effect>) -> Result<Vec<Access>> {
+        let accesses = Vec::new();
+        for e in effects {
+            match e {
+                Effect::RaiseIrq { core, irq } => {
+                    if let Some(c) = self.cores.get_mut(core) {
+                        c.post_irq(irq, self.now);
+                    }
+                }
+                Effect::DmaCopy { page, src, dst, len } => {
+                    // Charge one interconnect transfer per word moved:
+                    // read + write legs, streamed back-to-back.
+                    let mem_node = self.cores.len();
+                    let mut t = self.now;
+                    for _ in 0..len {
+                        t = self.interconnect.transfer(mem_node, mem_node, t);
+                    }
+                    self.pending_dma.push(PendingDma {
+                        finish: t,
+                        page,
+                        src,
+                        dst,
+                        len,
+                    });
+                }
+            }
+        }
+        Ok(accesses)
+    }
+
+    // -- run helpers --------------------------------------------------------
+
+    /// Steps until `deadline` (exclusive), all work completes, or a fault.
+    ///
+    /// Returns the events executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault.
+    pub fn run_until(&mut self, deadline: Time) -> Result<Vec<StepEvent>> {
+        let mut events = Vec::new();
+        loop {
+            match self.next_actor() {
+                Some((t, _)) if t < deadline => {
+                    events.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+        Ok(events)
+    }
+
+    /// Steps until every core has halted (or `max_steps` is exceeded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; returns [`Error::Config`] if `max_steps` is
+    /// exhausted (runaway program guard).
+    pub fn run_to_completion(&mut self, max_steps: u64) -> Result<u64> {
+        for n in 0..max_steps {
+            let ev = self.step()?;
+            if ev.is_idle() {
+                return Ok(n);
+            }
+        }
+        Err(Error::Config(format!(
+            "program did not finish within {max_steps} steps"
+        )))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Actor {
+    Core(usize),
+    Periph(usize),
+    Dma(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble;
+    use crate::mem::{local_addr, periph_addr};
+    use crate::periph::{dma_reg, mailbox_reg, semaphore_reg, timer_reg};
+
+    fn small() -> Platform {
+        PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(1024)
+            .local_words(256)
+            .cache(None)
+            .interconnect(InterconnectConfig::Bus {
+                latency: Time::from_ns(10),
+                occupancy: Time::from_ns(5),
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_arithmetic_program() {
+        let mut p = small();
+        let prog = assemble(
+            "movi r1, 6\n\
+             movi r2, 7\n\
+             mul r3, r1, r2\n\
+             movi r4, 0x40\n\
+             st r3, r4, 0\n\
+             halt",
+        )
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion(100).unwrap();
+        assert_eq!(p.debug_read(0x40).unwrap(), 42);
+        assert_eq!(p.core(0).unwrap().status(), CoreStatus::Halted);
+    }
+
+    #[test]
+    fn countdown_loop_retires_expected_instrs() {
+        let mut p = small();
+        let prog = assemble(
+            "movi r1, 5\n\
+             loop: addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             halt",
+        )
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion(100).unwrap();
+        // 1 movi + 5*(addi+bne) + halt = 12.
+        assert_eq!(p.core(0).unwrap().retired(), 12);
+    }
+
+    #[test]
+    fn two_cores_interleave_deterministically() {
+        let run = || {
+            let mut p = small();
+            let prog = |v: i64| {
+                assemble(&format!(
+                    "movi r1, {v}\nmovi r2, 0x10\nst r1, r2, 0\nhalt"
+                ))
+                .unwrap()
+            };
+            p.load_program(0, prog(1), 0).unwrap();
+            p.load_program(1, prog(2), 0).unwrap();
+            let mut order = Vec::new();
+            loop {
+                let ev = p.step().unwrap();
+                if ev.is_idle() {
+                    break;
+                }
+                if let StepKind::Instr { core, pc, .. } = ev.kind {
+                    order.push((core, pc));
+                }
+            }
+            (order, p.debug_read(0x10).unwrap())
+        };
+        let (o1, v1) = run();
+        let (o2, v2) = run();
+        assert_eq!(o1, o2, "simulation must be deterministic");
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn local_store_is_private_when_enforced() {
+        let mut p = PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(64)
+            .local_words(64)
+            .enforce_locality(true)
+            .cache(None)
+            .build()
+            .unwrap();
+        // Core 1 pokes core 0's local store.
+        let foreign = local_addr(0, 0);
+        let prog = assemble(&format!("movi r1, {foreign}\nld r2, r1, 0\nhalt")).unwrap();
+        p.load_program(1, prog, 0).unwrap();
+        let err = p.run_to_completion(10).unwrap_err();
+        assert!(matches!(err, Error::LocalityViolation { core: 1, owner: 0, .. }));
+        assert_eq!(p.core(1).unwrap().status(), CoreStatus::Faulted);
+    }
+
+    #[test]
+    fn foreign_local_store_reachable_without_enforcement() {
+        let mut p = small(); // enforcement off
+        p.debug_write(local_addr(0, 3), 99).unwrap();
+        let foreign = local_addr(0, 3);
+        let prog = assemble(&format!(
+            "movi r1, {foreign}\nld r2, r1, 0\nmovi r3, 0x20\nst r2, r3, 0\nhalt"
+        ))
+        .unwrap();
+        p.load_program(1, prog, 0).unwrap();
+        p.run_to_completion(20).unwrap();
+        assert_eq!(p.debug_read(0x20).unwrap(), 99);
+    }
+
+    #[test]
+    fn own_local_store_is_fast_path() {
+        let mut p = small();
+        let mine = local_addr(0, 5);
+        let prog = assemble(&format!(
+            "movi r1, {mine}\nmovi r2, 7\nst r2, r1, 0\nld r3, r1, 0\nhalt"
+        ))
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion(10).unwrap();
+        assert_eq!(p.core(0).unwrap().reg(crate::isa::Reg::new(3)), 7);
+        // No interconnect traffic for local accesses.
+        assert_eq!(p.interconnect_stats().0, 0);
+    }
+
+    #[test]
+    fn timer_interrupt_drives_handler() {
+        let mut p = small();
+        let page = p.add_timer("timer0");
+        let t_ctrl = periph_addr(page, timer_reg::CTRL);
+        let t_period = periph_addr(page, timer_reg::PERIOD);
+        // Handler at label `isr`: increments a counter at 0x30, returns.
+        let prog = assemble(&format!(
+            "movi r1, {t_period}\n\
+             movi r2, 500\n\
+             st r2, r1, 0\n\
+             movi r1, {t_ctrl}\n\
+             movi r2, 1\n\
+             st r2, r1, 0\n\
+             spin: wfi\n\
+             jmp spin\n\
+             isr: movi r3, 0x30\n\
+             ld r4, r3, 0\n\
+             addi r4, r4, 1\n\
+             st r4, r3, 0\n\
+             rti"
+        ))
+        .unwrap();
+        let isr = prog.label("isr").unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.core_mut(0).unwrap().set_irq_vector(Some(isr));
+        p.run_until(Time::from_us(3)).unwrap();
+        let ticks = p.debug_read(0x30).unwrap();
+        assert!(ticks >= 4, "expected >=4 timer ticks, got {ticks}");
+    }
+
+    #[test]
+    fn mailbox_passes_messages_between_cores() {
+        let mut p = small();
+        let page = p.add_mailbox("mb0", 8);
+        let data = periph_addr(page, mailbox_reg::DATA);
+        let count = periph_addr(page, mailbox_reg::COUNT);
+        let producer = assemble(&format!(
+            "movi r1, {data}\nmovi r2, 77\nst r2, r1, 0\nhalt"
+        ))
+        .unwrap();
+        let consumer = assemble(&format!(
+            "movi r1, {count}\n\
+             wait: ld r2, r1, 0\n\
+             beq r2, r0, wait\n\
+             movi r3, {data}\n\
+             ld r4, r3, 0\n\
+             movi r5, 0x50\n\
+             st r4, r5, 0\n\
+             halt"
+        ))
+        .unwrap();
+        p.load_program(0, producer, 0).unwrap();
+        p.load_program(1, consumer, 0).unwrap();
+        p.run_to_completion(10_000).unwrap();
+        assert_eq!(p.debug_read(0x50).unwrap(), 77);
+    }
+
+    #[test]
+    fn semaphore_provides_mutual_exclusion() {
+        let mut p = small();
+        let page = p.add_semaphore("lock", 1);
+        let tryacq = periph_addr(page, semaphore_reg::TRYACQ);
+        let release = periph_addr(page, semaphore_reg::RELEASE);
+        // Both cores: acquire, increment shared counter 10 times, release.
+        let prog = format!(
+            "movi r1, {tryacq}\n\
+             acq: ld r2, r1, 0\n\
+             beq r2, r0, acq\n\
+             movi r3, 0x60\n\
+             movi r5, 10\n\
+             body: ld r4, r3, 0\n\
+             addi r4, r4, 1\n\
+             st r4, r3, 0\n\
+             addi r5, r5, -1\n\
+             bne r5, r0, body\n\
+             movi r6, {release}\n\
+             st r0, r6, 0\n\
+             halt"
+        );
+        p.load_program(0, assemble(&prog).unwrap(), 0).unwrap();
+        p.load_program(1, assemble(&prog).unwrap(), 0).unwrap();
+        p.run_to_completion(100_000).unwrap();
+        assert_eq!(p.debug_read(0x60).unwrap(), 20);
+    }
+
+    #[test]
+    fn dma_copies_blocks_and_interrupts() {
+        let mut p = small();
+        let page = p.add_dma("dma0");
+        p.load_shared(100, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let src = periph_addr(page, dma_reg::SRC);
+        let dst = periph_addr(page, dma_reg::DST);
+        let len = periph_addr(page, dma_reg::LEN);
+        let ctrl = periph_addr(page, dma_reg::CTRL);
+        let busy = periph_addr(page, dma_reg::BUSY);
+        let prog = assemble(&format!(
+            "movi r1, {src}\nmovi r2, 100\nst r2, r1, 0\n\
+             movi r1, {dst}\nmovi r2, 200\nst r2, r1, 0\n\
+             movi r1, {len}\nmovi r2, 8\nst r2, r1, 0\n\
+             movi r1, {ctrl}\nmovi r2, 1\nst r2, r1, 0\n\
+             movi r1, {busy}\n\
+             wait: ld r2, r1, 0\n\
+             bne r2, r0, wait\n\
+             halt"
+        ))
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion(10_000).unwrap();
+        for i in 0..8 {
+            assert_eq!(p.debug_read(200 + i).unwrap(), (i + 1) as Word);
+        }
+    }
+
+    #[test]
+    fn cache_reduces_shared_latency() {
+        let prog_src = "movi r1, 0x10\n\
+             movi r5, 100\n\
+             loop: ld r2, r1, 0\n\
+             addi r5, r5, -1\n\
+             bne r5, r0, loop\n\
+             halt";
+        let run = |cache: Option<CacheConfig>| {
+            let mut p = PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(1024)
+                .cache(cache)
+                .build()
+                .unwrap();
+            p.load_program(0, assemble(prog_src).unwrap(), 0).unwrap();
+            p.run_to_completion(10_000).unwrap();
+            p.now()
+        };
+        let with_cache = run(Some(CacheConfig::default()));
+        let without = run(None);
+        assert!(
+            with_cache < without,
+            "cached run ({with_cache}) should beat uncached ({without})"
+        );
+    }
+
+    #[test]
+    fn dvfs_boost_speeds_up_sequential_code() {
+        let prog_src = "movi r5, 200\nloop: addi r5, r5, -1\nbne r5, r0, loop\nhalt";
+        let run = |f: Frequency| {
+            let mut p = PlatformBuilder::new()
+                .cores(1, f)
+                .shared_words(64)
+                .cache(None)
+                .build()
+                .unwrap();
+            p.load_program(0, assemble(prog_src).unwrap(), 0).unwrap();
+            p.run_to_completion(10_000).unwrap();
+            p.now()
+        };
+        let slow = run(Frequency::mhz(100));
+        let fast = run(Frequency::mhz(400));
+        // 4x clock -> ~4x faster on compute-bound code.
+        let ratio = slow.as_ps() as f64 / fast.as_ps() as f64;
+        assert!((3.5..=4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let mut p = small();
+        let prog = assemble("movi r1, 4\nmovi r2, 0\ndiv r3, r1, r2\nhalt").unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        let err = p.run_to_completion(10).unwrap_err();
+        assert!(matches!(err, Error::DivideByZero { core: 0, pc: 2 }));
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut p = small();
+        let prog = assemble("movi r1, 0x7fffffff\nld r2, r1, 0\nhalt").unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        assert!(p.run_to_completion(10).is_err());
+    }
+
+    #[test]
+    fn idle_platform_reports_idle() {
+        let mut p = small();
+        let ev = p.step().unwrap();
+        assert!(ev.is_idle());
+        assert!(p.is_finished());
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(PlatformBuilder::new().cores(0, Frequency::mhz(1)).build().is_err());
+        assert!(PlatformBuilder::new().shared_words(0).build().is_err());
+        assert!(PlatformBuilder::new()
+            .cores(8, Frequency::mhz(100))
+            .interconnect(InterconnectConfig::Mesh {
+                w: 2,
+                h: 2,
+                hop_latency: Time::from_ns(1),
+                link_occupancy: Time::from_ns(1),
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn debug_read_cannot_touch_peripherals() {
+        let mut p = small();
+        let page = p.add_mailbox("mb", 2);
+        assert!(p.debug_read(periph_addr(page, 0)).is_err());
+        assert!(p.peripheral_snapshot(page).is_ok());
+        assert_eq!(p.peripheral_name(page), Some("mb"));
+    }
+
+    #[test]
+    fn accesses_are_reported_per_step() {
+        let mut p = small();
+        let prog = assemble("movi r1, 0x11\nmovi r2, 5\nst r2, r1, 0\nhalt").unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        let mut writes = Vec::new();
+        loop {
+            let ev = p.step().unwrap();
+            if ev.is_idle() {
+                break;
+            }
+            writes.extend(ev.accesses.iter().copied());
+        }
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].addr, 0x11);
+        assert_eq!(writes[0].value, 5);
+        assert_eq!(writes[0].kind, AccessKind::Write);
+        assert_eq!(writes[0].originator, Originator::Core(0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Named hardware signals with full change history.
+//!
+//! Section VII stresses that a virtual platform exposes *"not only memory
+//! mapped registers … but all peripheral registers and even signals. A
+//! watchpoint can be set on a signal, such as the interrupt line of a
+//! peripheral."* The platform models observable wires (interrupt lines, DMA
+//! busy flags, …) as named [`Signal`]s collected in a [`SignalBoard`]; every
+//! change is timestamped so debuggers and trace tools can reconstruct
+//! complete waveforms.
+
+use std::collections::BTreeMap;
+
+use crate::isa::Word;
+use crate::time::Time;
+
+/// One timestamped change of a signal's value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SignalChange {
+    /// Instant of the change.
+    pub at: Time,
+    /// The new value.
+    pub value: Word,
+}
+
+/// A single named wire.
+#[derive(Clone, Debug, Default)]
+pub struct Signal {
+    value: Word,
+    history: Vec<SignalChange>,
+}
+
+impl Signal {
+    /// Current value (0 before any drive).
+    pub fn value(&self) -> Word {
+        self.value
+    }
+
+    /// Every change ever driven, in time order.
+    pub fn history(&self) -> &[SignalChange] {
+        &self.history
+    }
+
+    fn drive(&mut self, at: Time, value: Word) -> bool {
+        if self.value == value {
+            return false;
+        }
+        self.value = value;
+        self.history.push(SignalChange { at, value });
+        true
+    }
+}
+
+/// The set of all named signals of a platform.
+///
+/// Names are hierarchical by convention, e.g. `"irq.core0"`,
+/// `"dma0.busy"`, `"timer0.tick"`. Driving an unknown name creates it, so
+/// peripherals need no registration step.
+#[derive(Clone, Debug, Default)]
+pub struct SignalBoard {
+    signals: BTreeMap<String, Signal>,
+}
+
+impl SignalBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drives `name` to `value` at time `at`.
+    ///
+    /// Returns `true` if the value actually changed (edges, not levels,
+    /// populate the history).
+    pub fn drive(&mut self, name: &str, at: Time, value: Word) -> bool {
+        self.signals
+            .entry(name.to_string())
+            .or_default()
+            .drive(at, value)
+    }
+
+    /// Current value of `name` (0 if the signal was never driven).
+    pub fn value(&self, name: &str) -> Word {
+        self.signals.get(name).map_or(0, Signal::value)
+    }
+
+    /// The signal object, if it exists.
+    pub fn get(&self, name: &str) -> Option<&Signal> {
+        self.signals.get(name)
+    }
+
+    /// Iterates over `(name, signal)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Signal)> {
+        self.signals.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Names of all known signals, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.signals.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undriven_signal_reads_zero() {
+        let b = SignalBoard::new();
+        assert_eq!(b.value("irq.core0"), 0);
+        assert!(b.get("irq.core0").is_none());
+    }
+
+    #[test]
+    fn drive_records_edges_only() {
+        let mut b = SignalBoard::new();
+        assert!(b.drive("x", Time::from_ns(1), 1));
+        assert!(!b.drive("x", Time::from_ns(2), 1)); // level, not edge
+        assert!(b.drive("x", Time::from_ns(3), 0));
+        let h = b.get("x").unwrap().history();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], SignalChange { at: Time::from_ns(1), value: 1 });
+        assert_eq!(h[1], SignalChange { at: Time::from_ns(3), value: 0 });
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut b = SignalBoard::new();
+        b.drive("zeta", Time::ZERO, 1);
+        b.drive("alpha", Time::ZERO, 1);
+        assert_eq!(b.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn iter_exposes_all() {
+        let mut b = SignalBoard::new();
+        b.drive("a", Time::ZERO, 5);
+        let collected: Vec<_> = b.iter().map(|(n, s)| (n.to_string(), s.value())).collect();
+        assert_eq!(collected, vec![("a".to_string(), 5)]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared-data access analysis — the recoder's inspection step.
+//!
+//! Section VI's walkthrough has the designer *"analyze shared data
+//! accesses"* before splitting vectors and inserting channels. This module
+//! produces that report: for each array of a function, which top-level
+//! statements read it and which write it, whether the accesses partition
+//! into disjoint index ranges (safe to split), and which statement pairs
+//! would need a synchronisation channel if separated onto different
+//! processors.
+
+use mpsoc_minic::analysis::{accesses, MemRef};
+use mpsoc_minic::{Function, Unit};
+
+use crate::error::{Error, Result};
+
+/// How one statement touches one array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayUse {
+    /// Top-level statement index.
+    pub stmt: usize,
+    /// Reads the array.
+    pub reads: bool,
+    /// Writes the array.
+    pub writes: bool,
+    /// The index range `[lo, hi)` if the analysis could bound it.
+    pub range: Option<(i64, i64)>,
+}
+
+/// The report for one array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedArray {
+    /// Array name.
+    pub name: String,
+    /// Every top-level statement touching it.
+    pub uses: Vec<ArrayUse>,
+    /// Whether all *write* ranges are bounded and pairwise disjoint — the
+    /// precondition for vector splitting.
+    pub splittable: bool,
+    /// Producer→consumer statement pairs that need a channel if the two
+    /// statements are mapped to different processors.
+    pub channel_sites: Vec<(usize, usize)>,
+}
+
+/// Analyses the shared-array usage of `func`.
+///
+/// # Errors
+///
+/// [`Error::NotFound`] if the function does not exist.
+pub fn shared_arrays(unit: &Unit, func: &str) -> Result<Vec<SharedArray>> {
+    let f: &Function = unit
+        .function(func)
+        .ok_or_else(|| Error::NotFound(func.to_string()))?;
+    let sets: Vec<_> = f.body.iter().map(accesses).collect();
+    // Collect array names in deterministic order.
+    let mut names: Vec<String> = Vec::new();
+    for set in &sets {
+        for r in set.all() {
+            if let MemRef::Array(n, _) | MemRef::ArrayRange(n, _, _) = r {
+                if !names.contains(n) {
+                    names.push(n.clone());
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for name in names {
+        let mut uses = Vec::new();
+        for (i, set) in sets.iter().enumerate() {
+            let touch = |refs: &std::collections::BTreeSet<MemRef>| -> (bool, Option<(i64, i64)>, bool) {
+                let mut any = false;
+                let mut bounded = true;
+                let mut range: Option<(i64, i64)> = None;
+                for r in refs {
+                    match r {
+                        MemRef::Array(n, idx) if *n == name => {
+                            any = true;
+                            match idx {
+                                Some(k) => {
+                                    range = Some(match range {
+                                        Some((lo, hi)) => (lo.min(*k), hi.max(k + 1)),
+                                        None => (*k, k + 1),
+                                    })
+                                }
+                                None => bounded = false,
+                            }
+                        }
+                        MemRef::ArrayRange(n, lo, hi) if *n == name => {
+                            any = true;
+                            range = Some(match range {
+                                Some((l, h)) => (l.min(*lo), h.max(*hi)),
+                                None => (*lo, *hi),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                (any, if bounded { range } else { None }, bounded)
+            };
+            let (r_any, r_range, r_bounded) = touch(&set.reads);
+            let (w_any, w_range, w_bounded) = touch(&set.writes);
+            if r_any || w_any {
+                let range = match (r_bounded && w_bounded, r_range, w_range) {
+                    (false, _, _) => None,
+                    (true, Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                    (true, Some(r), None) | (true, None, Some(r)) => Some(r),
+                    (true, None, None) => None,
+                };
+                uses.push(ArrayUse {
+                    stmt: i,
+                    reads: r_any,
+                    writes: w_any,
+                    range,
+                });
+            }
+        }
+        // Splittable: every writer has a bounded range and writer ranges
+        // are pairwise disjoint.
+        let writers: Vec<&ArrayUse> = uses.iter().filter(|u| u.writes).collect();
+        let splittable = !writers.is_empty()
+            && writers.iter().all(|u| u.range.is_some())
+            && writers.iter().enumerate().all(|(i, a)| {
+                writers.iter().skip(i + 1).all(|b| {
+                    let (alo, ahi) = a.range.expect("checked");
+                    let (blo, bhi) = b.range.expect("checked");
+                    ahi <= blo || bhi <= alo
+                })
+            });
+        // Channel sites: writer before reader with overlapping (or
+        // unbounded) ranges.
+        let mut channel_sites = Vec::new();
+        for w in uses.iter().filter(|u| u.writes) {
+            for r in uses.iter().filter(|u| u.reads && u.stmt > w.stmt) {
+                let overlap = match (w.range, r.range) {
+                    (Some((alo, ahi)), Some((blo, bhi))) => alo < bhi && blo < ahi,
+                    _ => true,
+                };
+                if overlap {
+                    channel_sites.push((w.stmt, r.stmt));
+                }
+            }
+        }
+        out.push(SharedArray {
+            name,
+            uses,
+            splittable,
+            channel_sites,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_minic::parse;
+
+    #[test]
+    fn report_identifies_producer_consumer() {
+        let u = parse(
+            "void f(int n, int out[]) {\n\
+             int tmp[32];\n\
+             for (i = 0; i < 32; i = i + 1) { tmp[i] = i; }\n\
+             for (i = 0; i < 32; i = i + 1) { out[i] = tmp[i]; }\n\
+             }",
+        )
+        .unwrap();
+        let report = shared_arrays(&u, "f").unwrap();
+        let tmp = report.iter().find(|a| a.name == "tmp").unwrap();
+        assert_eq!(tmp.uses.len(), 2);
+        assert_eq!(tmp.channel_sites, vec![(1, 2)]);
+        // One writer with a full range: trivially "splittable" set of one.
+        assert!(tmp.splittable);
+    }
+
+    #[test]
+    fn disjoint_halves_are_splittable() {
+        let u = parse(
+            "void f(int n, int a[]) {\n\
+             int tmp[32];\n\
+             for (i = 0; i < 16; i = i + 1) { tmp[i] = i; }\n\
+             for (i = 16; i < 32; i = i + 1) { tmp[i] = i * 2; }\n\
+             }",
+        )
+        .unwrap();
+        let report = shared_arrays(&u, "f").unwrap();
+        let tmp = report.iter().find(|a| a.name == "tmp").unwrap();
+        assert!(tmp.splittable);
+        assert_eq!(tmp.uses[0].range, Some((0, 16)));
+        assert_eq!(tmp.uses[1].range, Some((16, 32)));
+        assert!(tmp.channel_sites.is_empty());
+    }
+
+    #[test]
+    fn overlapping_writes_not_splittable() {
+        let u = parse(
+            "void f(int n, int a[]) {\n\
+             int tmp[32];\n\
+             for (i = 0; i < 20; i = i + 1) { tmp[i] = i; }\n\
+             for (i = 10; i < 32; i = i + 1) { tmp[i] = i; }\n\
+             }",
+        )
+        .unwrap();
+        let report = shared_arrays(&u, "f").unwrap();
+        let tmp = report.iter().find(|a| a.name == "tmp").unwrap();
+        assert!(!tmp.splittable);
+    }
+
+    #[test]
+    fn symbolic_subscripts_are_unbounded() {
+        let u = parse("void f(int n, int a[], int j) { a[j] = 1; int x = a[0]; }").unwrap();
+        let report = shared_arrays(&u, "f").unwrap();
+        let a = report.iter().find(|r| r.name == "a").unwrap();
+        assert_eq!(a.uses[0].range, None);
+        assert!(!a.splittable);
+        assert_eq!(a.channel_sites, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn missing_function_reported() {
+        let u = parse("void f(void) { return; }").unwrap();
+        assert!(shared_arrays(&u, "nope").is_err());
+    }
+}

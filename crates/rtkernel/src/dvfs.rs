@@ -1,0 +1,192 @@
+//! Fine-grained per-core frequency governance under a power budget.
+//!
+//! Section II.A: *"the frequency at which each core executes shall be
+//! modifiable at a fine-grain level during program execution and according
+//! to the needs of the executing application(s)"*. The [`Governor`] models a
+//! chip with a shared power budget where dynamic power grows cubically with
+//! frequency; it grants boost requests (e.g. for a sequential bottleneck
+//! phase) only while the budget holds, and reclaims the power when the
+//! phase ends.
+
+use crate::error::{Error, Result};
+
+/// Relative frequency of a core (1.0 = nominal).
+pub type FreqFactor = f64;
+
+/// The exponent of the power/frequency relation (`P ∝ f^α`); 3.0 for
+/// classical dynamic power.
+pub const POWER_EXPONENT: f64 = 3.0;
+
+/// A per-chip DVFS governor.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    freqs: Vec<FreqFactor>,
+    budget: f64,
+    max_boost: FreqFactor,
+}
+
+impl Governor {
+    /// Creates a governor for `cores` cores at nominal frequency.
+    ///
+    /// `budget` is the total power envelope in units of one nominal core
+    /// (so a chip that can run all cores at nominal needs `budget >=
+    /// cores`). `max_boost` caps any single core's factor.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the budget cannot sustain all cores at nominal
+    /// frequency or `max_boost < 1`.
+    pub fn new(cores: usize, budget: f64, max_boost: FreqFactor) -> Result<Self> {
+        if budget < cores as f64 {
+            return Err(Error::Config(format!(
+                "budget {budget} cannot sustain {cores} nominal cores"
+            )));
+        }
+        if max_boost < 1.0 {
+            return Err(Error::Config("max_boost must be >= 1".into()));
+        }
+        Ok(Governor {
+            freqs: vec![1.0; cores],
+            budget,
+            max_boost,
+        })
+    }
+
+    /// Current frequency factor of `core`.
+    pub fn frequency(&self, core: usize) -> FreqFactor {
+        self.freqs.get(core).copied().unwrap_or(1.0)
+    }
+
+    /// Current total power draw.
+    pub fn power(&self) -> f64 {
+        self.freqs.iter().map(|f| f.powf(POWER_EXPONENT)).sum()
+    }
+
+    /// Remaining power headroom.
+    pub fn headroom(&self) -> f64 {
+        self.budget - self.power()
+    }
+
+    /// Requests that `core` run at `factor`; grants the largest feasible
+    /// factor `<= factor` given the budget and cap, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown core; [`Error::Config`] for a
+    /// factor below 0.1 (a stopped core is not a DVFS state).
+    pub fn request(&mut self, core: usize, factor: FreqFactor) -> Result<FreqFactor> {
+        if core >= self.freqs.len() {
+            return Err(Error::NotFound(format!("core {core}")));
+        }
+        if factor < 0.1 {
+            return Err(Error::Config("frequency factor below 0.1".into()));
+        }
+        let want = factor.min(self.max_boost);
+        let others: f64 = self
+            .freqs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != core)
+            .map(|(_, f)| f.powf(POWER_EXPONENT))
+            .sum();
+        let available = (self.budget - others).max(0.0);
+        let granted = want.min(available.powf(1.0 / POWER_EXPONENT));
+        self.freqs[core] = granted;
+        Ok(granted)
+    }
+
+    /// Returns `core` to nominal frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown core.
+    pub fn release(&mut self, core: usize) -> Result<()> {
+        if core >= self.freqs.len() {
+            return Err(Error::NotFound(format!("core {core}")));
+        }
+        self.freqs[core] = 1.0;
+        Ok(())
+    }
+
+    /// Boosts `core` for a sequential phase by first *down-clocking* the
+    /// listed idle cores to `idle_factor`, then granting the freed power.
+    /// Returns the granted factor.
+    ///
+    /// This is the paper's whole-program strategy: space-shared cores idle
+    /// while the serial bottleneck runs, so their power feeds the boost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`request`](Governor::request) errors.
+    pub fn boost_sequential(
+        &mut self,
+        core: usize,
+        idle_cores: &[usize],
+        idle_factor: FreqFactor,
+    ) -> Result<FreqFactor> {
+        for &c in idle_cores {
+            if c != core && c < self.freqs.len() {
+                self.freqs[c] = idle_factor.max(0.1);
+            }
+        }
+        self.request(core, self.max_boost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_chip_fits_budget() {
+        let g = Governor::new(8, 8.0, 2.0).unwrap();
+        assert!((g.power() - 8.0).abs() < 1e-9);
+        assert!(g.headroom().abs() < 1e-9);
+    }
+
+    #[test]
+    fn boost_limited_by_budget() {
+        let mut g = Governor::new(4, 4.0, 3.0).unwrap();
+        // No headroom: request grants exactly 1.0.
+        let got = g.request(0, 2.0).unwrap();
+        assert!((got - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_enables_boost() {
+        let mut g = Governor::new(4, 11.0, 2.0).unwrap();
+        // Others draw 3.0; available = 8.0 -> cube root = 2.0.
+        let got = g.request(0, 2.0).unwrap();
+        assert!((got - 2.0).abs() < 1e-9);
+        assert!(g.power() <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn sequential_boost_steals_idle_power() {
+        let mut g = Governor::new(16, 16.0, 2.0).unwrap();
+        let idle: Vec<usize> = (1..16).collect();
+        let got = g.boost_sequential(0, &idle, 0.5).unwrap();
+        assert!(got > 1.5, "granted only {got}");
+        assert!(g.power() <= 16.0 + 1e-9);
+        // Release restores nominal.
+        g.release(0).unwrap();
+        assert!((g.frequency(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let mut g = Governor::new(2, 100.0, 1.5).unwrap();
+        let got = g.request(0, 4.0).unwrap();
+        assert!((got - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Governor::new(4, 2.0, 2.0).is_err());
+        assert!(Governor::new(4, 4.0, 0.5).is_err());
+        let mut g = Governor::new(2, 4.0, 2.0).unwrap();
+        assert!(g.request(9, 1.0).is_err());
+        assert!(g.request(0, 0.01).is_err());
+        assert!(g.release(9).is_err());
+    }
+}

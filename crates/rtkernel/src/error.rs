@@ -1,0 +1,58 @@
+//! Kernel-model error type.
+
+use std::fmt;
+
+/// Errors raised by the real-time kernel models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A workload or platform parameter was invalid.
+    Config(String),
+    /// Admission control rejected a task set.
+    AdmissionRejected {
+        /// The task that could not be admitted.
+        task: String,
+        /// Why.
+        reason: String,
+    },
+    /// A memory-locality rule was violated.
+    Locality {
+        /// The core performing the access.
+        core: usize,
+        /// The owning core of the touched region.
+        owner: usize,
+    },
+    /// A named entity was not found.
+    NotFound(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::AdmissionRejected { task, reason } => {
+                write!(f, "task `{task}` rejected by admission control: {reason}")
+            }
+            Error::Locality { core, owner } => {
+                write!(f, "core {core} accessed memory owned by core {owner}")
+            }
+            Error::NotFound(n) => write!(f, "`{n}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::Locality { core: 1, owner: 0 };
+        assert!(e.to_string().starts_with("core 1"));
+    }
+}

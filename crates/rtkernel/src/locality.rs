@@ -1,0 +1,273 @@
+//! Strict-locality memory management.
+//!
+//! Section II.B: *"a key characteristic shall be the strict enforcement of
+//! locality, at least for on-chip memory"*, yielding *"protection of each
+//! core's resource integrity"* and *"de-coupling of execution on each core
+//! and enforcing a messaging based programming model, at least on the OS
+//! level"*.
+//!
+//! The [`MemoryManager`] gives every core a private arena. A core may only
+//! touch regions it owns; sharing happens by *transferring ownership* (the
+//! message-passing discipline), never by concurrent access. Violations are
+//! either hard errors (enforcing mode) or counted (permissive mode, the
+//! conventional-SMP baseline used in experiments).
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+
+/// A handle to an allocated memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u64);
+
+impl RegionId {
+    /// The raw handle value, for embedding into messages.
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`into_raw`](RegionId::into_raw). A stale or
+    /// fabricated handle simply fails lookups; no unsafety is involved.
+    pub fn from_raw(raw: u64) -> Self {
+        RegionId(raw)
+    }
+}
+
+/// Metadata of one region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Owning core.
+    pub owner: usize,
+    /// Size in words.
+    pub words: u32,
+    /// Ownership transfers so far.
+    pub transfers: u32,
+}
+
+/// Per-core arenas with ownership-transfer semantics.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    cores: usize,
+    capacity_per_core: u32,
+    used: Vec<u32>,
+    regions: HashMap<RegionId, Region>,
+    next_id: u64,
+    enforcing: bool,
+    violations: u64,
+    remote_accesses: u64,
+    local_accesses: u64,
+}
+
+impl MemoryManager {
+    /// Creates a manager for `cores` cores with `capacity_per_core` words
+    /// each. `enforcing` selects hard faults vs. counted violations.
+    pub fn new(cores: usize, capacity_per_core: u32, enforcing: bool) -> Self {
+        MemoryManager {
+            cores,
+            capacity_per_core,
+            used: vec![0; cores],
+            regions: HashMap::new(),
+            next_id: 0,
+            enforcing,
+            violations: 0,
+            remote_accesses: 0,
+            local_accesses: 0,
+        }
+    }
+
+    /// Allocates `words` in `core`'s arena.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for a bad core id; [`Error::Config`] when the
+    /// arena is exhausted (locality means no transparent spilling to
+    /// remote memory).
+    pub fn alloc(&mut self, core: usize, words: u32) -> Result<RegionId> {
+        if core >= self.cores {
+            return Err(Error::NotFound(format!("core {core}")));
+        }
+        if self.used[core] + words > self.capacity_per_core {
+            return Err(Error::Config(format!(
+                "core {core} arena exhausted ({} + {words} > {})",
+                self.used[core], self.capacity_per_core
+            )));
+        }
+        self.used[core] += words;
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.insert(
+            id,
+            Region {
+                owner: core,
+                words,
+                transfers: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Records an access by `core` to `region`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Locality`] if `core` is not the owner and the manager is
+    /// enforcing; [`Error::NotFound`] for unknown regions.
+    pub fn access(&mut self, core: usize, region: RegionId) -> Result<()> {
+        let r = self
+            .regions
+            .get(&region)
+            .ok_or_else(|| Error::NotFound(format!("region {region:?}")))?;
+        if r.owner == core {
+            self.local_accesses += 1;
+            Ok(())
+        } else {
+            self.remote_accesses += 1;
+            if self.enforcing {
+                self.violations += 1;
+                Err(Error::Locality {
+                    core,
+                    owner: r.owner,
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// Transfers ownership of `region` to `to` — the messaging-based
+    /// sharing discipline. The words move between arenas.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for unknown regions/cores, [`Error::Config`] if
+    /// the destination arena cannot hold the region.
+    pub fn transfer(&mut self, region: RegionId, to: usize) -> Result<()> {
+        if to >= self.cores {
+            return Err(Error::NotFound(format!("core {to}")));
+        }
+        let r = self
+            .regions
+            .get(&region)
+            .ok_or_else(|| Error::NotFound(format!("region {region:?}")))?
+            .clone();
+        if r.owner == to {
+            return Ok(());
+        }
+        if self.used[to] + r.words > self.capacity_per_core {
+            return Err(Error::Config(format!(
+                "core {to} arena cannot hold transferred region of {} words",
+                r.words
+            )));
+        }
+        self.used[r.owner] -= r.words;
+        self.used[to] += r.words;
+        let r = self.regions.get_mut(&region).expect("region exists");
+        r.owner = to;
+        r.transfers += 1;
+        Ok(())
+    }
+
+    /// Frees a region.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for unknown regions.
+    pub fn free(&mut self, region: RegionId) -> Result<()> {
+        let r = self
+            .regions
+            .remove(&region)
+            .ok_or_else(|| Error::NotFound(format!("region {region:?}")))?;
+        self.used[r.owner] -= r.words;
+        Ok(())
+    }
+
+    /// Region metadata.
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(&id)
+    }
+
+    /// Words currently allocated in `core`'s arena.
+    pub fn used(&self, core: usize) -> u32 {
+        self.used.get(core).copied().unwrap_or(0)
+    }
+
+    /// Locality violations observed (enforcing mode).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// `(local, remote)` access counts.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.local_accesses, self.remote_accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_access_allowed_remote_faults() {
+        let mut mm = MemoryManager::new(2, 128, true);
+        let r = mm.alloc(0, 32).unwrap();
+        assert!(mm.access(0, r).is_ok());
+        let e = mm.access(1, r).unwrap_err();
+        assert!(matches!(e, Error::Locality { core: 1, owner: 0 }));
+        assert_eq!(mm.violations(), 1);
+    }
+
+    #[test]
+    fn permissive_mode_counts_but_allows() {
+        let mut mm = MemoryManager::new(2, 128, false);
+        let r = mm.alloc(0, 32).unwrap();
+        assert!(mm.access(1, r).is_ok());
+        assert_eq!(mm.access_counts(), (0, 1));
+        assert_eq!(mm.violations(), 0);
+    }
+
+    #[test]
+    fn transfer_moves_ownership_and_budget() {
+        let mut mm = MemoryManager::new(2, 64, true);
+        let r = mm.alloc(0, 40).unwrap();
+        assert_eq!(mm.used(0), 40);
+        mm.transfer(r, 1).unwrap();
+        assert_eq!(mm.used(0), 0);
+        assert_eq!(mm.used(1), 40);
+        assert!(mm.access(1, r).is_ok());
+        assert!(mm.access(0, r).is_err());
+        assert_eq!(mm.region(r).unwrap().transfers, 1);
+    }
+
+    #[test]
+    fn arena_exhaustion_rejected() {
+        let mut mm = MemoryManager::new(1, 16, true);
+        mm.alloc(0, 10).unwrap();
+        assert!(mm.alloc(0, 10).is_err());
+    }
+
+    #[test]
+    fn transfer_respects_destination_capacity() {
+        let mut mm = MemoryManager::new(2, 16, true);
+        let big = mm.alloc(0, 12).unwrap();
+        mm.alloc(1, 8).unwrap();
+        assert!(mm.transfer(big, 1).is_err());
+    }
+
+    #[test]
+    fn free_returns_budget() {
+        let mut mm = MemoryManager::new(1, 16, true);
+        let r = mm.alloc(0, 16).unwrap();
+        mm.free(r).unwrap();
+        assert_eq!(mm.used(0), 0);
+        assert!(mm.alloc(0, 16).is_ok());
+        assert!(mm.access(0, r).is_err()); // dangling handle
+    }
+
+    #[test]
+    fn transfer_to_self_is_noop() {
+        let mut mm = MemoryManager::new(1, 16, true);
+        let r = mm.alloc(0, 4).unwrap();
+        mm.transfer(r, 0).unwrap();
+        assert_eq!(mm.region(r).unwrap().transfers, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Asynchronous message-passing runtime of internally sequential actors.
+//!
+//! Section II.C concludes that new applications should be partitioned
+//! *"into parallel, individually sequential, de-coupled threads of
+//! execution, communicating using asynchronous messages"*, and Section II.D
+//! summarises the target architecture as *"a flat, de-coupled software
+//! architecture made up of asynchronously communicating, internally
+//! sequential components"*. This module is that programming model:
+//!
+//! * An [`Actor`] owns its state, handles one message at a time
+//!   (run-to-completion — no locks, no shared memory), and may send
+//!   messages to other actors through its [`Ctx`].
+//! * The [`System`] delivers messages in deterministic FIFO order and runs
+//!   until quiescence or a step budget.
+
+use std::collections::VecDeque;
+
+use crate::error::{Error, Result};
+
+/// The identity of an actor within a [`System`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// A message: an opaque tag plus a payload of words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Application-defined message tag.
+    pub tag: u32,
+    /// Payload words.
+    pub data: Vec<i64>,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(tag: u32, data: Vec<i64>) -> Self {
+        Message { tag, data }
+    }
+}
+
+/// The capabilities available to an actor while handling a message:
+/// sending messages and stopping itself.
+#[derive(Debug)]
+pub struct Ctx {
+    self_id: ActorId,
+    outbox: Vec<(ActorId, Message)>,
+    stop: bool,
+}
+
+impl Ctx {
+    /// The handling actor's own id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `dest` asynchronously (delivered after this handler
+    /// returns — run-to-completion semantics).
+    pub fn send(&mut self, dest: ActorId, msg: Message) {
+        self.outbox.push((dest, msg));
+    }
+
+    /// Marks this actor as finished; it will receive no further messages.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// An internally sequential component.
+pub trait Actor {
+    /// Handles one message. The runtime guarantees no concurrent
+    /// invocations for the same actor, so `&mut self` needs no locking.
+    fn on_message(&mut self, msg: Message, ctx: &mut Ctx);
+}
+
+impl<F: FnMut(Message, &mut Ctx)> Actor for F {
+    fn on_message(&mut self, msg: Message, ctx: &mut Ctx) {
+        self(msg, ctx)
+    }
+}
+
+/// Runtime statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages sent to stopped or unknown actors (dropped).
+    pub dropped: u64,
+    /// Largest queue depth observed.
+    pub max_queue: usize,
+}
+
+/// A deterministic actor system.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_rtkernel::msg::{System, Message};
+///
+/// let mut sys = System::new();
+/// let sink = sys.spawn(|msg: Message, ctx: &mut _| {
+///     // collect and stop after one message
+///     assert_eq!(msg.data, vec![41]);
+/// });
+/// let src = sys.spawn(move |msg: Message, ctx: &mut mpsoc_rtkernel::msg::Ctx| {
+///     ctx.send(sink, Message::new(0, vec![msg.data[0] + 1]));
+/// });
+/// sys.post(src, Message::new(0, vec![40])).unwrap();
+/// let stats = sys.run(1_000).unwrap();
+/// assert_eq!(stats.delivered, 2);
+/// ```
+#[derive(Default)]
+pub struct System {
+    actors: Vec<Option<Box<dyn Actor>>>,
+    queue: VecDeque<(ActorId, Message)>,
+    stats: SystemStats,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("actors", &self.actors.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an actor, returning its id.
+    pub fn spawn(&mut self, actor: impl Actor + 'static) -> ActorId {
+        self.actors.push(Some(Box::new(actor)));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Number of live (non-stopped) actors.
+    pub fn live_actors(&self) -> usize {
+        self.actors.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Enqueues an external message.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if `dest` never existed.
+    pub fn post(&mut self, dest: ActorId, msg: Message) -> Result<()> {
+        if dest.0 >= self.actors.len() {
+            return Err(Error::NotFound(format!("actor {}", dest.0)));
+        }
+        self.queue.push_back((dest, msg));
+        Ok(())
+    }
+
+    /// Delivers messages until the queue drains or `max_deliveries` is hit.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the budget is exhausted with messages pending
+    /// (a livelock guard).
+    pub fn run(&mut self, max_deliveries: u64) -> Result<SystemStats> {
+        let mut budget = max_deliveries;
+        while let Some((dest, msg)) = self.queue.pop_front() {
+            if budget == 0 {
+                return Err(Error::Config(format!(
+                    "message budget exhausted with {} pending",
+                    self.queue.len() + 1
+                )));
+            }
+            budget -= 1;
+            let slot = &mut self.actors[dest.0];
+            match slot {
+                Some(actor) => {
+                    let mut ctx = Ctx {
+                        self_id: dest,
+                        outbox: Vec::new(),
+                        stop: false,
+                    };
+                    actor.on_message(msg, &mut ctx);
+                    self.stats.delivered += 1;
+                    if ctx.stop {
+                        *slot = None;
+                    }
+                    for (d, m) in ctx.outbox {
+                        if d.0 < self.actors.len() && self.actors[d.0].is_some() {
+                            self.queue.push_back((d, m));
+                        } else {
+                            self.stats.dropped += 1;
+                        }
+                    }
+                    self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+                }
+                None => self.stats.dropped += 1,
+            }
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn pipeline_of_actors_processes_stream() {
+        // source -> double -> accumulate, the flat decoupled shape of II.D.
+        let acc = Rc::new(RefCell::new(0i64));
+        let acc2 = Rc::clone(&acc);
+        let mut sys = System::new();
+        let sink = sys.spawn(move |m: Message, _ctx: &mut Ctx| {
+            *acc2.borrow_mut() += m.data[0];
+        });
+        let doubler = sys.spawn(move |m: Message, ctx: &mut Ctx| {
+            ctx.send(sink, Message::new(1, vec![m.data[0] * 2]));
+        });
+        for v in 1..=5 {
+            sys.post(doubler, Message::new(0, vec![v])).unwrap();
+        }
+        let stats = sys.run(100).unwrap();
+        assert_eq!(*acc.borrow(), 30); // 2*(1+..+5)
+        assert_eq!(stats.delivered, 10);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn stop_drops_subsequent_messages() {
+        let mut sys = System::new();
+        let once = sys.spawn(|_m: Message, ctx: &mut Ctx| ctx.stop());
+        sys.post(once, Message::new(0, vec![])).unwrap();
+        sys.post(once, Message::new(0, vec![])).unwrap();
+        let stats = sys.run(10).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(sys.live_actors(), 0);
+    }
+
+    #[test]
+    fn budget_guards_livelock() {
+        let mut sys = System::new();
+        // An actor that messages itself forever.
+        let cell: Rc<RefCell<Option<ActorId>>> = Rc::new(RefCell::new(None));
+        let cell2 = Rc::clone(&cell);
+        let id = sys.spawn(move |m: Message, ctx: &mut Ctx| {
+            let me = cell2.borrow().unwrap();
+            ctx.send(me, m);
+        });
+        *cell.borrow_mut() = Some(id);
+        sys.post(id, Message::new(0, vec![])).unwrap();
+        assert!(sys.run(50).is_err());
+    }
+
+    #[test]
+    fn post_to_unknown_actor_rejected() {
+        let mut sys = System::new();
+        assert!(sys.post(ActorId(3), Message::new(0, vec![])).is_err());
+    }
+
+    #[test]
+    fn fifo_delivery_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        let mut sys = System::new();
+        let sink = sys.spawn(move |m: Message, _ctx: &mut Ctx| {
+            log2.borrow_mut().push(m.tag);
+        });
+        for tag in 0..5 {
+            sys.post(sink, Message::new(tag, vec![])).unwrap();
+        }
+        sys.run(10).unwrap();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+}

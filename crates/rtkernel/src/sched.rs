@@ -1,0 +1,598 @@
+//! Hybrid time-shared / space-shared scheduling — the Section II.B proposal.
+//!
+//! The paper argues that manycore operating systems *"will have to make the
+//! shift to a more space-sharing approach, while retaining some of the
+//! characteristics of time-sharing systems"*, and calls for *"scheduling
+//! algorithms that can in a reactive way mitigate multiple requests for
+//! parallel computing resources as well \[as\] sequential computing
+//! resources"*. This module provides a deterministic tick-driven simulator
+//! of exactly that design space:
+//!
+//! * [`Policy::TimeShared`] — the conventional baseline: every core is
+//!   preemptively multiplexed over all runnable jobs; migrating or switching
+//!   a core between jobs costs [`SimConfig::switch_overhead`] work units.
+//! * [`Policy::Hybrid`] — the paper's proposal: parallel phases receive a
+//!   *gang reservation* of dedicated space-shared cores and run to
+//!   completion without preemption; sequential phases run on a small
+//!   time-shared pool whose cores may be frequency-boosted.
+//!
+//! Experiment E2 compares deadline-miss behaviour of the two policies on
+//! mixed workloads.
+
+use crate::error::{Error, Result};
+use crate::task::{TaskId, Workload};
+
+/// Scheduling policy under simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// All cores preemptively time-shared among all runnable strands.
+    TimeShared,
+    /// `ts_cores` time-shared cores (optionally boosted `boost`×) for
+    /// sequential phases; the remaining cores are space-shared gangs
+    /// dedicated to one parallel phase each, run-to-completion.
+    Hybrid {
+        /// Number of cores in the time-shared pool.
+        ts_cores: usize,
+        /// Speed multiplier applied to the time-shared pool (the paper's
+        /// scarce "high speed processor resources").
+        boost: f64,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Work units a base-speed core retires per tick.
+    pub speed: u64,
+    /// Work units lost when a core switches to a different job.
+    pub switch_overhead: u64,
+    /// Simulation horizon in ticks.
+    pub horizon: u64,
+    /// The policy.
+    pub policy: Policy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 8,
+            speed: 10,
+            switch_overhead: 2,
+            horizon: 10_000,
+            policy: Policy::TimeShared,
+        }
+    }
+}
+
+/// Outcome statistics for one task.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Jobs released within the horizon.
+    pub released: usize,
+    /// Jobs completed by their deadline.
+    pub met: usize,
+    /// Jobs that missed their deadline (late or unfinished).
+    pub missed: usize,
+    /// Sum of response times of completed jobs (ticks).
+    pub total_response: u64,
+    /// Worst observed response time (ticks).
+    pub worst_response: u64,
+}
+
+impl TaskStats {
+    /// Mean response time over completed jobs.
+    pub fn mean_response(&self) -> f64 {
+        let done = self.met + self.missed;
+        if done == 0 {
+            0.0
+        } else {
+            self.total_response as f64 / done as f64
+        }
+    }
+
+    /// Deadline miss ratio over released jobs.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.released as f64
+        }
+    }
+}
+
+/// Aggregate simulation result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimResult {
+    /// Per-task statistics, indexed by [`TaskId`].
+    pub tasks: Vec<TaskStats>,
+    /// Core-ticks spent executing useful work.
+    pub busy_ticks: u64,
+    /// Number of job switches on cores.
+    pub switches: u64,
+    /// Work units burned on switch overhead.
+    pub overhead_work: u64,
+    /// Final simulation tick (== horizon).
+    pub end_tick: u64,
+}
+
+impl SimResult {
+    /// Total deadline misses across tasks.
+    pub fn total_missed(&self) -> usize {
+        self.tasks.iter().map(|t| t.missed).sum()
+    }
+
+    /// Total jobs meeting deadlines.
+    pub fn total_met(&self) -> usize {
+        self.tasks.iter().map(|t| t.met).sum()
+    }
+
+    /// Average core utilisation in `[0, 1]` given the config used.
+    pub fn utilization(&self, cfg: &SimConfig) -> f64 {
+        if cfg.horizon == 0 || cfg.cores == 0 {
+            return 0.0;
+        }
+        self.busy_ticks as f64 / (cfg.horizon * cfg.cores as u64) as f64
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Serial,
+    Parallel,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    task: TaskId,
+    release: u64,
+    abs_deadline: u64,
+    serial_left: u64,
+    parallel_left: u64,
+    width: usize,
+    priority: u8,
+    phase: Phase,
+    /// Space-shared reservation (core indices) while in a hybrid gang.
+    gang: Vec<usize>,
+    seq: usize,
+}
+
+impl Job {
+    fn phase_now(&self) -> Phase {
+        if self.serial_left > 0 {
+            Phase::Serial
+        } else if self.parallel_left > 0 {
+            Phase::Parallel
+        } else {
+            Phase::Done
+        }
+    }
+}
+
+/// Runs the scheduler simulation of `workload` under `cfg`.
+///
+/// The simulation is tick-quantised and fully deterministic: runnable jobs
+/// are ordered by `(priority desc, absolute deadline asc, release seq)`.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] for zero cores/speed/horizon, or a hybrid pool
+/// larger than the machine.
+pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
+    if cfg.cores == 0 {
+        return Err(Error::Config("need at least one core".into()));
+    }
+    if cfg.speed == 0 {
+        return Err(Error::Config("core speed must be non-zero".into()));
+    }
+    if cfg.horizon == 0 {
+        return Err(Error::Config("horizon must be non-zero".into()));
+    }
+    let (ts_cores, boost) = match cfg.policy {
+        Policy::TimeShared => (cfg.cores, 1.0),
+        Policy::Hybrid { ts_cores, boost } => {
+            if ts_cores == 0 || ts_cores > cfg.cores {
+                return Err(Error::Config(format!(
+                    "hybrid time-shared pool of {ts_cores} cores does not fit {} cores",
+                    cfg.cores
+                )));
+            }
+            if boost < 1.0 {
+                return Err(Error::Config("boost must be >= 1.0".into()));
+            }
+            (ts_cores, boost)
+        }
+    };
+
+    let mut result = SimResult {
+        tasks: vec![TaskStats::default(); workload.len()],
+        ..SimResult::default()
+    };
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut next_release: Vec<(u64, usize)> = workload
+        .tasks()
+        .iter()
+        .map(|t| (t.arrival, 0usize))
+        .collect();
+    // last job seen by each core, for switch accounting.
+    let mut core_last: Vec<Option<(usize, usize)>> = vec![None; cfg.cores]; // (task, seq)
+    let mut seq_counter = 0usize;
+
+    for now in 0..cfg.horizon {
+        // 1. Release jobs.
+        for (tid, spec) in workload.tasks().iter().enumerate() {
+            let (ref mut next, ref mut count) = next_release[tid];
+            while *count < spec.jobs && *next == now {
+                jobs.push(Job {
+                    task: TaskId(tid),
+                    release: now,
+                    abs_deadline: now + spec.deadline,
+                    serial_left: spec.serial_work,
+                    parallel_left: spec.parallel_work,
+                    width: spec.width,
+                    priority: spec.priority,
+                    phase: Phase::Serial,
+                    gang: Vec::new(),
+                    seq: seq_counter,
+                });
+                seq_counter += 1;
+                result.tasks[tid].released += 1;
+                *count += 1;
+                match spec.period {
+                    Some(p) => *next += p,
+                    None => break,
+                }
+            }
+        }
+
+        // 2. Build this tick's core assignment: assignment[core] = job seq.
+        let mut assignment: Vec<Option<usize>> = vec![None; cfg.cores];
+        // Deterministic job order.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(jobs[i].priority),
+                jobs[i].abs_deadline,
+                jobs[i].seq,
+            )
+        });
+
+        match cfg.policy {
+            Policy::TimeShared => {
+                let mut free: Vec<usize> = (0..cfg.cores).collect();
+                for &ji in &order {
+                    let want = match jobs[ji].phase_now() {
+                        Phase::Serial => 1,
+                        Phase::Parallel => jobs[ji].width,
+                        Phase::Done => 0,
+                    };
+                    for _ in 0..want {
+                        match free.pop() {
+                            Some(c) => assignment[c] = Some(ji),
+                            None => break,
+                        }
+                    }
+                    if free.is_empty() {
+                        break;
+                    }
+                }
+            }
+            Policy::Hybrid { ts_cores, .. } => {
+                // Space pool: cores [ts_cores..). Keep existing gangs.
+                let mut space_free: Vec<bool> = vec![true; cfg.cores];
+                for ji in 0..jobs.len() {
+                    if jobs[ji].phase_now() == Phase::Parallel && !jobs[ji].gang.is_empty() {
+                        for &c in &jobs[ji].gang {
+                            assignment[c] = Some(ji);
+                            space_free[c] = false;
+                        }
+                    } else if jobs[ji].phase_now() != Phase::Parallel {
+                        jobs[ji].gang.clear();
+                    }
+                }
+                // Grant new gangs reactively, in priority order.
+                for &ji in &order {
+                    if jobs[ji].phase_now() == Phase::Parallel && jobs[ji].gang.is_empty() {
+                        let free_now: Vec<usize> = (ts_cores..cfg.cores)
+                            .filter(|&c| space_free[c])
+                            .collect();
+                        if free_now.len() >= jobs[ji].width {
+                            let gang: Vec<usize> =
+                                free_now.into_iter().take(jobs[ji].width).collect();
+                            for &c in &gang {
+                                assignment[c] = Some(ji);
+                                space_free[c] = false;
+                            }
+                            jobs[ji].gang = gang;
+                        }
+                    }
+                }
+                // Time-shared pool runs serial phases (and parallel jobs
+                // still waiting for a gang make no progress — the cost of
+                // space sharing, also modelled).
+                let mut free_ts: Vec<usize> = (0..ts_cores).filter(|&c| assignment[c].is_none()).collect();
+                for &ji in &order {
+                    if jobs[ji].phase_now() == Phase::Serial {
+                        if let Some(c) = free_ts.pop() {
+                            assignment[c] = Some(ji);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Execute the tick.
+        let mut progress: Vec<u64> = vec![0; jobs.len()];
+        let mut strands: Vec<u32> = vec![0; jobs.len()];
+        for c in 0..cfg.cores {
+            let Some(ji) = assignment[c] else { continue };
+            let key = (jobs[ji].task.0, jobs[ji].seq);
+            let mut budget = if c < ts_cores {
+                (cfg.speed as f64 * boost) as u64
+            } else {
+                cfg.speed
+            };
+            if core_last[c] != Some(key) {
+                result.switches += 1;
+                let pay = cfg.switch_overhead.min(budget);
+                result.overhead_work += pay;
+                budget -= pay;
+                core_last[c] = Some(key);
+            }
+            result.busy_ticks += 1;
+            progress[ji] += budget;
+            strands[ji] += 1;
+        }
+        // Apply progress: serial phase consumes only one strand's worth.
+        for ji in 0..jobs.len() {
+            if strands[ji] == 0 {
+                continue;
+            }
+            match jobs[ji].phase_now() {
+                Phase::Serial => {
+                    // Only one core can help the serial phase; if several
+                    // were assigned (time-shared over-allocation), the rest
+                    // idle-spin: charge only the max single budget.
+                    let per = progress[ji] / strands[ji] as u64;
+                    jobs[ji].serial_left = jobs[ji].serial_left.saturating_sub(per);
+                }
+                Phase::Parallel => {
+                    jobs[ji].parallel_left = jobs[ji].parallel_left.saturating_sub(progress[ji]);
+                }
+                Phase::Done => {}
+            }
+            jobs[ji].phase = jobs[ji].phase_now();
+        }
+
+        // 4. Retire completed jobs.
+        let mut i = 0;
+        while i < jobs.len() {
+            if jobs[i].phase_now() == Phase::Done {
+                let j = jobs.remove(i);
+                let stats = &mut result.tasks[j.task.0];
+                let response = now + 1 - j.release;
+                stats.total_response += response;
+                stats.worst_response = stats.worst_response.max(response);
+                if now < j.abs_deadline {
+                    stats.met += 1;
+                } else {
+                    stats.missed += 1;
+                }
+                // Invalidate stale core affinity records.
+                for cl in core_last.iter_mut() {
+                    if *cl == Some((j.task.0, j.seq)) {
+                        *cl = None;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Jobs unfinished at the horizon with expired deadlines have missed.
+    for j in &jobs {
+        if j.abs_deadline < cfg.horizon {
+            result.tasks[j.task.0].missed += 1;
+        }
+    }
+    result.end_tick = cfg.horizon;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn cfg(policy: Policy) -> SimConfig {
+        SimConfig {
+            cores: 8,
+            speed: 10,
+            switch_overhead: 2,
+            horizon: 2_000,
+            policy,
+        }
+    }
+
+    #[test]
+    fn single_sequential_job_completes_on_time() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("s", 100, 100));
+        let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        assert_eq!(r.tasks[0].met, 1);
+        assert_eq!(r.tasks[0].missed, 0);
+        // 100 units at 10/tick minus one switch (2): ~11 ticks.
+        assert!(r.tasks[0].worst_response <= 12);
+    }
+
+    #[test]
+    fn parallel_job_uses_gang_speedup() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::parallel("p", 0, 800, 4, 1_000));
+        let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        // 800 units over 4 cores at 10/tick ≈ 20+ ticks, far less than 80.
+        assert!(r.tasks[0].worst_response < 30);
+    }
+
+    #[test]
+    fn impossible_deadline_is_missed() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("tight", 1_000, 5));
+        let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        assert_eq!(r.tasks[0].missed, 1);
+        assert_eq!(r.total_met(), 0);
+    }
+
+    #[test]
+    fn periodic_release_counts() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("per", 10, 50).with_period(100, 10));
+        let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        assert_eq!(r.tasks[0].released, 10);
+        assert_eq!(r.tasks[0].met, 10);
+    }
+
+    #[test]
+    fn hybrid_reserves_gangs_run_to_completion() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::parallel("enc", 20, 2_000, 4, 300).with_period(400, 4));
+        let r = simulate(
+            &w,
+            &cfg(Policy::Hybrid {
+                ts_cores: 2,
+                boost: 1.0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(r.tasks[0].released, 4);
+        assert_eq!(r.tasks[0].missed, 0, "stats: {:?}", r.tasks[0]);
+    }
+
+    #[test]
+    fn hybrid_beats_time_shared_under_interference() {
+        // One hard parallel streaming task + a near-saturating storm of
+        // best-effort sequential noise. Under time-sharing the noise
+        // (higher priority — the adversarial case) steals the gang's
+        // cores; the hybrid space pool is reserved for parallel phases,
+        // so the stream is isolated from the noise by construction.
+        let mut w = Workload::new();
+        w.push(
+            TaskSpec::parallel("stream", 0, 1_800, 6, 260)
+                .with_period(300, 6)
+                .with_priority(1),
+        );
+        for i in 0..12 {
+            w.push(
+                TaskSpec::sequential(format!("noise{i}"), 260, 2_000)
+                    .with_period(40, 45)
+                    .with_priority(2), // noise outranks: the worst case
+            );
+        }
+        let ts = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        let hy = simulate(
+            &w,
+            &cfg(Policy::Hybrid {
+                ts_cores: 2,
+                boost: 1.0,
+            }),
+        )
+        .unwrap();
+        assert!(
+            hy.tasks[0].missed < ts.tasks[0].missed,
+            "hybrid {:?} vs time-shared {:?}",
+            hy.tasks[0],
+            ts.tasks[0]
+        );
+    }
+
+    #[test]
+    fn boost_reduces_sequential_response() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("seq", 2_000, 100_000));
+        let base = simulate(
+            &w,
+            &cfg(Policy::Hybrid {
+                ts_cores: 2,
+                boost: 1.0,
+            }),
+        )
+        .unwrap();
+        let boosted = simulate(
+            &w,
+            &cfg(Policy::Hybrid {
+                ts_cores: 2,
+                boost: 2.0,
+            }),
+        )
+        .unwrap();
+        assert!(
+            boosted.tasks[0].worst_response * 2 <= base.tasks[0].worst_response + 2,
+            "boosted {} vs base {}",
+            boosted.tasks[0].worst_response,
+            base.tasks[0].worst_response
+        );
+    }
+
+    #[test]
+    fn switch_overhead_is_accounted() {
+        let mut w = Workload::new();
+        for i in 0..4 {
+            w.push(TaskSpec::sequential(format!("t{i}"), 50, 1_000).with_period(50, 10));
+        }
+        let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        assert!(r.switches > 0);
+        assert!(r.overhead_work > 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut w = Workload::new();
+        for i in 0..6 {
+            w.push(
+                TaskSpec::parallel(format!("t{i}"), 10, 100, 2, 150)
+                    .with_period(37 + i as u64, 20),
+            );
+        }
+        let a = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        let b = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let w = Workload::new();
+        assert!(simulate(&w, &SimConfig { cores: 0, ..SimConfig::default() }).is_err());
+        assert!(simulate(&w, &SimConfig { speed: 0, ..SimConfig::default() }).is_err());
+        assert!(simulate(
+            &w,
+            &SimConfig {
+                policy: Policy::Hybrid { ts_cores: 99, boost: 1.0 },
+                ..SimConfig::default()
+            }
+        )
+        .is_err());
+        assert!(simulate(
+            &w,
+            &SimConfig {
+                policy: Policy::Hybrid { ts_cores: 2, boost: 0.5 },
+                ..SimConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("s", 100_000, 1_000_000));
+        let c = cfg(Policy::TimeShared);
+        let r = simulate(&w, &c).unwrap();
+        let u = r.utilization(&c);
+        assert!(u > 0.0 && u <= 1.0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Run control, breakpoints, and watchpoints over a virtual platform.
+//!
+//! Section VII's capability list, reproduced one for one:
+//!
+//! * *"the entire system can be synchronously suspended from execution"* —
+//!   the [`Debugger`] steps the deterministic platform and simply stops
+//!   between steps; resuming continues the identical interleaving
+//!   ([`Debugger::run`] / the `Stop` events).
+//! * *"a consistent view into the state of all cores and peripherals"* —
+//!   the inspection API ([`Debugger::core_regs`], [`Debugger::read_mem`],
+//!   [`Debugger::peripheral`], [`Debugger::signal`]) has no simulated side
+//!   effects.
+//! * *"A watchpoint can be set on a signal, such as the interrupt line of a
+//!   peripheral"* — [`Watchpoint::Signal`].
+//! * *"Peripheral access watchpoints allow suspending execution when a
+//!   specific core or DMA is writing to a shared resource"* —
+//!   [`Watchpoint::Access`] with an [`OriginFilter`].
+//! * Intrusive debugging for contrast: [`Debugger::halt_core`] stops one
+//!   core while *"other cores or timers continue to operate"*, which is
+//!   exactly how Heisenbugs escape (see [`crate::heisenbug`]).
+
+use mpsoc_platform::isa::Word;
+use mpsoc_platform::platform::{Access, AccessKind, Originator, StepKind};
+use mpsoc_platform::{Core, Platform, Time};
+
+use crate::error::{Error, Result};
+use crate::trace::TraceBuffer;
+
+/// Which initiators an access watchpoint observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OriginFilter {
+    /// Any core or DMA.
+    Any,
+    /// A specific core.
+    Core(usize),
+    /// A specific DMA engine (by peripheral page).
+    Dma(usize),
+}
+
+impl OriginFilter {
+    fn matches(self, o: Originator) -> bool {
+        match (self, o) {
+            (OriginFilter::Any, _) => true,
+            (OriginFilter::Core(c), Originator::Core(x)) => c == x,
+            (OriginFilter::Dma(d), Originator::Dma(x)) => d == x,
+            _ => false,
+        }
+    }
+}
+
+/// A watchpoint condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Watchpoint {
+    /// Stop when an access in `[lo, hi]` of the given kind by a matching
+    /// initiator completes.
+    Access {
+        /// Lowest watched word address.
+        lo: u32,
+        /// Highest watched word address (inclusive).
+        hi: u32,
+        /// Reads, writes, or both (`None`).
+        kind: Option<AccessKind>,
+        /// Initiator filter.
+        origin: OriginFilter,
+    },
+    /// Stop when the named signal changes to `value` (or changes at all if
+    /// `value` is `None`).
+    Signal {
+        /// Signal name.
+        name: String,
+        /// Target value.
+        value: Option<Word>,
+    },
+}
+
+/// A breakpoint: core reaches a program counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Breakpoint {
+    /// Watched core.
+    pub core: usize,
+    /// Program counter.
+    pub pc: u32,
+}
+
+/// Why the debugger stopped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stop {
+    /// Breakpoint `index` hit.
+    Breakpoint {
+        /// Index into the breakpoint table.
+        index: usize,
+        /// Core that hit it.
+        core: usize,
+        /// The program counter.
+        pc: u32,
+    },
+    /// Watchpoint `index` hit.
+    Watchpoint {
+        /// Index into the watchpoint table.
+        index: usize,
+        /// The access that triggered it, if an access watchpoint.
+        access: Option<Access>,
+    },
+    /// Every core halted; nothing left to run.
+    Finished,
+    /// The step budget was exhausted without a stop condition.
+    Budget,
+    /// A core faulted (the platform error is preserved as text).
+    Fault(String),
+}
+
+/// A source-level debugger for the simulated MPSoC.
+#[derive(Debug)]
+pub struct Debugger {
+    platform: Platform,
+    breakpoints: Vec<Breakpoint>,
+    watchpoints: Vec<Watchpoint>,
+    trace: TraceBuffer,
+    prev_signals: std::collections::BTreeMap<String, Word>,
+}
+
+impl Debugger {
+    /// Attaches to a platform.
+    pub fn new(platform: Platform) -> Self {
+        Debugger {
+            platform,
+            breakpoints: Vec::new(),
+            watchpoints: Vec::new(),
+            trace: TraceBuffer::new(4096),
+            prev_signals: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The underlying platform (mutable, e.g. for program loading).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The execution/access trace history.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Adds a breakpoint; returns its index.
+    pub fn add_breakpoint(&mut self, core: usize, pc: u32) -> usize {
+        self.breakpoints.push(Breakpoint { core, pc });
+        self.breakpoints.len() - 1
+    }
+
+    /// Adds a watchpoint; returns its index.
+    pub fn add_watchpoint(&mut self, wp: Watchpoint) -> usize {
+        self.watchpoints.push(wp);
+        self.watchpoints.len() - 1
+    }
+
+    /// Removes every breakpoint and watchpoint.
+    pub fn clear_conditions(&mut self) {
+        self.breakpoints.clear();
+        self.watchpoints.clear();
+    }
+
+    /// Non-intrusive inspection: registers of `core`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for a bad core id.
+    pub fn core_regs(&self, core: usize) -> Result<&Core> {
+        self.platform.core(core).map_err(Error::from)
+    }
+
+    /// Non-intrusive memory read (no cache/timing side effects).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for unmapped addresses.
+    pub fn read_mem(&self, addr: u32) -> Result<Word> {
+        self.platform.debug_read(addr).map_err(Error::from)
+    }
+
+    /// Non-intrusive peripheral register dump.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for an unoccupied page.
+    pub fn peripheral(&self, page: usize) -> Result<Vec<(u32, Word)>> {
+        self.platform.peripheral_snapshot(page).map_err(Error::from)
+    }
+
+    /// Current value of a signal.
+    pub fn signal(&self, name: &str) -> Word {
+        self.platform.signals().value(name)
+    }
+
+    /// Intrusively halts one core: the rest of the platform keeps running —
+    /// the real-hardware debugging model whose perturbation Section VII
+    /// blames for Heisenbugs.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for a bad core id.
+    pub fn halt_core(&mut self, core: usize) -> Result<()> {
+        self.platform.core_mut(core)?.debug_halt();
+        Ok(())
+    }
+
+    /// Resumes an intrusively halted core at the current platform time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for a bad core id.
+    pub fn resume_core(&mut self, core: usize) -> Result<()> {
+        let now = self.platform.now();
+        self.platform.core_mut(core)?.debug_resume(now);
+        Ok(())
+    }
+
+    /// Executes one platform step, evaluating stop conditions.
+    ///
+    /// Returns `Ok(None)` to continue, `Ok(Some(stop))` when a condition
+    /// hit.
+    ///
+    /// # Errors
+    ///
+    /// Never — platform faults are converted into [`Stop::Fault`].
+    pub fn step(&mut self) -> Result<Option<Stop>> {
+        let event = match self.platform.step() {
+            Ok(e) => e,
+            Err(e) => return Ok(Some(Stop::Fault(e.to_string()))),
+        };
+        if event.is_idle() {
+            return Ok(Some(Stop::Finished));
+        }
+        self.trace.record(&event);
+        // Breakpoints: the *next* pc of the executing core.
+        if let StepKind::Instr { core, .. } = event.kind {
+            let pc = self.platform.core(core).map_err(Error::from)?.pc();
+            for (i, b) in self.breakpoints.iter().enumerate() {
+                if b.core == core && b.pc == pc {
+                    return Ok(Some(Stop::Breakpoint { index: i, core, pc }));
+                }
+            }
+        }
+        // Access watchpoints.
+        for (i, wp) in self.watchpoints.iter().enumerate() {
+            if let Watchpoint::Access { lo, hi, kind, origin } = wp {
+                for a in &event.accesses {
+                    if a.addr >= *lo
+                        && a.addr <= *hi
+                        && kind.is_none_or(|k| k == a.kind)
+                        && origin.matches(a.originator)
+                    {
+                        return Ok(Some(Stop::Watchpoint {
+                            index: i,
+                            access: Some(*a),
+                        }));
+                    }
+                }
+            }
+        }
+        // Signal watchpoints: edge-triggered against the last seen values.
+        let mut hit = None;
+        for (i, wp) in self.watchpoints.iter().enumerate() {
+            if let Watchpoint::Signal { name, value } = wp {
+                let cur = self.platform.signals().value(name);
+                let prev = self.prev_signals.get(name).copied().unwrap_or(0);
+                if cur != prev && value.is_none_or(|v| v == cur) {
+                    hit = Some(Stop::Watchpoint {
+                        index: i,
+                        access: None,
+                    });
+                }
+            }
+        }
+        for (name, _) in self.prev_signals.clone() {
+            let v = self.platform.signals().value(&name);
+            self.prev_signals.insert(name, v);
+        }
+        for name in self.platform.signals().names() {
+            let v = self.platform.signals().value(&name);
+            self.prev_signals.insert(name, v);
+        }
+        Ok(hit)
+    }
+
+    /// Runs until a stop condition or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal inspection failures (never expected).
+    pub fn run(&mut self, max_steps: u64) -> Result<Stop> {
+        for _ in 0..max_steps {
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(Stop::Budget)
+    }
+
+    /// The current simulation time (meaningful across suspensions: the
+    /// platform cannot observe that it was stopped).
+    pub fn now(&self) -> Time {
+        self.platform.now()
+    }
+
+    /// The function-execution history of one core: every time the core's
+    /// control flow entered a labelled address of its program, in order —
+    /// Section VII's *"history of function execution within the different
+    /// processes"*. Labels double as function entry points in platform
+    /// assembly.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for a bad core id.
+    pub fn label_history(&self, core: usize) -> Result<Vec<(Time, String)>> {
+        let program = self.platform.core(core)?.program().clone();
+        // Build pc -> label(s) map from the trace's pc history.
+        let mut by_pc: std::collections::BTreeMap<u32, Vec<String>> =
+            std::collections::BTreeMap::new();
+        // Programs do not expose their full label table directly; recover
+        // it by probing all pcs seen in the trace.
+        let mut entries = Vec::new();
+        for (at, pc) in self.trace.pc_history(core) {
+            if let std::collections::btree_map::Entry::Vacant(v) = by_pc.entry(pc) {
+                let labels: Vec<String> = known_labels(&program)
+                    .into_iter()
+                    .filter(|(_, addr)| *addr == pc)
+                    .map(|(n, _)| n)
+                    .collect();
+                v.insert(labels);
+            }
+            for l in &by_pc[&pc] {
+                entries.push((at, l.clone()));
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// All labels of a program. The `Program` type intentionally hides its
+/// table; this helper probes the names recorded at assembly time through
+/// the public lookup, using the trace's addresses as candidates.
+fn known_labels(program: &mpsoc_platform::isa::Program) -> Vec<(String, u32)> {
+    program.labels_snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_platform::isa::assemble;
+    use mpsoc_platform::mem::periph_addr;
+    use mpsoc_platform::periph::timer_reg;
+    use mpsoc_platform::platform::PlatformBuilder;
+    use mpsoc_platform::Frequency;
+
+    fn platform() -> Platform {
+        PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(1024)
+            .cache(None)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn breakpoint_stops_at_pc() {
+        let mut dbg = Debugger::new(platform());
+        let prog = assemble("movi r1, 1\nmovi r2, 2\nadd r3, r1, r2\nhalt").unwrap();
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        dbg.add_breakpoint(0, 2);
+        let stop = dbg.run(100).unwrap();
+        assert_eq!(
+            stop,
+            Stop::Breakpoint { index: 0, core: 0, pc: 2 }
+        );
+        // r2 written, r3 not yet.
+        let core = dbg.core_regs(0).unwrap();
+        assert_eq!(core.reg(mpsoc_platform::isa::Reg::new(2)), 2);
+        assert_eq!(core.reg(mpsoc_platform::isa::Reg::new(3)), 0);
+        // Resume to completion.
+        assert_eq!(dbg.run(100).unwrap(), Stop::Finished);
+        assert_eq!(dbg.core_regs(0).unwrap().reg(mpsoc_platform::isa::Reg::new(3)), 3);
+    }
+
+    #[test]
+    fn write_watchpoint_catches_store() {
+        let mut dbg = Debugger::new(platform());
+        let prog = assemble("movi r1, 0x50\nmovi r2, 99\nst r2, r1, 0\nhalt").unwrap();
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 0x50,
+            hi: 0x50,
+            kind: Some(AccessKind::Write),
+            origin: OriginFilter::Any,
+        });
+        match dbg.run(100).unwrap() {
+            Stop::Watchpoint { index: 0, access: Some(a) } => {
+                assert_eq!(a.addr, 0x50);
+                assert_eq!(a.value, 99);
+            }
+            other => panic!("unexpected stop {other:?}"),
+        }
+    }
+
+    #[test]
+    fn origin_filter_selects_core() {
+        let mut dbg = Debugger::new(platform());
+        let store = |v: i64| assemble(&format!("movi r1, 0x60\nmovi r2, {v}\nst r2, r1, 0\nhalt")).unwrap();
+        dbg.platform_mut().load_program(0, store(1), 0).unwrap();
+        dbg.platform_mut().load_program(1, store(2), 0).unwrap();
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 0x60,
+            hi: 0x60,
+            kind: Some(AccessKind::Write),
+            origin: OriginFilter::Core(1),
+        });
+        match dbg.run(100).unwrap() {
+            Stop::Watchpoint { access: Some(a), .. } => {
+                assert_eq!(a.originator, Originator::Core(1));
+                assert_eq!(a.value, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_watchpoint_fires_on_timer_tick() {
+        let mut p = platform();
+        let page = p.add_timer("timer0");
+        let ctrl = periph_addr(page, timer_reg::CTRL);
+        let period = periph_addr(page, timer_reg::PERIOD);
+        let prog = assemble(&format!(
+            "movi r1, {period}\nmovi r2, 100\nst r2, r1, 0\n\
+             movi r1, {ctrl}\nmovi r2, 1\nst r2, r1, 0\n\
+             spin: jmp spin"
+        ))
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        let mut dbg = Debugger::new(p);
+        dbg.add_watchpoint(Watchpoint::Signal {
+            name: "timer0.tick".into(),
+            value: None,
+        });
+        match dbg.run(10_000).unwrap() {
+            Stop::Watchpoint { index: 0, access: None } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(dbg.signal("timer0.tick"), 1);
+    }
+
+    #[test]
+    fn suspension_is_invisible_to_software() {
+        // Run the same program straight vs. with 1000 suspend/resume pauses
+        // (a pause is simply not stepping): final state must be identical.
+        let run = |pauses: bool| {
+            let mut dbg = Debugger::new(platform());
+            let prog = assemble(
+                "movi r1, 0\nmovi r3, 500\nloop: addi r1, r1, 1\nblt r1, r3, loop\n\
+                 movi r2, 0x70\nst r1, r2, 0\nhalt",
+            )
+            .unwrap();
+            dbg.platform_mut().load_program(0, prog, 0).unwrap();
+            loop {
+                match dbg.step().unwrap() {
+                    Some(Stop::Finished) => break,
+                    Some(other) => panic!("unexpected {other:?}"),
+                    None => {
+                        if pauses {
+                            // a suspension: arbitrary host-time delay,
+                            // nothing stepped.
+                        }
+                    }
+                }
+            }
+            (dbg.read_mem(0x70).unwrap(), dbg.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn intrusive_halt_perturbs_timing() {
+        let prog_src = "movi r1, 0\nmovi r3, 100\nloop: addi r1, r1, 1\nblt r1, r3, loop\nhalt";
+        let straight = {
+            let mut dbg = Debugger::new(platform());
+            dbg.platform_mut()
+                .load_program(0, assemble(prog_src).unwrap(), 0)
+                .unwrap();
+            dbg.run(10_000).unwrap();
+            dbg.now()
+        };
+        let halted = {
+            let mut dbg = Debugger::new(platform());
+            dbg.platform_mut()
+                .load_program(0, assemble(prog_src).unwrap(), 0)
+                .unwrap();
+            // Keep a second core busy so time advances while core 0 is
+            // halted by the intrusive debugger.
+            dbg.platform_mut()
+                .load_program(1, assemble("movi r1, 0\nmovi r3, 2000\nl: addi r1, r1, 1\nblt r1, r3, l\nhalt").unwrap(), 0)
+                .unwrap();
+            for _ in 0..50 {
+                dbg.step().unwrap();
+            }
+            dbg.halt_core(0).unwrap();
+            for _ in 0..500 {
+                dbg.step().unwrap();
+            }
+            dbg.resume_core(0).unwrap();
+            dbg.run(100_000).unwrap();
+            dbg.now()
+        };
+        assert!(halted > straight, "intrusive halt must delay core 0");
+    }
+
+    #[test]
+    fn dma_writes_caught_by_origin_filter() {
+        // Section VII verbatim: "Peripheral access watchpoints allow
+        // suspending execution when a specific core or DMA is writing to a
+        // shared resource."
+        let mut p = platform();
+        let page = p.add_dma("dma0");
+        p.load_shared(100, &[7, 8, 9]).unwrap();
+        use mpsoc_platform::mem::periph_addr;
+        use mpsoc_platform::periph::dma_reg;
+        let prog = assemble(&format!(
+            "movi r1, {}\nmovi r2, 100\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 300\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 3\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 1\nst r2, r1, 0\n\
+             halt",
+            periph_addr(page, dma_reg::SRC),
+            periph_addr(page, dma_reg::DST),
+            periph_addr(page, dma_reg::LEN),
+            periph_addr(page, dma_reg::CTRL),
+        ))
+        .unwrap();
+        let mut dbg = Debugger::new(p);
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 300,
+            hi: 302,
+            kind: Some(AccessKind::Write),
+            origin: OriginFilter::Dma(page),
+        });
+        match dbg.run(100_000).unwrap() {
+            Stop::Watchpoint { access: Some(a), .. } => {
+                assert_eq!(a.originator, Originator::Dma(page));
+                assert_eq!(a.addr, 300);
+                assert_eq!(a.value, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_history_tracks_function_entries() {
+        let mut dbg = Debugger::new(platform());
+        let prog = assemble(
+            "main: movi r1, 2\n\
+             jal work\n\
+             jal work\n\
+             halt\n\
+             work: addi r1, r1, 1\n\
+             jr r15",
+        )
+        .unwrap();
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        while !matches!(dbg.run(1_000).unwrap(), Stop::Finished) {}
+        let hist = dbg.label_history(0).unwrap();
+        let names: Vec<&str> = hist.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["main", "work", "work"]);
+        // Times are monotone.
+        assert!(hist.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn fault_reported_as_stop() {
+        let mut dbg = Debugger::new(platform());
+        let prog = assemble("movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt").unwrap();
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        match dbg.run(100).unwrap() {
+            Stop::Fault(msg) => assert!(msg.contains("divided by zero")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Debugger error type.
+
+use std::fmt;
+
+/// Errors raised by the virtual-platform debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying platform error (bad core id, unmapped address, …).
+    Platform(String),
+    /// A script parse or evaluation error.
+    Script {
+        /// 1-based script line (0 when raised at evaluation time).
+        line: usize,
+        /// Reason.
+        msg: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Platform(m) => write!(f, "platform: {m}"),
+            Error::Script { line: 0, msg } => write!(f, "script: {msg}"),
+            Error::Script { line, msg } => write!(f, "script line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<mpsoc_platform::Error> for Error {
+    fn from(e: mpsoc_platform::Error) -> Self {
+        Error::Platform(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,348 @@
+//! The Heisenbug demonstration harness.
+//!
+//! Section VII: *"The so-called 'Heisenbug' is a prominent artefact of
+//! intrusive debugging. Those kinds of bugs disappear as soon as debugging
+//! is performed, since debugging can impact the sequence of operations
+//! within an MPSoC. This is because debuggers typically cannot halt the
+//! entire system. While the core under debug is stalled, other cores or
+//! timers continue to operate."*
+//!
+//! The harness constructs the canonical race: two cores increment a shared
+//! counter with non-atomic load/add/store sequences and no lock. It then
+//! runs the same software under three debugging regimes:
+//!
+//! * [`DebugMode::Plain`] — no debugger: the race manifests as lost
+//!   updates.
+//! * [`DebugMode::NonIntrusiveSuspend`] — the virtual platform is
+//!   suspended and resumed (simulation simply stops between steps): the
+//!   result is **bit-identical** to the plain run, so the defect remains
+//!   reproducible under debug.
+//! * [`DebugMode::IntrusiveHalt`] — one core is halted while the rest of
+//!   the system keeps running (the real-hardware JTAG model): the
+//!   interleaving shifts and the lost-update count *changes* — the bug
+//!   "moves" under the debugger.
+
+use mpsoc_platform::isa::assemble;
+use mpsoc_platform::platform::PlatformBuilder;
+use mpsoc_platform::{Frequency, Platform};
+
+use crate::debugger::{Debugger, Stop};
+use crate::error::{Error, Result};
+
+/// The shared-counter address used by the race scenario.
+pub const COUNTER_ADDR: u32 = 0x40;
+
+/// Debugging regime for [`run_race`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DebugMode {
+    /// Free run, no debugger interference.
+    Plain,
+    /// Whole-platform suspend/resume every `every` steps (host-side pause;
+    /// invisible to the simulated software).
+    NonIntrusiveSuspend {
+        /// Steps between suspensions.
+        every: u64,
+    },
+    /// Halt `core` the first time it reaches `at_pc` (a breakpoint-style
+    /// stall) for `for_steps` platform steps while the other core keeps
+    /// running.
+    IntrusiveHalt {
+        /// The core the (intrusive) debugger stalls.
+        core: usize,
+        /// Stall when the core's program counter first equals this.
+        at_pc: u32,
+        /// How long the rest of the system runs meanwhile.
+        for_steps: u64,
+    },
+}
+
+/// Result of one race run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Final value of the shared counter.
+    pub final_value: i64,
+    /// The value a race-free execution would produce.
+    pub expected: i64,
+    /// Lost updates (`expected - final_value`).
+    pub lost_updates: i64,
+}
+
+impl RaceReport {
+    /// Whether the defect manifested.
+    pub fn bug_manifested(&self) -> bool {
+        self.lost_updates > 0
+    }
+}
+
+/// Builds the racy two-core platform: each core increments the shared
+/// counter `iters` times with an unprotected load/add/store.
+///
+/// # Errors
+///
+/// Propagates platform construction/assembly errors.
+pub fn build_race_platform(iters: i64) -> Result<Platform> {
+    let mut p = PlatformBuilder::new()
+        .cores(2, Frequency::mhz(100))
+        .shared_words(1024)
+        .cache(None)
+        .build()
+        .map_err(Error::from)?;
+    let prog = |seed: i64| {
+        assemble(&format!(
+            "movi r1, {COUNTER_ADDR}\n\
+             movi r5, {iters}\n\
+             movi r6, {seed}\n\
+             loop: ld r2, r1, 0\n\
+             addi r2, r2, 1\n\
+             st r2, r1, 0\n\
+             addi r5, r5, -1\n\
+             bne r5, r0, loop\n\
+             halt"
+        ))
+        .map_err(Error::from)
+    };
+    p.load_program(0, prog(0)?, 0).map_err(Error::from)?;
+    p.load_program(1, prog(1)?, 0).map_err(Error::from)?;
+    Ok(p)
+}
+
+/// Runs the race scenario under the given debugging regime.
+///
+/// # Errors
+///
+/// [`Error::Platform`] on unexpected platform faults.
+pub fn run_race(iters: i64, mode: DebugMode) -> Result<RaceReport> {
+    let platform = build_race_platform(iters)?;
+    let mut dbg = Debugger::new(platform);
+    let mut steps = 0u64;
+    let mut halted_at: Option<u64> = None;
+    let mut halted_once = false;
+    loop {
+        match mode {
+            DebugMode::IntrusiveHalt {
+                core,
+                at_pc,
+                for_steps,
+            } => {
+                if !halted_once && halted_at.is_none() && dbg.core_regs(core)?.pc() == at_pc {
+                    dbg.halt_core(core)?;
+                    halted_at = Some(steps);
+                    halted_once = true;
+                }
+                if let Some(h) = halted_at {
+                    if steps == h + for_steps {
+                        dbg.resume_core(core)?;
+                        halted_at = None;
+                    }
+                }
+            }
+            DebugMode::NonIntrusiveSuspend { every } => {
+                if every > 0 && steps.is_multiple_of(every) {
+                    // The suspension: the host stops calling step() for a
+                    // while. No simulated state changes, so there is
+                    // nothing to do — which is precisely the point.
+                }
+            }
+            DebugMode::Plain => {}
+        }
+        match dbg.step()? {
+            Some(Stop::Finished) => {
+                // If the rest of the system drained while a core was still
+                // stalled by the intrusive debugger, release it and keep
+                // going (the debugger user eventually resumes).
+                if let (Some(_), DebugMode::IntrusiveHalt { core, .. }) = (halted_at, mode) {
+                    dbg.resume_core(core)?;
+                    halted_at = None;
+                } else {
+                    break;
+                }
+            }
+            Some(Stop::Fault(msg)) => return Err(Error::Script { line: 0, msg }),
+            Some(_) => {}
+            None => {}
+        }
+        steps += 1;
+        if steps > 10_000_000 {
+            return Err(Error::Script {
+                line: 0,
+                msg: "race scenario did not terminate".to_string(),
+            });
+        }
+    }
+    let final_value = dbg.read_mem(COUNTER_ADDR)?;
+    let expected = 2 * iters;
+    Ok(RaceReport {
+        final_value,
+        expected,
+        lost_updates: expected - final_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debugger::{OriginFilter, Watchpoint};
+    use mpsoc_platform::platform::AccessKind;
+
+    const ITERS: i64 = 200;
+
+    #[test]
+    fn plain_run_manifests_lost_updates() {
+        let r = run_race(ITERS, DebugMode::Plain).unwrap();
+        assert!(r.bug_manifested(), "expected lost updates, got {r:?}");
+        assert!(r.final_value < r.expected);
+    }
+
+    #[test]
+    fn non_intrusive_suspend_reproduces_exactly() {
+        let plain = run_race(ITERS, DebugMode::Plain).unwrap();
+        for every in [1, 7, 100] {
+            let suspended =
+                run_race(ITERS, DebugMode::NonIntrusiveSuspend { every }).unwrap();
+            assert_eq!(
+                suspended, plain,
+                "VP suspension must be invisible (every={every})"
+            );
+        }
+    }
+
+    #[test]
+    fn intrusive_halt_changes_the_bug() {
+        let plain = run_race(ITERS, DebugMode::Plain).unwrap();
+        // The debugger stalls core 1 at the loop head (pc 3 = the `ld`)
+        // long enough for core 0 to finish alone.
+        let intruded = run_race(
+            ITERS,
+            DebugMode::IntrusiveHalt {
+                core: 1,
+                at_pc: 3,
+                for_steps: 10_000,
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            intruded.lost_updates, plain.lost_updates,
+            "halting one core must perturb the interleaving"
+        );
+        // While core 1 was stalled, core 0 ran alone and lost nothing; core
+        // 1 then ran essentially alone too. The defect all but vanishes
+        // under the intrusive debugger — the Heisenbug.
+        assert!(intruded.lost_updates < plain.lost_updates / 10);
+    }
+
+    #[test]
+    fn watchpoint_localises_the_racing_writers() {
+        // The structured process of Section VII, phase 3: locate the
+        // symptom. A write watchpoint on the counter shows interleaved
+        // writers within one read-modify-write window.
+        let platform = build_race_platform(50).unwrap();
+        let mut dbg = Debugger::new(platform);
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: COUNTER_ADDR,
+            hi: COUNTER_ADDR,
+            kind: Some(AccessKind::Write),
+            origin: OriginFilter::Any,
+        });
+        let mut writers = Vec::new();
+        for _ in 0..40 {
+            match dbg.run(100_000).unwrap() {
+                Stop::Watchpoint { access: Some(a), .. } => writers.push(a.originator),
+                Stop::Finished => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let c0 = writers
+            .iter()
+            .filter(|o| matches!(o, mpsoc_platform::Originator::Core(0)))
+            .count();
+        let c1 = writers.len() - c0;
+        assert!(c0 > 0 && c1 > 0, "both cores must be caught writing");
+        // And the access trace shows the lost-update pattern: two reads of
+        // the same value followed by two writes of the same value.
+        let trace = dbg.trace().accesses_to(COUNTER_ADDR);
+        let mut lost_pattern = false;
+        for w in trace.windows(2) {
+            if w[0].kind == AccessKind::Write
+                && w[1].kind == AccessKind::Write
+                && w[0].value == w[1].value
+                && w[0].originator != w[1].originator
+            {
+                lost_pattern = true;
+            }
+        }
+        assert!(lost_pattern, "trace should expose the duplicate-write race");
+    }
+}
+
+/// Builds the *repaired* scenario: the same two-core increment workload,
+/// but each read-modify-write is guarded by a hardware semaphore — the
+/// fix phase 4 of the structured debugging process leads to.
+///
+/// # Errors
+///
+/// Propagates platform construction/assembly errors.
+pub fn build_locked_platform(iters: i64) -> Result<Platform> {
+    let mut p = PlatformBuilder::new()
+        .cores(2, Frequency::mhz(100))
+        .shared_words(1024)
+        .cache(None)
+        .build()
+        .map_err(Error::from)?;
+    let page = p.add_semaphore("lock", 1);
+    let tryacq = mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::TRYACQ);
+    let release = mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::RELEASE);
+    let prog = || {
+        assemble(&format!(
+            "movi r1, {COUNTER_ADDR}\n\
+             movi r5, {iters}\n\
+             movi r3, {tryacq}\n\
+             movi r4, {release}\n\
+             loop: ld r2, r3, 0\n\
+             beq r2, r0, loop\n\
+             ld r2, r1, 0\n\
+             addi r2, r2, 1\n\
+             st r2, r1, 0\n\
+             st r0, r4, 0\n\
+             addi r5, r5, -1\n\
+             bne r5, r0, loop\n\
+             halt"
+        ))
+        .map_err(Error::from)
+    };
+    p.load_program(0, prog()?, 0).map_err(Error::from)?;
+    p.load_program(1, prog()?, 0).map_err(Error::from)?;
+    Ok(p)
+}
+
+/// Runs the repaired workload to completion and reports the counter.
+///
+/// # Errors
+///
+/// [`Error::Platform`] on unexpected faults.
+pub fn run_locked(iters: i64) -> Result<RaceReport> {
+    let mut p = build_locked_platform(iters)?;
+    p.run_to_completion(50_000_000).map_err(Error::from)?;
+    let final_value = p.debug_read(COUNTER_ADDR).map_err(Error::from)?;
+    let expected = 2 * iters;
+    Ok(RaceReport {
+        final_value,
+        expected,
+        lost_updates: expected - final_value,
+    })
+}
+
+#[cfg(test)]
+mod lock_tests {
+    use super::*;
+
+    #[test]
+    fn semaphore_fix_eliminates_lost_updates() {
+        // The repaired version loses nothing — closing the paper's
+        // debugging story: trigger, reproduce, localise, remove root cause.
+        let fixed = run_locked(100).unwrap();
+        assert_eq!(fixed.lost_updates, 0, "{fixed:?}");
+        // While the unfixed version on the same parameters loses updates.
+        let broken = run_race(100, DebugMode::Plain).unwrap();
+        assert!(broken.lost_updates > 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mpsoc-vpdebug — debugging with virtual platforms (Section VII)
+//!
+//! CoWare's position in *"Programming MPSoC Platforms: Road Works Ahead!"*
+//! (DATE 2009, Section VII) is that MPSoC software debugging needs a
+//! *virtual platform*: a functionally accurate simulator that can be
+//! *synchronously suspended* without perturbing the system, offers a
+//! *consistent view* of all cores, peripherals, and signals, and supports
+//! *scriptable system-level assertions* and *trace histories*. This crate
+//! is that debugger, built on the deterministic
+//! [`mpsoc-platform`](mpsoc_platform) simulator:
+//!
+//! * [`debugger`] — run control, breakpoints, memory/signal/peripheral
+//!   access watchpoints, non-intrusive inspection, and (for contrast) the
+//!   intrusive single-core halt of real-hardware debugging.
+//! * [`trace`] — bounded execution/access history with per-core and
+//!   per-address queries.
+//! * [`script`] — the TCL-flavoured assertion language for system-level
+//!   software assertions *"without changing the software code"*.
+//! * [`heisenbug`] — the reproducible demonstration that intrusive
+//!   debugging makes a shared-memory race vanish while virtual-platform
+//!   suspension reproduces it bit-exactly (experiment E9).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpsoc_platform::platform::PlatformBuilder;
+//! use mpsoc_platform::isa::assemble;
+//! use mpsoc_platform::Frequency;
+//! use mpsoc_vpdebug::debugger::{Debugger, Stop};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = PlatformBuilder::new().cores(1, Frequency::mhz(100)).shared_words(256).build()?;
+//! p.load_program(0, assemble("movi r1, 5\nmovi r2, 6\nmul r3, r1, r2\nhalt")?, 0)?;
+//! let mut dbg = Debugger::new(p);
+//! dbg.add_breakpoint(0, 2);
+//! assert!(matches!(dbg.run(100)?, Stop::Breakpoint { pc: 2, .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod debugger;
+pub mod error;
+pub mod heisenbug;
+pub mod script;
+pub mod trace;
+
+pub use crate::debugger::{Breakpoint, Debugger, OriginFilter, Stop, Watchpoint};
+pub use crate::error::{Error, Result};
+pub use crate::heisenbug::{build_race_platform, run_race, DebugMode, RaceReport};
+pub use crate::script::{ScriptEngine, Violation};
+pub use crate::trace::{TraceBuffer, TraceEntry};

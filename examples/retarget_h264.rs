@@ -1,0 +1,75 @@
+//! Section V scenario: one CIC spec of an H.264-like encoder, retargeted.
+//!
+//! The paper validates HOPES by generating an H.264 encoder for the Cell
+//! processor and for an ARM MPCore SMP *"from the same CIC specification"*.
+//! This example loads an architecture information file (the XML-style
+//! format of Figure 2), auto-maps the tasks, translates, executes both
+//! translations, and checks the outputs match the reference semantics.
+//!
+//! ```text
+//! cargo run --example retarget_h264
+//! ```
+
+use mpsoc_suite::apps::h264::h264_cic_model;
+use mpsoc_suite::cic::archfile::parse_arch_file;
+use mpsoc_suite::cic::executor::execute;
+use mpsoc_suite::cic::translator::{auto_map, execute_translation, translate};
+
+const CELL_XML: &str = r#"
+<architecture name="cell-like" memory="distributed">
+  <pe name="ppe" class="risc" speed="1.0"/>
+  <pe name="spe0" class="dsp" speed="2.0" localwords="16384"/>
+  <pe name="spe1" class="dsp" speed="2.0" localwords="16384"/>
+  <pe name="spe2" class="dsp" speed="2.0" localwords="16384"/>
+  <interconnect kind="dma" latency="200"/>
+</architecture>
+"#;
+
+const SMP_XML: &str = r#"
+<architecture name="mpcore-like" memory="shared">
+  <pe name="cpu0"/>
+  <pe name="cpu1"/>
+  <pe name="cpu2"/>
+  <pe name="cpu3"/>
+  <interconnect kind="bus" latency="30"/>
+</architecture>
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = h264_cic_model()?;
+    println!(
+        "CIC model: {} tasks, {} channels",
+        model.tasks.len(),
+        model.channels.len()
+    );
+    let reference = execute(&model, 3)?;
+    println!(
+        "reference run: {} task executions, sink consumed {} tokens",
+        reference.executions,
+        reference.sinks.values().map(Vec::len).sum::<usize>()
+    );
+
+    for xml in [CELL_XML, SMP_XML] {
+        let arch = parse_arch_file(xml)?;
+        let mapping = auto_map(&model, &arch)?;
+        let translation = translate(&model, &arch, &mapping)?;
+        let run = execute_translation(&model, &translation, 3)?;
+        let matches = run.sinks == reference.sinks;
+        println!(
+            "\ntarget `{}` ({:?} memory): {} PEs active, est. {} cy/iteration, output match: {matches}",
+            arch.name,
+            arch.memory,
+            translation.pe_programs.len(),
+            translation.est_cycles
+        );
+        let (pe, source) = &translation.sources[0];
+        println!("  runtime synthesised for `{pe}` (first lines):");
+        for line in source.lines().rev().take(8).collect::<Vec<_>>().into_iter().rev() {
+            println!("  | {line}");
+        }
+        assert!(matches, "retargeting must preserve function");
+    }
+    println!("\nsame CIC specification, two targets, identical outputs — the");
+    println!("retargetability claim of Section V holds on this reproduction.");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # mpsoc-suite — reproduction of *"Programming MPSoC Platforms: Road Works Ahead!"* (DATE 2009)
+//!
+//! This umbrella crate re-exports the nine crates of the reproduction so
+//! examples and downstream users can depend on a single package:
+//!
+//! | Crate | Paper section | Contents |
+//! |---|---|---|
+//! | [`platform`] | substrate | cycle-approximate MPSoC virtual platform |
+//! | [`minic`] | substrate | mini-C front end + interpreter oracle |
+//! | [`rtkernel`] | II | hybrid time/space scheduling, DVFS, locality, actors |
+//! | [`dataflow`] | III | CSDF graphs, buffer sizing, TT vs DD executors |
+//! | [`maps`] | IV | partitioning, mapping, MVP, code generation, OSIP |
+//! | [`cic`] | V | Common Intermediate Code + retargetable translator |
+//! | [`recoder`] | VI | designer-controlled source recoding |
+//! | [`vpdebug`] | VII | virtual-platform debugger + Heisenbug harness |
+//! | [`apps`] | workloads | JPEG-like, H.264-like, car-radio, generators |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-claim experiment index (regenerate with
+//! `cargo run -p mpsoc-bench --bin run_all`).
+
+#![warn(missing_docs)]
+
+pub use mpsoc_apps as apps;
+pub use mpsoc_cic as cic;
+pub use mpsoc_dataflow as dataflow;
+pub use mpsoc_maps as maps;
+pub use mpsoc_minic as minic;
+pub use mpsoc_platform as platform;
+pub use mpsoc_recoder as recoder;
+pub use mpsoc_rtkernel as rtkernel;
+pub use mpsoc_vpdebug as vpdebug;

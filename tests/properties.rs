@@ -1,0 +1,390 @@
+//! Property-based tests over the suite's core data structures and
+//! invariants, using proptest. Each property encodes something the
+//! documentation promises unconditionally.
+
+use proptest::prelude::*;
+
+use mpsoc_suite::dataflow::graph::{ActorKind, Graph};
+use mpsoc_suite::maps::arch::ArchModel;
+use mpsoc_suite::maps::mapping::{evaluate, list_schedule};
+use mpsoc_suite::maps::taskgraph::{Task, TaskEdge, TaskGraph};
+use mpsoc_suite::minic::interp::Interp;
+use mpsoc_suite::platform::cache::Cache;
+use mpsoc_suite::platform::isa::assemble;
+use mpsoc_suite::platform::platform::PlatformBuilder;
+use mpsoc_suite::platform::time::{Cycles, Frequency, Time};
+use mpsoc_suite::rtkernel::scalability::{amdahl_speedup, boosted_amdahl_speedup};
+use mpsoc_suite::rtkernel::sched::{simulate, Policy, SimConfig};
+use mpsoc_suite::rtkernel::task::{TaskSpec, Workload};
+
+// ---------------------------------------------------------------------------
+// Platform substrate
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// cycles -> time -> cycles never gains cycles (rounding is upward in
+    /// time, downward back, so the roundtrip is >= identity).
+    #[test]
+    fn frequency_conversion_roundtrip(khz in 1u64..10_000_000, cy in 0u64..1_000_000) {
+        let f = Frequency::khz(khz);
+        let t = f.cycles_to_time(Cycles(cy));
+        let back = f.time_to_cycles(t);
+        prop_assert!(back.0 >= cy, "{khz} kHz, {cy} cy -> {back:?}");
+    }
+
+    /// Time arithmetic is monotone and saturating.
+    #[test]
+    fn time_saturating(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert!(ta + tb >= ta);
+        prop_assert!(ta.saturating_sub(tb) <= ta);
+    }
+
+    /// Cache accounting: hits + misses equals accesses; hit rate in [0,1].
+    #[test]
+    fn cache_accounting(addrs in proptest::collection::vec(0u32..4096, 1..200)) {
+        let mut c = Cache::new(16, 2, 4);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+    }
+
+    /// A countdown loop of any length executes exactly 2n+2 instructions
+    /// and always terminates — the simulator neither loses nor duplicates
+    /// instruction events.
+    #[test]
+    fn countdown_retires_expected(n in 1i64..200) {
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(64)
+            .cache(None)
+            .build()
+            .unwrap();
+        let prog = assemble(&format!(
+            "movi r1, {n}\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt"
+        ))
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion(10_000_000).unwrap();
+        prop_assert_eq!(p.core(0).unwrap().retired(), (2 * n + 2) as u64);
+    }
+
+    /// The platform is deterministic: two identical builds produce the
+    /// same final time and memory for arbitrary small store programs.
+    #[test]
+    fn platform_determinism(values in proptest::collection::vec(-1000i64..1000, 1..12)) {
+        let build = |values: &[i64]| {
+            let mut src = String::new();
+            for (i, v) in values.iter().enumerate() {
+                src.push_str(&format!("movi r1, {v}\nmovi r2, {}\nst r1, r2, 0\n", 0x10 + i));
+            }
+            src.push_str("halt");
+            let mut p = PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(256)
+                .build()
+                .unwrap();
+            p.load_program(0, assemble(&src).unwrap(), 0).unwrap();
+            p.run_to_completion(1_000_000).unwrap();
+            let mem: Vec<i64> = (0..values.len())
+                .map(|i| p.debug_read(0x10 + i as u32).unwrap())
+                .collect();
+            (p.now(), mem)
+        };
+        prop_assert_eq!(build(&values), build(&values));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mini-C front end
+// ---------------------------------------------------------------------------
+
+/// A tiny generator of constant integer expressions as source text with
+/// their expected value.
+fn const_expr() -> impl Strategy<Value = (String, i64)> {
+    let leaf = (0i64..100).prop_map(|v| (v.to_string(), v));
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, 0..4u8).prop_map(|((ls, lv), (rs, rv), op)| match op {
+            0 => (format!("({ls} + {rs})"), lv.wrapping_add(rv)),
+            1 => (format!("({ls} - {rs})"), lv.wrapping_sub(rv)),
+            2 => (format!("({ls} * {rs})"), lv.wrapping_mul(rv)),
+            _ => (format!("({ls} + {rs} * 2)"), lv.wrapping_add(rv.wrapping_mul(2))),
+        })
+    })
+}
+
+proptest! {
+    /// const_eval, the interpreter, and the printer agree on every
+    /// generated constant expression.
+    #[test]
+    fn minic_semantics_agree((src, expected) in const_expr()) {
+        let program = format!("int f(void) {{ return {src}; }}");
+        let unit = mpsoc_suite::minic::parse(&program).unwrap();
+        // const_eval on the AST.
+        if let mpsoc_suite::minic::StmtKind::Return(Some(e)) = &unit.functions[0].body[0].kind {
+            prop_assert_eq!(e.const_eval(), Some(expected));
+        } else {
+            prop_assert!(false, "expected return");
+        }
+        // The interpreter.
+        let result = Interp::new(&unit).run("f", &[]).unwrap();
+        prop_assert_eq!(result, Some(expected));
+        // Print -> reparse -> interpret.
+        let printed = mpsoc_suite::minic::print_unit(&unit);
+        let reparsed = mpsoc_suite::minic::parse(&printed).unwrap();
+        let result2 = Interp::new(&reparsed).run("f", &[]).unwrap();
+        prop_assert_eq!(result2, Some(expected));
+    }
+
+    /// Print/parse is a fixpoint for array-filling loops of any shape.
+    #[test]
+    fn minic_print_parse_fixpoint(n in 1usize..64, mul in 1i64..50, add in 0i64..50) {
+        let program = format!(
+            "void f(int out[]) {{ for (i = 0; i < {n}; i = i + 1) {{ out[i] = i * {mul} + {add}; }} }}"
+        );
+        let u1 = mpsoc_suite::minic::parse(&program).unwrap();
+        let p1 = mpsoc_suite::minic::print_unit(&u1);
+        let u2 = mpsoc_suite::minic::parse(&p1).unwrap();
+        let p2 = mpsoc_suite::minic::print_unit(&u2);
+        prop_assert_eq!(p1, p2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Repetition vectors balance every channel of random two-actor
+    /// multirate graphs.
+    #[test]
+    fn repetition_vector_balances(p in 1u32..12, c in 1u32..12) {
+        let mut g = Graph::new();
+        let a = g.add_actor("a", vec![1], ActorKind::Regular);
+        let b = g.add_actor("b", vec![1], ActorKind::Regular);
+        g.add_channel(a, b, vec![p], vec![c], 0).unwrap();
+        let q = g.repetition_vector().unwrap();
+        prop_assert_eq!(q[0] * p as u64, q[1] * c as u64);
+        // Minimality: gcd of the vector is 1.
+        let g0 = gcd(q[0], q[1]);
+        prop_assert_eq!(g0, 1);
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling / mapping
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Amdahl with boost >= 1 never loses to plain Amdahl, and speedup is
+    /// bounded by the core count (for boost 1).
+    #[test]
+    fn amdahl_bounds(s in 0.0f64..1.0, n in 1usize..512) {
+        let plain = amdahl_speedup(s, n);
+        prop_assert!(plain <= n as f64 + 1e-9);
+        prop_assert!(boosted_amdahl_speedup(s, n, 1.5) >= plain - 1e-12);
+    }
+
+    /// The scheduler never reports more outcomes than releases and never
+    /// exceeds full utilisation.
+    #[test]
+    fn sched_conservation(
+        work in 10u64..500,
+        period in 20u64..100,
+        jobs in 1usize..20,
+        cores in 1usize..8,
+    ) {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("t", work, period).with_period(period, jobs));
+        let cfg = SimConfig {
+            cores,
+            speed: 10,
+            switch_overhead: 1,
+            horizon: 4_000,
+            policy: Policy::TimeShared,
+        };
+        let r = simulate(&w, &cfg).unwrap();
+        let t = &r.tasks[0];
+        prop_assert!(t.met + t.missed <= t.released + jobs);
+        prop_assert!(r.utilization(&cfg) <= 1.0 + 1e-9);
+    }
+
+    /// List scheduling always produces dependence-respecting schedules on
+    /// random fork-join graphs, and the makespan never beats the critical
+    /// path.
+    #[test]
+    fn mapping_respects_dependences(
+        costs in proptest::collection::vec(1u64..100, 3..10),
+        pes in 1usize..5,
+    ) {
+        // Fork-join: task 0 -> every middle task -> last task.
+        let n = costs.len();
+        let tasks: Vec<Task> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Task {
+                name: format!("t{i}"),
+                cost: c,
+                pref: None,
+                stmts: vec![i],
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for m in 1..n - 1 {
+            edges.push(TaskEdge { from: 0, to: m, volume: 1 });
+            edges.push(TaskEdge { from: m, to: n - 1, volume: 1 });
+        }
+        let graph = TaskGraph { tasks, edges };
+        let arch = ArchModel::homogeneous(pes);
+        let m = list_schedule(&graph, &arch).unwrap();
+        prop_assert!(m.makespan as u64 >= graph.critical_path());
+        // Re-evaluating the assignment reproduces the same makespan.
+        let again = evaluate(&graph, &arch, &m.assignment).unwrap();
+        prop_assert_eq!(again.makespan, m.makespan);
+        // Start/end ordering respects edges.
+        let slot = |t: usize| m.schedule.iter().find(|s| s.task == t).copied().unwrap();
+        for e in &graph.edges {
+            prop_assert!(slot(e.to).start >= slot(e.from).end);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recoder transformations
+// ---------------------------------------------------------------------------
+
+use mpsoc_suite::recoder::recoder::Recoder;
+use mpsoc_suite::recoder::transforms;
+
+/// Generates a random but transformable mini-C function of the shape the
+/// recoder walkthrough targets: constant-folded control, a pointer to an
+/// output cell, and data-parallel fill loops.
+fn recodeable_program() -> impl Strategy<Value = (String, usize)> {
+    (
+        1i64..64,        // loop bound
+        1i64..20,        // multiplier
+        0i64..20,        // offset
+        0u32..2,         // constant condition
+        2usize..5,       // split factor
+        0i64..8,         // pointer target index
+    )
+        .prop_map(|(n, mul, add, cond, parts, ptr_idx)| {
+            let src = format!(
+                "void f(int n, int out[]) {{\n\
+                 int *p = &out[{ptr_idx}];\n\
+                 *p = {mul};\n\
+                 if ({cond}) {{ out[8] = 1; }} else {{ out[8] = 2; }}\n\
+                 for (i = 0; i < {n}; i = i + 1) {{ out[9 + i] = i * {mul} + {add}; }}\n\
+                 }}"
+            );
+            (src, parts)
+        })
+}
+
+proptest! {
+    /// Any chain of (pointer recoding, control pruning, loop splitting)
+    /// preserves the observable output buffer — the recoder's contract,
+    /// checked against the interpreter oracle on random programs.
+    #[test]
+    fn recoder_chain_preserves_semantics((src, parts) in recodeable_program()) {
+        let run = |unit: &mpsoc_suite::minic::Unit| {
+            let mut it = Interp::new(unit);
+            it.set_max_steps(5_000_000);
+            let out = it.alloc_array(&[0i64; 96]);
+            it.run("f", &[96, out]).unwrap();
+            it.read_array(out, 96).unwrap()
+        };
+        let reference_unit = mpsoc_suite::minic::parse(&src).unwrap();
+        let reference = run(&reference_unit);
+
+        let mut session = Recoder::from_source(&src).unwrap();
+        session.apply(|u| transforms::recode_pointers(u, "f")).unwrap();
+        session.apply(|u| transforms::prune_control(u, "f")).unwrap();
+        // Splitting may legitimately refuse tiny loops; only require
+        // success when the trip count allows it.
+        let _ = session.apply(|u| transforms::split_loop(u, "f", 0, parts));
+        prop_assert_eq!(run(session.unit()), reference);
+        // And the result is pointer-free regardless.
+        let score = mpsoc_suite::minic::analysis::analyzability(
+            session.unit(),
+            &session.unit().functions[0],
+        );
+        prop_assert_eq!(score.pointer_derefs, 0);
+    }
+
+    /// Undo is an exact inverse for any applied transformation.
+    #[test]
+    fn recoder_undo_is_exact((src, _parts) in recodeable_program()) {
+        let mut session = Recoder::from_source(&src).unwrap();
+        let before = session.document().to_string();
+        session.apply(|u| transforms::recode_pointers(u, "f")).unwrap();
+        session.undo().unwrap();
+        prop_assert_eq!(session.document(), &before);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow executors
+// ---------------------------------------------------------------------------
+
+use mpsoc_suite::dataflow::buffer::{is_wait_free, minimal_capacities};
+use mpsoc_suite::dataflow::selftimed::{run_self_timed, SelfTimedConfig, WcetTimes};
+
+proptest! {
+    /// For random feasible three-stage pipelines, the computed minimal
+    /// capacities are wait-free and genuinely minimal per channel.
+    #[test]
+    fn buffer_sizing_sound_and_minimal(
+        w1 in 1u64..40,
+        w2 in 1u64..80,
+        w3 in 1u64..40,
+        frame in 1u32..5,
+    ) {
+        let period = 100u64;
+        prop_assume!(w2 <= period && w1 <= period && w3 <= period);
+        let mut g = Graph::new();
+        let a = g.add_actor("src", vec![w1], ActorKind::Source { period });
+        let b = g.add_actor("mid", vec![w2], ActorKind::Regular);
+        let c = g.add_actor("snk", vec![w3], ActorKind::Sink { period });
+        g.add_channel(a, b, vec![frame], vec![frame], 0).unwrap();
+        g.add_channel(b, c, vec![frame], vec![frame], 0).unwrap();
+        let caps = minimal_capacities(&g, 12).unwrap();
+        prop_assert!(is_wait_free(&g, &caps, 12).unwrap());
+        for ch in 0..caps.len() {
+            if caps[ch] > 1 {
+                let mut smaller = caps.clone();
+                smaller[ch] -= 1;
+                prop_assert!(!is_wait_free(&g, &smaller, 12).unwrap());
+            }
+        }
+    }
+
+    /// Self-timed execution conserves tokens: the sink consumes exactly
+    /// iterations × frame tokens, no matter the rates.
+    #[test]
+    fn self_timed_conserves_tokens(frame in 1u32..6, iters in 1u64..12) {
+        let mut g = Graph::new();
+        let a = g.add_actor("src", vec![5], ActorKind::Source { period: 1_000 });
+        let b = g.add_actor("snk", vec![5], ActorKind::Sink { period: 1_000 });
+        g.add_channel(a, b, vec![frame], vec![frame], 0).unwrap();
+        let r = run_self_timed(
+            &g,
+            &SelfTimedConfig { iterations: iters, ..Default::default() },
+            &mut WcetTimes,
+        )
+        .unwrap();
+        let sink_firings = r.firings.iter().filter(|f| f.actor.0 == 1).count() as u64;
+        prop_assert_eq!(sink_firings, iters);
+    }
+}
