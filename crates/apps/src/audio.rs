@@ -142,7 +142,9 @@ mod tests {
     #[test]
     fn fir_attenuates_alternation() {
         // Nyquist-frequency input: a low-pass must crush it.
-        let alternating: Vec<i64> = (0..64).map(|i| if i % 2 == 0 { 1000 } else { -1000 }).collect();
+        let alternating: Vec<i64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1000 } else { -1000 })
+            .collect();
         let out = fir(&alternating);
         assert!(out[20].abs() < 100, "nyquist leak {}", out[20]);
     }

@@ -4,10 +4,10 @@
 //! *reproducible* inputs: layered task DAGs for the mapping optimizers,
 //! multi-application mixes for the hybrid scheduler, and jittery execution
 //! times for the dataflow executors. All randomness flows through a caller
-//! supplied seed.
+//! supplied seed, via the suite's own [`XorShift64Star`] generator — no
+//! external RNG crate, so the workspace builds offline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpsoc_obs::rng::XorShift64Star;
 
 use mpsoc_maps::taskgraph::{Task, TaskEdge, TaskGraph};
 use mpsoc_rtkernel::task::{TaskSpec, Workload};
@@ -42,7 +42,7 @@ impl Default for DagParams {
 /// Generates a random layered task DAG (tasks in topological order, as the
 /// mapping code requires).
 pub fn random_dag(params: &DagParams, seed: u64) -> TaskGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut tasks = Vec::new();
     let mut edges = Vec::new();
     for l in 0..params.layers {
@@ -50,7 +50,7 @@ pub fn random_dag(params: &DagParams, seed: u64) -> TaskGraph {
             let idx = tasks.len();
             tasks.push(Task {
                 name: format!("l{l}t{w}"),
-                cost: rng.gen_range(params.cost.0..=params.cost.1),
+                cost: rng.u64_in(params.cost.0, params.cost.1),
                 pref: None,
                 stmts: vec![idx],
             });
@@ -61,22 +61,22 @@ pub fn random_dag(params: &DagParams, seed: u64) -> TaskGraph {
             let to = l * params.width + w;
             let mut has_pred = false;
             for p in 0..params.width {
-                if rng.gen_range(0..100u8) < params.edge_pct {
+                if rng.chance_pct(params.edge_pct) {
                     edges.push(TaskEdge {
                         from: (l - 1) * params.width + p,
                         to,
-                        volume: rng.gen_range(params.volume.0..=params.volume.1),
+                        volume: rng.u64_in(params.volume.0, params.volume.1),
                     });
                     has_pred = true;
                 }
             }
             if !has_pred {
                 // Keep the graph connected layer to layer.
-                let p = rng.gen_range(0..params.width);
+                let p = rng.usize_in(0, params.width - 1);
                 edges.push(TaskEdge {
                     from: (l - 1) * params.width + p,
                     to,
-                    volume: rng.gen_range(params.volume.0..=params.volume.1),
+                    volume: rng.u64_in(params.volume.0, params.volume.1),
                 });
             }
         }
@@ -87,12 +87,12 @@ pub fn random_dag(params: &DagParams, seed: u64) -> TaskGraph {
 /// Generates a mixed real-time workload: `parallel` gang tasks (periodic,
 /// tight deadlines) and `noise` sequential best-effort tasks.
 pub fn mixed_rt_workload(parallel: usize, noise: usize, seed: u64) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut w = Workload::new();
     for i in 0..parallel {
-        let width = rng.gen_range(2..=6);
-        let work = rng.gen_range(500..2_000);
-        let period = rng.gen_range(200..400);
+        let width = rng.usize_in(2, 6);
+        let work = rng.u64_in(500, 1_999);
+        let period = rng.u64_in(200, 399);
         w.push(
             TaskSpec::parallel(format!("par{i}"), work / 10, work, width, period - 20)
                 .with_period(period, 8)
@@ -100,12 +100,12 @@ pub fn mixed_rt_workload(parallel: usize, noise: usize, seed: u64) -> Workload {
         );
     }
     for i in 0..noise {
-        let work = rng.gen_range(20..200);
-        let period = rng.gen_range(30..80);
+        let work = rng.u64_in(20, 199);
+        let period = rng.u64_in(30, 79);
         w.push(
             TaskSpec::sequential(format!("seq{i}"), work, 1_500)
                 .with_period(period, 30)
-                .with_priority(rng.gen_range(0..=2)),
+                .with_priority(rng.u64_in(0, 2) as u8),
         );
     }
     w

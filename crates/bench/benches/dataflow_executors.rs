@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the Section III executors (E3/E4): data-driven
 //! vs. time-triggered execution cost and buffer-capacity computation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsoc_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mpsoc_apps::audio::car_radio_graph;
@@ -55,5 +55,10 @@ fn bench_buffer_sizing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_self_timed, bench_time_triggered, bench_buffer_sizing);
+criterion_group!(
+    benches,
+    bench_self_timed,
+    bench_time_triggered,
+    bench_buffer_sizing
+);
 criterion_main!(benches);

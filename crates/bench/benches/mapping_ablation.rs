@@ -2,7 +2,7 @@
 //! list scheduling vs. simulated annealing — cost and achieved makespan —
 //! over random layered DAGs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsoc_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mpsoc_apps::workload::{random_dag, DagParams};

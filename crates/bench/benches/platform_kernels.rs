@@ -2,7 +2,7 @@
 //! instruction throughput, bus vs. mesh contention, and the full race
 //! scenario under the debugger.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsoc_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mpsoc_platform::isa::assemble;
@@ -15,10 +15,9 @@ fn bench_instruction_throughput(c: &mut Criterion) {
     g.sample_size(20);
     for &cores in &[1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
-            let prog = assemble(
-                "movi r1, 0\nmovi r3, 1000\nloop: addi r1, r1, 1\nblt r1, r3, loop\nhalt",
-            )
-            .unwrap();
+            let prog =
+                assemble("movi r1, 0\nmovi r3, 1000\nloop: addi r1, r1, 1\nblt r1, r3, loop\nhalt")
+                    .unwrap();
             b.iter(|| {
                 let mut p = PlatformBuilder::new()
                     .cores(cores, Frequency::mhz(100))
@@ -97,9 +96,7 @@ fn bench_race_scenarios(c: &mut Criterion) {
         b.iter(|| black_box(run_race(100, DebugMode::Plain).unwrap()))
     });
     g.bench_function("vp_suspend", |b| {
-        b.iter(|| {
-            black_box(run_race(100, DebugMode::NonIntrusiveSuspend { every: 7 }).unwrap())
-        })
+        b.iter(|| black_box(run_race(100, DebugMode::NonIntrusiveSuspend { every: 7 }).unwrap()))
     });
     g.finish();
 }

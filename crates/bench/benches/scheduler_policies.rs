@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the Section II kernel models (E1/E2/E6):
 //! the hybrid scheduler simulation and the OSIP dispatch model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsoc_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mpsoc_apps::workload::mixed_rt_workload;
@@ -40,15 +40,9 @@ fn bench_osip_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("maps/osip_dispatch");
     g.sample_size(20);
     for &tasks in &[1_000u64, 10_000] {
-        g.bench_with_input(
-            BenchmarkId::new("osip", tasks),
-            &tasks,
-            |b, &tasks| {
-                b.iter(|| {
-                    black_box(dispatch(tasks, 500, 4, SchedulerKind::typical_osip()).unwrap())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("osip", tasks), &tasks, |b, &tasks| {
+            b.iter(|| black_box(dispatch(tasks, 500, 4, SchedulerKind::typical_osip()).unwrap()))
+        });
         g.bench_with_input(BenchmarkId::new("sw", tasks), &tasks, |b, &tasks| {
             b.iter(|| {
                 black_box(dispatch(tasks, 500, 4, SchedulerKind::typical_software()).unwrap())

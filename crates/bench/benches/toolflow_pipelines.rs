@@ -2,7 +2,7 @@
 //! end on the JPEG-like encoder, CIC translation + execution of the
 //! H.264-like model, and the recoder transformation chain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_bench::microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mpsoc_apps::h264::h264_cic_model;
@@ -78,5 +78,10 @@ fn bench_recoder_chain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_maps_flow, bench_cic_flow, bench_recoder_chain);
+criterion_group!(
+    benches,
+    bench_maps_flow,
+    bench_cic_flow,
+    bench_recoder_chain
+);
 criterion_main!(benches);

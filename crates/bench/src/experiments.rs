@@ -65,7 +65,11 @@ impl fmt::Display for E1Scalability {
             "E1: speedup vs cores (serial fraction {:.2})",
             self.serial_frac
         )?;
-        writeln!(f, "{:>6} {:>12} {:>14} {:>12}", "cores", "homogeneous", "heterogeneous", "boosted 2x")?;
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>14} {:>12}",
+            "cores", "homogeneous", "heterogeneous", "boosted 2x"
+        )?;
         for (n, hom, het, boost) in &self.rows {
             writeln!(f, "{n:>6} {hom:>12.2} {het:>14.2} {boost:>12.2}")?;
         }
@@ -128,7 +132,11 @@ pub fn e2_sched() -> E2Sched {
 
 impl fmt::Display for E2Sched {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E2: parallel-stream deadline misses out of {} jobs", self.released)?;
+        writeln!(
+            f,
+            "E2: parallel-stream deadline misses out of {} jobs",
+            self.released
+        )?;
         writeln!(f, "  time-shared : {}", self.ts_missed)?;
         writeln!(f, "  hybrid      : {}", self.hybrid_missed)
     }
@@ -183,7 +191,11 @@ impl fmt::Display for E3Corruption {
             "overrun%", "TT corrupted", "DD corrupted", "DD late sinks"
         )?;
         for (hi, tt, dd, late) in &self.rows {
-            writeln!(f, "{:>9}% {tt:>14} {dd:>14} {late:>14}", hi.saturating_sub(100))?;
+            writeln!(
+                f,
+                "{:>9}% {tt:>14} {dd:>14} {late:>14}",
+                hi.saturating_sub(100)
+            )?;
         }
         Ok(())
     }
@@ -213,7 +225,11 @@ pub fn e4_buffers() -> E4Buffers {
 impl fmt::Display for E4Buffers {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E4: buffer capacities (tokens), car-radio chain")?;
-        writeln!(f, "{:>8} {:>12} {:>10}", "channel", "upper bound", "minimal")?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>10}",
+            "channel", "upper bound", "minimal"
+        )?;
         for (i, (r, m)) in self.channels.iter().enumerate() {
             writeln!(f, "{i:>8} {r:>12} {m:>10}")?;
         }
@@ -282,7 +298,11 @@ impl fmt::Display for E5Maps {
              (sequential makespan {} cy, {} designer action per mapping)",
             self.sequential, self.designer_actions
         )?;
-        writeln!(f, "{:>6} {:>6} {:>14} {:>14}", "cores", "tasks", "list speedup", "SA speedup")?;
+        writeln!(
+            f,
+            "{:>6} {:>6} {:>14} {:>14}",
+            "cores", "tasks", "list speedup", "SA speedup"
+        )?;
         for (c, t, ls, sa) in &self.rows {
             writeln!(f, "{c:>6} {t:>6} {ls:>14.2} {sa:>14.2}")?;
         }
@@ -316,7 +336,11 @@ pub fn e6_osip() -> E6Osip {
 
 impl fmt::Display for E6Osip {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E6: PE utilisation vs task granularity ({} PEs)", self.pes)?;
+        writeln!(
+            f,
+            "E6: PE utilisation vs task granularity ({} PEs)",
+            self.pes
+        )?;
         writeln!(f, "{:>12} {:>8} {:>10}", "task cycles", "OSIP", "SW-RISC")?;
         for (g, o, s) in &self.rows {
             writeln!(f, "{g:>12} {o:>8.3} {s:>10.3}")?;
@@ -337,7 +361,11 @@ pub fn e7_cic() -> E7Cic {
     let model = h264_cic_model().expect("model builds");
     let reference = cic_execute(&model, 3).expect("reference runs");
     let mut rows = Vec::new();
-    for arch in [ArchInfo::cell_like(3), ArchInfo::smp_like(4), ArchInfo::smp_like(1)] {
+    for arch in [
+        ArchInfo::cell_like(3),
+        ArchInfo::smp_like(4),
+        ArchInfo::smp_like(1),
+    ] {
         let mapping = auto_map(&model, &arch).expect("mappable");
         let t = translate(&model, &arch, &mapping).expect("translates");
         let run = execute_translation(&model, &t, 3).expect("executes");
@@ -354,7 +382,11 @@ pub fn e7_cic() -> E7Cic {
 impl fmt::Display for E7Cic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E7: one CIC spec, three targets (H.264-like encoder)")?;
-        writeln!(f, "{:>28} {:>5} {:>12} {:>8}", "target", "PEs", "est cy/iter", "match")?;
+        writeln!(
+            f,
+            "{:>28} {:>5} {:>12} {:>8}",
+            "target", "PEs", "est cy/iter", "match"
+        )?;
         for (t, pes, cy, ok) in &self.rows {
             writeln!(f, "{t:>28} {pes:>5} {cy:>12} {ok:>8}")?;
         }
@@ -469,7 +501,10 @@ pub fn e9_heisenbug() -> E9Heisenbug {
 
 impl fmt::Display for E9Heisenbug {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E9: lost updates of the shared-counter race (400 expected increments)")?;
+        writeln!(
+            f,
+            "E9: lost updates of the shared-counter race (400 expected increments)"
+        )?;
         writeln!(f, "  plain run                 : {}", self.plain_lost)?;
         writeln!(
             f,
@@ -646,11 +681,18 @@ pub fn e10_admission() -> E10Admission {
 
 impl fmt::Display for E10Admission {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E10 (ext): reactive admission control on the hybrid machine")?;
+        writeln!(
+            f,
+            "E10 (ext): reactive admission control on the hybrid machine"
+        )?;
         writeln!(f, "  requests offered            : {}", self.offered)?;
         writeln!(f, "  admitted                    : {}", self.admitted)?;
         writeln!(f, "  misses, admitted set        : {}", self.missed)?;
-        writeln!(f, "  misses, without admission   : {}", self.unfiltered_missed)
+        writeln!(
+            f,
+            "  misses, without admission   : {}",
+            self.unfiltered_missed
+        )
     }
 }
 
@@ -685,9 +727,14 @@ pub fn e11_explore() -> E11Explore {
             )
         })
         .collect();
-    let winner = e
-        .best_candidate()
-        .map(|c| format!("{} with {} PEs (cost {:.1})", c.arch.name, c.arch.pes.len(), c.cost));
+    let winner = e.best_candidate().map(|c| {
+        format!(
+            "{} with {} PEs (cost {:.1})",
+            c.arch.name,
+            c.arch.pes.len(),
+            c.cost
+        )
+    });
     E11Explore {
         rows,
         winner,
@@ -702,7 +749,11 @@ impl fmt::Display for E11Explore {
             "E11 (ext): architecture exploration, H.264-like encoder, deadline {} cy",
             self.deadline
         )?;
-        writeln!(f, "{:>10} {:>5} {:>10} {:>7} {:>6}", "target", "PEs", "est cy", "cost", "meets")?;
+        writeln!(
+            f,
+            "{:>10} {:>5} {:>10} {:>7} {:>6}",
+            "target", "PEs", "est cy", "cost", "meets"
+        )?;
         for (t, pes, cy, cost, ok) in &self.rows {
             writeln!(f, "{t:>10} {pes:>5} {cy:>10} {cost:>7.1} {ok:>6}")?;
         }

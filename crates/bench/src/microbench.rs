@@ -1,0 +1,260 @@
+//! A std-only microbenchmark harness with a Criterion-compatible surface.
+//!
+//! The workspace builds hermetically (offline), so the benches cannot pull
+//! in the real `criterion` crate. This module implements the small slice of
+//! its API the suite's benches use — `Criterion`, benchmark groups,
+//! [`BenchmarkId`], `bench_function`/`bench_with_input`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros — on top of
+//! `std::time::Instant`. Results are printed one line per benchmark:
+//!
+//! ```text
+//! platform/instr_throughput/4            min 1.234 ms  mean 1.301 ms  (10 samples)
+//! ```
+//!
+//! It is deliberately simple: no statistics beyond min/mean, no warm-up
+//! beyond one discarded run, no output files. Its job is to keep the E1–E9
+//! microbenchmarks runnable and comparable run-over-run, not to replace a
+//! real profiler.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` once unmeasured (warm-up) and then `sample_size` times
+    /// measured, recording each duration.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        std::hint::black_box(body());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(body());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured runs each benchmark performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.min(self.criterion.max_samples);
+        run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (All reporting already happened per benchmark.)
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(full_name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        durations: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("{full_name:<48} (no measurements)");
+        return;
+    }
+    let min = b.durations.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / b.durations.len() as u32;
+    println!(
+        "{full_name:<48} min {}  mean {}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        b.durations.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Hard cap on measured runs per benchmark, so a full bench sweep stays
+    /// fast even when a group asks for many samples.
+    pub max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.max_samples;
+        run_one(&id.label, samples, |b| f(b));
+        self
+    }
+}
+
+/// Defines a function `$name` that runs the listed benchmark functions with
+/// a fresh [`Criterion`], mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $bench_fn(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main` to run the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("list", "4x4").label, "list/4x4");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut n_calls = 0u32;
+        let mut b = Bencher {
+            samples: 3,
+            durations: Vec::new(),
+        };
+        b.iter(|| n_calls += 1);
+        assert_eq!(n_calls, 4, "1 warm-up + 3 measured");
+        assert_eq!(b.durations.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test/group");
+        let mut ran = false;
+        g.sample_size(2).bench_function("x", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 us");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(1)), "1.000 s");
+    }
+}

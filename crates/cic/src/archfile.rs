@@ -398,7 +398,11 @@ fn parse_xml(src: &str) -> Result<Element> {
                 while *pos < bytes.len() && bytes[*pos] != '>' {
                     *pos += 1;
                 }
-                let cname: String = bytes[cstart..*pos].iter().collect::<String>().trim().to_string();
+                let cname: String = bytes[cstart..*pos]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_string();
                 if cname != name {
                     return Err(err(*pos, format!("</{cname}> closes <{name}>")));
                 }
@@ -485,10 +489,10 @@ mod tests {
             parse_arch_file("<architecture memory=\"weird\"><pe name=\"x\"/></architecture>")
                 .is_err()
         );
-        assert!(parse_arch_file(
-            "<architecture><pe name=\"x\" class=\"quantum\"/></architecture>"
-        )
-        .is_err());
+        assert!(
+            parse_arch_file("<architecture><pe name=\"x\" class=\"quantum\"/></architecture>")
+                .is_err()
+        );
     }
 
     #[test]

@@ -120,13 +120,41 @@ mod tests {
         CicModel::new(
             unit,
             vec![
-                CicTask { name: "src".into(), body_fn: "produce".into(), period: Some(10), deadline: None, work: 4 },
-                CicTask { name: "dbl".into(), body_fn: "double_it".into(), period: None, deadline: None, work: 8 },
-                CicTask { name: "out".into(), body_fn: "collect".into(), period: None, deadline: None, work: 1 },
+                CicTask {
+                    name: "src".into(),
+                    body_fn: "produce".into(),
+                    period: Some(10),
+                    deadline: None,
+                    work: 4,
+                },
+                CicTask {
+                    name: "dbl".into(),
+                    body_fn: "double_it".into(),
+                    period: None,
+                    deadline: None,
+                    work: 8,
+                },
+                CicTask {
+                    name: "out".into(),
+                    body_fn: "collect".into(),
+                    period: None,
+                    deadline: None,
+                    work: 1,
+                },
             ],
             vec![
-                CicChannel { name: "c0".into(), src: 0, dst: 1, tokens: 4 },
-                CicChannel { name: "c1".into(), src: 1, dst: 2, tokens: 4 },
+                CicChannel {
+                    name: "c0".into(),
+                    src: 0,
+                    dst: 1,
+                    tokens: 4,
+                },
+                CicChannel {
+                    name: "c1".into(),
+                    src: 1,
+                    dst: 2,
+                    tokens: 4,
+                },
             ],
         )
         .unwrap()
@@ -156,10 +184,27 @@ mod tests {
         let m = CicModel::new(
             unit,
             vec![
-                CicTask { name: "oops".into(), body_fn: "bad".into(), period: None, deadline: None, work: 1 },
-                CicTask { name: "snk".into(), body_fn: "bad".into(), period: None, deadline: None, work: 1 },
+                CicTask {
+                    name: "oops".into(),
+                    body_fn: "bad".into(),
+                    period: None,
+                    deadline: None,
+                    work: 1,
+                },
+                CicTask {
+                    name: "snk".into(),
+                    body_fn: "bad".into(),
+                    period: None,
+                    deadline: None,
+                    work: 1,
+                },
             ],
-            vec![CicChannel { name: "c".into(), src: 0, dst: 1, tokens: 1 }],
+            vec![CicChannel {
+                name: "c".into(),
+                src: 0,
+                dst: 1,
+                tokens: 1,
+            }],
         );
         // Note: `snk` has 1 input and 0 outputs but body `bad` takes 1
         // param, so the model itself validates; execution traps on div 0.

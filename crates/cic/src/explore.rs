@@ -74,15 +74,48 @@ pub fn explore(
     max_cores: usize,
     max_workers: usize,
 ) -> Result<Exploration> {
+    explore_observed(
+        model,
+        deadline_cycles,
+        max_cores,
+        max_workers,
+        &mut mpsoc_obs::event::ObsCtx::none(),
+    )
+}
+
+/// [`explore`] with an observability context: bumps the
+/// `cic.candidates_evaluated` counter and emits one instant per candidate
+/// (category `"cic"`, sweep index as the timestamp, estimated cycles as the
+/// argument). Passing [`mpsoc_obs::event::ObsCtx::none`] is exactly
+/// [`explore`].
+///
+/// # Errors
+///
+/// Same conditions as [`explore`].
+pub fn explore_observed(
+    model: &CicModel,
+    deadline_cycles: u64,
+    max_cores: usize,
+    max_workers: usize,
+    obs: &mut mpsoc_obs::event::ObsCtx<'_>,
+) -> Result<Exploration> {
     if max_cores == 0 || max_workers == 0 {
         return Err(Error::Mapping("exploration bounds must be non-zero".into()));
     }
+    let evaluated = obs.metrics.map(|r| r.counter("cic.candidates_evaluated"));
     let mut candidates = Vec::new();
     let mut archs: Vec<ArchInfo> = (1..=max_cores).map(ArchInfo::smp_like).collect();
     archs.extend((1..=max_workers).map(ArchInfo::cell_like));
-    for arch in archs {
+    for (i, arch) in archs.into_iter().enumerate() {
         let mapping = auto_map(model, &arch)?;
         let t = translate(model, &arch, &mapping)?;
+        if let Some(c) = &evaluated {
+            c.inc();
+        }
+        obs.emit(|| {
+            mpsoc_obs::event::Event::instant(i as u64, arch.name.clone(), "cic", 0)
+                .with_arg("est_cycles", t.est_cycles)
+        });
         candidates.push(Candidate {
             est_cycles: t.est_cycles,
             cost: platform_cost(&arch),
@@ -119,13 +152,41 @@ mod tests {
         CicModel::new(
             unit,
             vec![
-                CicTask { name: "gen".into(), body_fn: "gen".into(), period: Some(100), deadline: None, work: 200 },
-                CicTask { name: "work".into(), body_fn: "work".into(), period: None, deadline: None, work: 800 },
-                CicTask { name: "fin".into(), body_fn: "fin".into(), period: None, deadline: Some(1_000), work: 100 },
+                CicTask {
+                    name: "gen".into(),
+                    body_fn: "gen".into(),
+                    period: Some(100),
+                    deadline: None,
+                    work: 200,
+                },
+                CicTask {
+                    name: "work".into(),
+                    body_fn: "work".into(),
+                    period: None,
+                    deadline: None,
+                    work: 800,
+                },
+                CicTask {
+                    name: "fin".into(),
+                    body_fn: "fin".into(),
+                    period: None,
+                    deadline: Some(1_000),
+                    work: 100,
+                },
             ],
             vec![
-                CicChannel { name: "a".into(), src: 0, dst: 1, tokens: 4 },
-                CicChannel { name: "b".into(), src: 1, dst: 2, tokens: 4 },
+                CicChannel {
+                    name: "a".into(),
+                    src: 0,
+                    dst: 1,
+                    tokens: 4,
+                },
+                CicChannel {
+                    name: "b".into(),
+                    src: 1,
+                    dst: 2,
+                    tokens: 4,
+                },
             ],
         )
         .unwrap()

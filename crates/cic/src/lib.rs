@@ -54,14 +54,14 @@
 
 pub mod archfile;
 pub mod error;
-pub mod explore;
 pub mod executor;
+pub mod explore;
 pub mod model;
 pub mod translator;
 
 pub use crate::archfile::{parse_arch_file, ArchInfo, InterconnectKind, MemoryModel, PeInfo};
-pub use crate::explore::{explore, Candidate, Exploration};
 pub use crate::error::{Error, Result};
 pub use crate::executor::{execute, RunOutput};
+pub use crate::explore::{explore, Candidate, Exploration};
 pub use crate::model::{from_dataflow, CicChannel, CicModel, CicTask};
 pub use crate::translator::{auto_map, execute_translation, translate, Op, PeProgram, Translation};

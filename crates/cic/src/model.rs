@@ -98,10 +98,9 @@ impl CicModel {
         // Acyclic topology (the executor runs one iteration topologically).
         self.topo_order()?;
         for (ti, t) in self.tasks.iter().enumerate() {
-            let f = self
-                .unit
-                .function(&t.body_fn)
-                .ok_or_else(|| Error::Model(format!("task `{}` body `{}` missing", t.name, t.body_fn)))?;
+            let f = self.unit.function(&t.body_fn).ok_or_else(|| {
+                Error::Model(format!("task `{}` body `{}` missing", t.name, t.body_fn))
+            })?;
             let inputs = self.inputs(ti).len();
             let outputs = self.outputs(ti).len();
             if f.params.len() != inputs + outputs {
@@ -113,10 +112,7 @@ impl CicModel {
                     f.params.len()
                 )));
             }
-            if f.params
-                .iter()
-                .any(|p| !matches!(p.ty, Type::Array(_)))
-            {
+            if f.params.iter().any(|p| !matches!(p.ty, Type::Array(_))) {
                 return Err(Error::Model(format!(
                     "task `{}` body parameters must all be arrays",
                     t.name
@@ -397,10 +393,7 @@ mod tests {
 
     #[test]
     fn cyclic_topology_rejected() {
-        let unit = parse(
-            "void f(int a[], int b[]) { b[0] = a[0]; }",
-        )
-        .unwrap();
+        let unit = parse("void f(int a[], int b[]) { b[0] = a[0]; }").unwrap();
         let t = |n: &str| CicTask {
             name: n.into(),
             body_fn: "f".into(),
@@ -412,8 +405,18 @@ mod tests {
             unit,
             vec![t("a"), t("b")],
             vec![
-                CicChannel { name: "c0".into(), src: 0, dst: 1, tokens: 1 },
-                CicChannel { name: "c1".into(), src: 1, dst: 0, tokens: 1 },
+                CicChannel {
+                    name: "c0".into(),
+                    src: 0,
+                    dst: 1,
+                    tokens: 1,
+                },
+                CicChannel {
+                    name: "c1".into(),
+                    src: 1,
+                    dst: 0,
+                    tokens: 1,
+                },
             ],
         );
         assert!(r.is_err());
@@ -422,9 +425,17 @@ mod tests {
     #[test]
     fn from_dataflow_generates_valid_model() {
         let mut g = mpsoc_dataflow::Graph::new();
-        let s = g.add_actor("src", vec![5], mpsoc_dataflow::ActorKind::Source { period: 100 });
+        let s = g.add_actor(
+            "src",
+            vec![5],
+            mpsoc_dataflow::ActorKind::Source { period: 100 },
+        );
         let f = g.add_actor("fil", vec![20], mpsoc_dataflow::ActorKind::Regular);
-        let k = g.add_actor("snk", vec![5], mpsoc_dataflow::ActorKind::Sink { period: 100 });
+        let k = g.add_actor(
+            "snk",
+            vec![5],
+            mpsoc_dataflow::ActorKind::Sink { period: 100 },
+        );
         g.add_channel(s, f, vec![2], vec![2], 0).unwrap();
         g.add_channel(f, k, vec![2], vec![2], 0).unwrap();
         let m = from_dataflow(&g).unwrap();

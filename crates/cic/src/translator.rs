@@ -345,16 +345,60 @@ mod tests {
         CicModel::new(
             unit,
             vec![
-                CicTask { name: "gen".into(), body_fn: "gen".into(), period: Some(1000), deadline: None, work: 100 },
-                CicTask { name: "s1".into(), body_fn: "stage1".into(), period: None, deadline: None, work: 400 },
-                CicTask { name: "s2".into(), body_fn: "stage2".into(), period: None, deadline: None, work: 300 },
-                CicTask { name: "emit".into(), body_fn: "emit".into(), period: None, deadline: Some(2000), work: 50 },
+                CicTask {
+                    name: "gen".into(),
+                    body_fn: "gen".into(),
+                    period: Some(1000),
+                    deadline: None,
+                    work: 100,
+                },
+                CicTask {
+                    name: "s1".into(),
+                    body_fn: "stage1".into(),
+                    period: None,
+                    deadline: None,
+                    work: 400,
+                },
+                CicTask {
+                    name: "s2".into(),
+                    body_fn: "stage2".into(),
+                    period: None,
+                    deadline: None,
+                    work: 300,
+                },
+                CicTask {
+                    name: "emit".into(),
+                    body_fn: "emit".into(),
+                    period: None,
+                    deadline: Some(2000),
+                    work: 50,
+                },
             ],
             vec![
-                CicChannel { name: "d01".into(), src: 0, dst: 1, tokens: 8 },
-                CicChannel { name: "d12".into(), src: 1, dst: 2, tokens: 8 },
-                CicChannel { name: "side".into(), src: 0, dst: 2, tokens: 2 },
-                CicChannel { name: "d23".into(), src: 2, dst: 3, tokens: 8 },
+                CicChannel {
+                    name: "d01".into(),
+                    src: 0,
+                    dst: 1,
+                    tokens: 8,
+                },
+                CicChannel {
+                    name: "d12".into(),
+                    src: 1,
+                    dst: 2,
+                    tokens: 8,
+                },
+                CicChannel {
+                    name: "side".into(),
+                    src: 0,
+                    dst: 2,
+                    tokens: 2,
+                },
+                CicChannel {
+                    name: "d23".into(),
+                    src: 2,
+                    dst: 3,
+                    tokens: 8,
+                },
             ],
         )
         .unwrap()
@@ -412,7 +456,10 @@ mod tests {
         let map = auto_map(&m, &cell).unwrap();
         let t = translate(&m, &cell, &map).unwrap();
         let all: String = t.sources.iter().map(|(_, s)| s.clone()).collect();
-        if t.pe_programs.iter().any(|p| p.ops.iter().any(|o| matches!(o, Op::Recv { .. }))) {
+        if t.pe_programs
+            .iter()
+            .any(|p| p.ops.iter().any(|o| matches!(o, Op::Recv { .. })))
+        {
             assert!(all.contains("dma_get("));
             assert!(!all.contains("ch_lock("));
         }
@@ -420,7 +467,10 @@ mod tests {
         let map = auto_map(&m, &smp).unwrap();
         let t = translate(&m, &smp, &map).unwrap();
         let all: String = t.sources.iter().map(|(_, s)| s.clone()).collect();
-        if t.pe_programs.iter().any(|p| p.ops.iter().any(|o| matches!(o, Op::Recv { .. }))) {
+        if t.pe_programs
+            .iter()
+            .any(|p| p.ops.iter().any(|o| matches!(o, Op::Recv { .. })))
+        {
             assert!(all.contains("ch_lock("));
             assert!(!all.contains("dma_get("));
         }
@@ -444,8 +494,7 @@ mod tests {
         let map = vec![0; m.tasks.len()];
         let t = translate(&m, &arch, &map).unwrap();
         assert_eq!(t.pe_programs.len(), 1);
-        assert!(t
-            .pe_programs[0]
+        assert!(t.pe_programs[0]
             .ops
             .iter()
             .all(|o| matches!(o, Op::Exec { .. })));
@@ -462,10 +511,7 @@ mod tests {
         // Single-PE SMP pays no comm but serialises all work.
         let smp = ArchInfo::smp_like(1);
         let ts = translate(&m, &smp, &vec![0; m.tasks.len()]).unwrap();
-        assert_eq!(
-            ts.est_cycles,
-            m.tasks.iter().map(|t| t.work).sum::<u64>()
-        );
+        assert_eq!(ts.est_cycles, m.tasks.iter().map(|t| t.work).sum::<u64>());
         // Same mapping, pricier interconnect => larger estimate.
         let cheap = ArchInfo::cell_like(3);
         let map = auto_map(&m, &cheap).unwrap();

@@ -120,7 +120,12 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `wcet` is empty.
-    pub fn add_actor(&mut self, name: impl Into<String>, wcet: Vec<u64>, kind: ActorKind) -> ActorId {
+    pub fn add_actor(
+        &mut self,
+        name: impl Into<String>,
+        wcet: Vec<u64>,
+        kind: ActorKind,
+    ) -> ActorId {
         assert!(!wcet.is_empty(), "actor needs at least one phase");
         self.actors.push(Actor {
             name: name.into(),

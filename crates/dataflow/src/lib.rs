@@ -50,7 +50,8 @@ pub mod ttrigger;
 pub use crate::error::{Error, Result};
 pub use crate::graph::{Actor, ActorId, ActorKind, Channel, ChannelId, Graph};
 pub use crate::selftimed::{
-    run_self_timed, SelfTimedConfig, SelfTimedResult, TimeModel, VaryingTimes, WcetTimes,
+    run_self_timed, run_self_timed_observed, SelfTimedConfig, SelfTimedResult, TimeModel,
+    VaryingTimes, WcetTimes,
 };
 pub use crate::ttrigger::{
     run_time_triggered, time_triggered_experiment, StaticSchedule, TimeTriggeredResult,

@@ -18,6 +18,15 @@ use std::collections::BinaryHeap;
 
 use crate::error::{Error, Result};
 use crate::graph::{ActorId, ActorKind, Graph};
+use mpsoc_obs::event::{Event, ObsCtx};
+use mpsoc_obs::metrics::{Counter, Gauge};
+
+/// Cached `dataflow.*` metric handles (resolved once per run).
+struct DataflowMetrics {
+    firings: Counter,
+    tokens_produced: Counter,
+    occupancy: Gauge,
+}
 
 /// Supplies actual execution times per firing (the paper's *"varying
 /// execution times"*).
@@ -59,7 +68,10 @@ impl VaryingTimes {
     pub fn new(seed: u64, lo_pct: u64, hi_pct: u64) -> Self {
         assert!(lo_pct <= hi_pct, "lo_pct must not exceed hi_pct");
         VaryingTimes {
-            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1,
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493)
+                | 1,
             lo_pct,
             hi_pct,
         }
@@ -159,6 +171,31 @@ pub fn run_self_timed(
     cfg: &SelfTimedConfig,
     times: &mut dyn TimeModel,
 ) -> Result<SelfTimedResult> {
+    run_self_timed_observed(graph, cfg, times, &mut ObsCtx::none())
+}
+
+/// [`run_self_timed`] with an observability context: each firing becomes a
+/// begin/end span (actor id as the track, category `"dataflow"`), each token
+/// arrival emits a per-channel occupancy [`mpsoc_obs::event::EventKind::Counter`]
+/// event, and the `dataflow.firings` / `dataflow.tokens_produced` counters
+/// plus the `dataflow.occupancy` gauge (high-water = deepest queue seen on
+/// any channel) are maintained. Timestamps are the simulator's native time
+/// units. Passing [`ObsCtx::none`] is exactly [`run_self_timed`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_self_timed`].
+pub fn run_self_timed_observed(
+    graph: &Graph,
+    cfg: &SelfTimedConfig,
+    times: &mut dyn TimeModel,
+    obs: &mut ObsCtx<'_>,
+) -> Result<SelfTimedResult> {
+    let metrics = obs.metrics.map(|r| DataflowMetrics {
+        firings: r.counter("dataflow.firings"),
+        tokens_produced: r.counter("dataflow.tokens_produced"),
+        occupancy: r.gauge("dataflow.occupancy"),
+    });
     if cfg.iterations == 0 {
         return Err(Error::Config("iterations must be non-zero".into()));
     }
@@ -296,6 +333,10 @@ pub fn run_self_timed(
                     heap.push(std::cmp::Reverse((now + d, a, fired[a], now)));
                     busy[a] = true;
                     progressed = true;
+                    obs.emit(|| {
+                        Event::begin(now, actor.name.clone(), "dataflow", a as u32)
+                            .with_arg("firing", fired[a])
+                    });
                 } else if let Some(w) = wake {
                     next_timer = Some(next_timer.map_or(w, |t: u64| t.min(w)));
                 }
@@ -331,9 +372,29 @@ pub fn run_self_timed(
                     reserved[chid.0] -= c.prod[phase];
                     tokens[chid.0] += c.prod[phase];
                     max_occ[chid.0] = max_occ[chid.0].max(tokens[chid.0]);
+                    if let Some(m) = &metrics {
+                        m.tokens_produced.add(c.prod[phase] as u64);
+                        m.occupancy.set(tokens[chid.0] as u64);
+                    }
+                    obs.emit(|| {
+                        Event::counter(
+                            end,
+                            format!("ch{}", chid.0),
+                            "dataflow",
+                            chid.0 as u32,
+                            tokens[chid.0] as u64,
+                        )
+                    });
                 }
                 busy[a] = false;
                 fired[a] += 1;
+                if let Some(m) = &metrics {
+                    m.firings.inc();
+                }
+                obs.emit(|| {
+                    Event::end(end, graph.actors()[a].name.clone(), "dataflow", a as u32)
+                        .with_arg("firing", firing)
+                });
                 result.firings.push(Firing {
                     actor: ActorId(a),
                     firing,
@@ -409,7 +470,15 @@ mod tests {
         .unwrap();
         // src ends 10, f runs 10..20, snk 20..30.
         assert_eq!(r.firings[0].actor, ActorId(0));
-        assert_eq!(r.firings[1], Firing { actor: ActorId(1), firing: 0, start: 10, end: 20 });
+        assert_eq!(
+            r.firings[1],
+            Firing {
+                actor: ActorId(1),
+                firing: 0,
+                start: 10,
+                end: 20
+            }
+        );
         assert_eq!(r.firings[2].start, 20);
     }
 
@@ -427,7 +496,10 @@ mod tests {
         // The source cannot keep its 10-unit period against a 50-unit
         // bottleneck: blocked starts are reported, data is never lost.
         assert!(r.source_blocked > 0);
-        assert_eq!(r.firings.iter().filter(|f| f.actor == ActorId(0)).count(), 5);
+        assert_eq!(
+            r.firings.iter().filter(|f| f.actor == ActorId(0)).count(),
+            5
+        );
     }
 
     #[test]
@@ -517,6 +589,55 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_counters_match_result() {
+        use mpsoc_obs::event::EventKind;
+        use mpsoc_obs::metrics::MetricsRegistry;
+        use mpsoc_obs::ring::RingSink;
+
+        let g = pipeline([1, 50, 1], 10);
+        let cfg = SelfTimedConfig {
+            iterations: 8,
+            ..Default::default()
+        };
+        let reg = MetricsRegistry::new();
+        let mut sink = RingSink::new(4096);
+        let mut obs = ObsCtx::new(&mut sink, &reg);
+        let r = run_self_timed_observed(&g, &cfg, &mut WcetTimes, &mut obs).unwrap();
+
+        assert_eq!(
+            reg.counter("dataflow.firings").get(),
+            r.firings.len() as u64
+        );
+        assert_eq!(
+            reg.gauge("dataflow.occupancy").high_water(),
+            r.max_occupancy.iter().copied().max().unwrap() as u64,
+            "gauge high-water is the deepest queue on any channel"
+        );
+
+        let evs = sink.events();
+        assert!(evs.iter().all(|e| e.cat == "dataflow"));
+        let begins = evs.iter().filter(|e| e.kind == EventKind::Begin).count();
+        let ends = evs.iter().filter(|e| e.kind == EventKind::End).count();
+        assert_eq!(begins, r.firings.len());
+        assert_eq!(begins, ends);
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e.kind, EventKind::Counter { .. })),
+            "occupancy samples must be present"
+        );
+    }
+
+    #[test]
+    fn unobserved_run_matches_observed_result() {
+        let g = pipeline([5, 20, 5], 100);
+        let cfg = SelfTimedConfig::default();
+        let plain = run_self_timed(&g, &cfg, &mut WcetTimes).unwrap();
+        let observed =
+            run_self_timed_observed(&g, &cfg, &mut WcetTimes, &mut ObsCtx::none()).unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
     fn capacity_vector_length_checked() {
         let g = pipeline([1, 1, 1], 10);
         let cfg = SelfTimedConfig {
@@ -564,10 +685,9 @@ mod csdf_tests {
             &mut WcetTimes,
         )
         .unwrap();
-        let cons_firings: Vec<&Firing> =
-            r.firings.iter().filter(|f| f.actor.0 == 1).collect();
+        let cons_firings: Vec<&Firing> = r.firings.iter().filter(|f| f.actor.0 == 1).collect();
         assert_eq!(cons_firings.len(), 8); // 2 phases x 4 iterations
-        // Durations alternate 5, 9 with the phase index.
+                                           // Durations alternate 5, 9 with the phase index.
         for f in &cons_firings {
             let expected = if f.firing % 2 == 0 { 5 } else { 9 };
             assert_eq!(f.end - f.start, expected, "firing {}", f.firing);
@@ -644,7 +764,10 @@ mod latency_tests {
         g.add_channel(f, k, vec![1], vec![1], 0).unwrap();
         let r = run_self_timed(
             &g,
-            &SelfTimedConfig { iterations: 5, ..Default::default() },
+            &SelfTimedConfig {
+                iterations: 5,
+                ..Default::default()
+            },
             &mut WcetTimes,
         )
         .unwrap();
@@ -667,7 +790,10 @@ mod latency_tests {
             let mut m = VaryingTimes::new(5, 100, hi);
             run_self_timed(
                 &g,
-                &SelfTimedConfig { iterations: 20, ..Default::default() },
+                &SelfTimedConfig {
+                    iterations: 20,
+                    ..Default::default()
+                },
                 &mut m,
             )
             .unwrap()

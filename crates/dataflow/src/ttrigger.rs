@@ -250,10 +250,7 @@ mod tests {
         let g = pipeline([5, 80, 5], 100);
         let mut over = VaryingTimes::new(17, 90, 150);
         let (_s, r) = time_triggered_experiment(&g, &[1, 1], 30, &mut over).unwrap();
-        assert!(
-            r.corrupted_reads > 0,
-            "expected corrupted reads, got {r:?}"
-        );
+        assert!(r.corrupted_reads > 0, "expected corrupted reads, got {r:?}");
     }
 
     #[test]
@@ -290,7 +287,9 @@ mod tests {
     #[test]
     fn schedule_shape_validated() {
         let g = pipeline([1, 1, 1], 10);
-        let bad = StaticSchedule { starts: vec![vec![0]] };
+        let bad = StaticSchedule {
+            starts: vec![vec![0]],
+        };
         assert!(run_time_triggered(&g, &bad, &[1, 1], &mut WcetTimes).is_err());
         let sched = derive_schedule(&g, &[1, 1], 1).unwrap();
         assert!(run_time_triggered(&g, &sched, &[1], &mut WcetTimes).is_err());

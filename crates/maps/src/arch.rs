@@ -57,7 +57,10 @@ impl ArchModel {
             return Err(Error::Config("need at least one PE".into()));
         }
         if let Some(p) = pes.iter().find(|p| p.speed <= 0.0) {
-            return Err(Error::Config(format!("PE `{}` has non-positive speed", p.name)));
+            return Err(Error::Config(format!(
+                "PE `{}` has non-positive speed",
+                p.name
+            )));
         }
         Ok(ArchModel {
             pes,
@@ -222,8 +225,16 @@ mod tests {
     fn speed_scales_execution() {
         let a = ArchModel::new(
             vec![
-                Pe { name: "slow".into(), class: PeClass::Risc, speed: 1.0 },
-                Pe { name: "fast".into(), class: PeClass::Risc, speed: 2.0 },
+                Pe {
+                    name: "slow".into(),
+                    class: PeClass::Risc,
+                    speed: 1.0,
+                },
+                Pe {
+                    name: "fast".into(),
+                    class: PeClass::Risc,
+                    speed: 2.0,
+                },
             ],
             10,
             1,

@@ -53,7 +53,9 @@ impl ConcurrencyGraph {
     /// a self-edge.
     pub fn add_concurrent(&mut self, a: usize, b: usize) -> Result<()> {
         if a == b {
-            return Err(Error::Config("an app is trivially concurrent with itself".into()));
+            return Err(Error::Config(
+                "an app is trivially concurrent with itself".into(),
+            ));
         }
         if a >= self.apps.len() || b >= self.apps.len() {
             return Err(Error::NotFound(format!("app {}", a.max(b))));

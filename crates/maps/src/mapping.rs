@@ -128,7 +128,7 @@ pub fn list_schedule(graph: &TaskGraph, arch: &ArchModel) -> Result<Mapping> {
     let mut end = vec![0u64; n];
     for &t in &order {
         let mut best: Option<(u64, usize, u64)> = None; // (finish, pe, start)
-        for pe in 0..arch.len() {
+        for (pe, &free) in pe_free.iter().enumerate() {
             let mut ready = 0u64;
             for e in graph.preds(t) {
                 // Unplaced predecessors (possible under rank ties) are
@@ -140,7 +140,7 @@ pub fn list_schedule(graph: &TaskGraph, arch: &ArchModel) -> Result<Mapping> {
                 };
                 ready = ready.max(pend + arch.comm_cycles(ppe, pe, e.volume));
             }
-            let start = ready.max(pe_free[pe]);
+            let start = ready.max(free);
             let finish = start + arch.exec_cycles(pe, graph.tasks[t].cost, graph.tasks[t].pref);
             if best.is_none_or(|(bf, _, _)| finish < bf) {
                 best = Some((finish, pe, start));
@@ -163,12 +163,46 @@ pub fn list_schedule(graph: &TaskGraph, arch: &ArchModel) -> Result<Mapping> {
 ///
 /// Propagates validation errors from [`evaluate`].
 pub fn anneal(graph: &TaskGraph, arch: &ArchModel, seed: u64, iters: u64) -> Result<Mapping> {
+    anneal_observed(
+        graph,
+        arch,
+        seed,
+        iters,
+        &mut mpsoc_obs::event::ObsCtx::none(),
+    )
+}
+
+/// [`anneal`] with an observability context: bumps the
+/// `maps.candidates_evaluated` and `maps.moves_accepted` counters and emits
+/// an `"improved"` instant (category `"maps"`, move index as timestamp,
+/// makespan as the argument) whenever a move beats the best mapping so far.
+/// Passing [`mpsoc_obs::event::ObsCtx::none`] is exactly [`anneal`].
+///
+/// # Errors
+///
+/// Propagates validation errors from [`evaluate`].
+pub fn anneal_observed(
+    graph: &TaskGraph,
+    arch: &ArchModel,
+    seed: u64,
+    iters: u64,
+    obs: &mut mpsoc_obs::event::ObsCtx<'_>,
+) -> Result<Mapping> {
+    let metrics = obs.metrics.map(|r| {
+        (
+            r.counter("maps.candidates_evaluated"),
+            r.counter("maps.moves_accepted"),
+        )
+    });
     let mut current = list_schedule(graph, arch)?;
     if graph.tasks.is_empty() || arch.len() < 2 {
         return Ok(current);
     }
     let mut best = current.clone();
-    let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) | 1;
+    let mut rng = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        | 1;
     let mut next = || {
         rng ^= rng >> 12;
         rng ^= rng << 25;
@@ -186,15 +220,25 @@ pub fn anneal(graph: &TaskGraph, arch: &ArchModel, seed: u64, iters: u64) -> Res
         let mut trial = current.assignment.clone();
         trial[task] = new_pe;
         let cand = evaluate(graph, arch, &trial)?;
+        if let Some((evaluated, _)) = &metrics {
+            evaluated.inc();
+        }
         let delta = cand.makespan as f64 - current.makespan as f64;
         let accept = delta <= 0.0 || {
             let p = (-delta / temp).exp();
             (next() % 1_000_000) as f64 / 1_000_000.0 < p
         };
         if accept {
+            if let Some((_, accepted)) = &metrics {
+                accepted.inc();
+            }
             current = cand;
             if current.makespan < best.makespan {
                 best = current.clone();
+                obs.emit(|| {
+                    mpsoc_obs::event::Event::instant(i, "improved", "maps", 0)
+                        .with_arg("makespan", best.makespan)
+                });
             }
         }
     }
@@ -220,10 +264,26 @@ mod tests {
                 })
                 .collect(),
             edges: vec![
-                TaskEdge { from: 0, to: 1, volume: 1 },
-                TaskEdge { from: 0, to: 2, volume: 1 },
-                TaskEdge { from: 1, to: 3, volume: 1 },
-                TaskEdge { from: 2, to: 3, volume: 1 },
+                TaskEdge {
+                    from: 0,
+                    to: 1,
+                    volume: 1,
+                },
+                TaskEdge {
+                    from: 0,
+                    to: 2,
+                    volume: 1,
+                },
+                TaskEdge {
+                    from: 1,
+                    to: 3,
+                    volume: 1,
+                },
+                TaskEdge {
+                    from: 2,
+                    to: 3,
+                    volume: 1,
+                },
             ],
         }
     }

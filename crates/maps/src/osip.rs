@@ -130,11 +130,7 @@ pub fn dispatch(
 
 /// The task granularity (cycles) at which `sched` first sustains at least
 /// `target` utilisation on `n_pes` PEs, or `None` within the probed range.
-pub fn granularity_for_utilization(
-    n_pes: usize,
-    sched: SchedulerKind,
-    target: f64,
-) -> Option<u64> {
+pub fn granularity_for_utilization(n_pes: usize, sched: SchedulerKind, target: f64) -> Option<u64> {
     let mut g = 1u64;
     while g <= 1 << 24 {
         if let Ok(r) = dispatch(10_000, g, n_pes, sched) {
@@ -153,7 +149,10 @@ mod tests {
 
     #[test]
     fn coarse_tasks_saturate_either_scheduler() {
-        for sched in [SchedulerKind::typical_osip(), SchedulerKind::typical_software()] {
+        for sched in [
+            SchedulerKind::typical_osip(),
+            SchedulerKind::typical_software(),
+        ] {
             let r = dispatch(1_000, 1_000_000, 4, sched).unwrap();
             assert!(r.utilization > 0.95, "{sched:?}: {r:?}");
         }
@@ -183,10 +182,8 @@ mod tests {
 
     #[test]
     fn osip_enables_finer_granularity_at_same_utilization() {
-        let g_osip =
-            granularity_for_utilization(4, SchedulerKind::typical_osip(), 0.8).unwrap();
-        let g_sw =
-            granularity_for_utilization(4, SchedulerKind::typical_software(), 0.8).unwrap();
+        let g_osip = granularity_for_utilization(4, SchedulerKind::typical_osip(), 0.8).unwrap();
+        let g_sw = granularity_for_utilization(4, SchedulerKind::typical_software(), 0.8).unwrap();
         assert!(
             g_osip * 8 <= g_sw,
             "osip granularity {g_osip} should be >=8x finer than software {g_sw}"

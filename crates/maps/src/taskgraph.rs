@@ -155,7 +155,12 @@ pub fn extract_task_graph(unit: &Unit, func: &str, model: &CostModel) -> Result<
 /// PE types can be optionally annotated"*. A hint `("dct", PeClass::Dsp)`
 /// marks every task whose source statements call a function whose name
 /// contains `"dct"`.
-pub fn annotate_pe_hints(graph: &mut TaskGraph, unit: &Unit, func: &str, hints: &[(&str, PeClass)]) {
+pub fn annotate_pe_hints(
+    graph: &mut TaskGraph,
+    unit: &Unit,
+    func: &str,
+    hints: &[(&str, PeClass)],
+) {
     let Some(f) = unit.function(func) else { return };
     for task in &mut graph.tasks {
         for &si in &task.stmts {
@@ -292,10 +297,8 @@ mod tests {
 
     #[test]
     fn coarsen_merges_edges() {
-        let u = parse(
-            "void f(void) { int x = 1; int y = x + 1; int z = y + 1; int w = z + 1; }",
-        )
-        .unwrap();
+        let u = parse("void f(void) { int x = 1; int y = x + 1; int z = y + 1; int w = z + 1; }")
+            .unwrap();
         let g = extract_task_graph(&u, "f", &CostModel::default()).unwrap();
         let c = coarsen(&g, 2).unwrap();
         assert_eq!(c.tasks.len(), 2);

@@ -384,10 +384,9 @@ pub fn analyzability(unit: &Unit, func: &Function) -> Analyzability {
         visit_exprs(s, &mut |e| match e {
             Expr::Un(UnOp::Deref, _) => a.pointer_derefs += 1,
             Expr::Un(UnOp::Addr, _) => a.address_ofs += 1,
-            Expr::Call(name, _)
-                if unit.function(name).is_none() => {
-                    a.external_calls += 1;
-                }
+            Expr::Call(name, _) if unit.function(name).is_none() => {
+                a.external_calls += 1;
+            }
             _ => {}
         });
     });
@@ -472,8 +471,8 @@ mod tests {
 
     #[test]
     fn clean_code_is_fully_analyzable() {
-        let u = parse("void f(int a[]) { for (i = 0; i < 8; i = i + 1) { a[i] = i * 2; } }")
-            .unwrap();
+        let u =
+            parse("void f(int a[]) { for (i = 0; i < 8; i = i + 1) { a[i] = i * 2; } }").unwrap();
         assert!(analyzability(&u, &u.functions[0]).is_fully_analyzable());
     }
 

@@ -55,12 +55,7 @@ pub fn unit_costs(unit: &Unit, model: &CostModel) -> HashMap<String, u64> {
 }
 
 /// Cost of one function body.
-pub fn function_cost(
-    unit: &Unit,
-    f: &Function,
-    model: &CostModel,
-    stack: &mut Vec<String>,
-) -> u64 {
+pub fn function_cost(unit: &Unit, f: &Function, model: &CostModel, stack: &mut Vec<String>) -> u64 {
     if stack.iter().filter(|n| **n == f.name).count() >= 2 || stack.len() > 8 {
         return model.external_call; // recursion cutoff
     }
@@ -72,17 +67,16 @@ pub fn function_cost(
 
 /// Cost of a statement sequence.
 pub fn stmts_cost(unit: &Unit, stmts: &[Stmt], model: &CostModel, stack: &mut Vec<String>) -> u64 {
-    stmts
-        .iter()
-        .map(|s| stmt_cost(unit, s, model, stack))
-        .sum()
+    stmts.iter().map(|s| stmt_cost(unit, s, model, stack)).sum()
 }
 
 /// Cost of one statement (loops folded by trip count).
 pub fn stmt_cost(unit: &Unit, s: &Stmt, model: &CostModel, stack: &mut Vec<String>) -> u64 {
     match &s.kind {
         StmtKind::Decl { init, .. } => {
-            init.as_ref().map_or(0, |e| expr_cost(unit, e, model, stack)) + model.alu
+            init.as_ref()
+                .map_or(0, |e| expr_cost(unit, e, model, stack))
+                + model.alu
         }
         StmtKind::Assign { lhs, rhs } => {
             let lhs_cost = match lhs {
@@ -108,7 +102,11 @@ pub fn stmt_cost(unit: &Unit, s: &Stmt, model: &CostModel, stack: &mut Vec<Strin
             per_iter * model.default_trip
         }
         StmtKind::For {
-            from, to, step, body, ..
+            from,
+            to,
+            step,
+            body,
+            ..
         } => {
             let trip = trip_count(from, to, step).unwrap_or(model.default_trip);
             let per_iter = 2 * model.alu + stmts_cost(unit, body, model, stack);
@@ -173,16 +171,19 @@ mod tests {
             trip_count(&Expr::lit(5), &Expr::lit(5), &Expr::lit(1)),
             Some(0)
         );
-        assert_eq!(trip_count(&Expr::var("n"), &Expr::lit(10), &Expr::lit(1)), None);
+        assert_eq!(
+            trip_count(&Expr::var("n"), &Expr::lit(10), &Expr::lit(1)),
+            None
+        );
     }
 
     #[test]
     fn loop_cost_scales_with_trip_count() {
         let m = CostModel::default();
-        let u10 = parse("void f(int a[]) { for (i = 0; i < 10; i = i + 1) { a[i] = i; } }")
-            .unwrap();
-        let u100 = parse("void f(int a[]) { for (i = 0; i < 100; i = i + 1) { a[i] = i; } }")
-            .unwrap();
+        let u10 =
+            parse("void f(int a[]) { for (i = 0; i < 10; i = i + 1) { a[i] = i; } }").unwrap();
+        let u100 =
+            parse("void f(int a[]) { for (i = 0; i < 100; i = i + 1) { a[i] = i; } }").unwrap();
         let c10 = unit_costs(&u10, &m)["f"];
         let c100 = unit_costs(&u100, &m)["f"];
         assert_eq!(c100, c10 * 10);

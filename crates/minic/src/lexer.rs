@@ -82,8 +82,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             '0'..='9' => {
                 let start = i;
                 let scol = col;
-                let value: i64;
-                if c == '0' && matches!(next, Some('x') | Some('X')) {
+                let value: i64 = if c == '0' && matches!(next, Some('x') | Some('X')) {
                     i += 2;
                     let hstart = i;
                     while i < chars.len() && chars[i].is_ascii_hexdigit() {
@@ -93,17 +92,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         return Err(Error::new(line, scol, "empty hex literal"));
                     }
                     let text: String = chars[hstart..i].iter().collect();
-                    value = i64::from_str_radix(&text, 16)
-                        .map_err(|_| Error::new(line, scol, "hex literal overflows i64"))?;
+                    i64::from_str_radix(&text, 16)
+                        .map_err(|_| Error::new(line, scol, "hex literal overflows i64"))?
                 } else {
                     while i < chars.len() && chars[i].is_ascii_digit() {
                         i += 1;
                     }
                     let text: String = chars[start..i].iter().collect();
-                    value = text
-                        .parse()
-                        .map_err(|_| Error::new(line, scol, "integer literal overflows i64"))?;
-                }
+                    text.parse()
+                        .map_err(|_| Error::new(line, scol, "integer literal overflows i64"))?
+                };
                 tokens.push(Token {
                     kind: TokenKind::Int(value),
                     line,
@@ -164,7 +162,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             '!' if next == Some('=') => push!(TokenKind::Ne, 2),
             '!' => push!(TokenKind::Not, 1),
             other => {
-                return Err(Error::new(line, col, format!("unexpected character `{other}`")));
+                return Err(Error::new(
+                    line,
+                    col,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }

@@ -604,7 +604,10 @@ mod tests {
         let b = &u.functions[0].body;
         assert!(matches!(
             b[0].kind,
-            StmtKind::Assign { lhs: LValue::Deref(_), .. }
+            StmtKind::Assign {
+                lhs: LValue::Deref(_),
+                ..
+            }
         ));
         assert!(matches!(b[2].kind, StmtKind::Decl { ty: Type::Ptr, .. }));
     }

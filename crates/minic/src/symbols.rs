@@ -44,10 +44,7 @@ impl SymbolTable {
 
     /// Whether `name` denotes an array.
     pub fn is_array(&self, name: &str) -> bool {
-        matches!(
-            self.get(name).map(|s| s.kind),
-            Some(SymbolKind::Array(_))
-        )
+        matches!(self.get(name).map(|s| s.kind), Some(SymbolKind::Array(_)))
     }
 
     /// Whether `name` denotes a pointer.
@@ -211,8 +208,7 @@ mod tests {
 
     #[test]
     fn resolves_params_globals_and_locals() {
-        let u = parse("int g;\nint f(int x, int a[]) { int y = x; return y + g + a[0]; }")
-            .unwrap();
+        let u = parse("int g;\nint f(int x, int a[]) { int y = x; return y + g + a[0]; }").unwrap();
         let t = resolve(&u, &u.functions[0]).unwrap();
         assert_eq!(t.get("x").unwrap().kind, SymbolKind::Scalar);
         assert!(t.is_array("a"));

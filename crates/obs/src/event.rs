@@ -1,0 +1,261 @@
+//! Structured events and the [`EventSink`] trait.
+//!
+//! Every simulator layer reports the same four event shapes: span begins,
+//! span ends, instants, and sampled counter values. An event carries a
+//! timestamp in the emitting layer's native time unit, a name, a category
+//! (the layer, e.g. `"platform"`), and a track (core id, actor id, task id
+//! — whatever the layer uses as its unit of concurrency). Sinks decide what
+//! to do with the stream: keep a bounded history ([`crate::ring::RingSink`]),
+//! count, filter, forward.
+
+use std::borrow::Cow;
+
+/// The shape of an [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens (Chrome phase `B`).
+    Begin,
+    /// A span closes (Chrome phase `E`).
+    End,
+    /// A point event (Chrome phase `i`).
+    Instant,
+    /// A sampled value, e.g. FIFO occupancy (Chrome phase `C`).
+    Counter {
+        /// The sampled value.
+        value: u64,
+    },
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in the emitting layer's native unit (cycles, ticks, ...).
+    pub ts: u64,
+    /// Event name, e.g. `"job"` or an actor name.
+    pub name: Cow<'static, str>,
+    /// Emitting layer: `"platform"`, `"rtkernel"`, `"dataflow"`, ...
+    pub cat: &'static str,
+    /// Track within the layer (core/actor/task id); becomes the Chrome tid.
+    pub track: u32,
+    /// Begin / End / Instant / Counter.
+    pub kind: EventKind,
+    /// Optional single key/value argument attached to the event.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+impl Event {
+    /// A span-begin event.
+    pub fn begin(
+        ts: u64,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        track: u32,
+    ) -> Self {
+        Event {
+            ts,
+            name: name.into(),
+            cat,
+            track,
+            kind: EventKind::Begin,
+            arg: None,
+        }
+    }
+
+    /// A span-end event.
+    pub fn end(ts: u64, name: impl Into<Cow<'static, str>>, cat: &'static str, track: u32) -> Self {
+        Event {
+            ts,
+            name: name.into(),
+            cat,
+            track,
+            kind: EventKind::End,
+            arg: None,
+        }
+    }
+
+    /// A point event.
+    pub fn instant(
+        ts: u64,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        track: u32,
+    ) -> Self {
+        Event {
+            ts,
+            name: name.into(),
+            cat,
+            track,
+            kind: EventKind::Instant,
+            arg: None,
+        }
+    }
+
+    /// A sampled counter value (e.g. buffer occupancy over time).
+    pub fn counter(
+        ts: u64,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        track: u32,
+        value: u64,
+    ) -> Self {
+        Event {
+            ts,
+            name: name.into(),
+            cat,
+            track,
+            kind: EventKind::Counter { value },
+            arg: None,
+        }
+    }
+
+    /// Attaches a single key/value argument.
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
+        self.arg = Some((key, value));
+        self
+    }
+}
+
+/// Receives the event stream from instrumented code.
+pub trait EventSink {
+    /// Accepts one event. Sinks must not panic on any well-formed event.
+    fn emit(&mut self, ev: Event);
+}
+
+/// An `EventSink` that drops everything; occasionally useful in tests.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _ev: Event) {}
+}
+
+/// Reborrows an optional sink for a nested call without consuming it — the
+/// pattern every `*_observed` loop needs (`Option::as_deref_mut` does not
+/// work here because `&mut dyn Trait` lifetimes are invariant).
+pub fn reborrow_sink<'s>(
+    sink: &'s mut Option<&mut dyn EventSink>,
+) -> Option<&'s mut dyn EventSink> {
+    match sink {
+        Some(s) => Some(&mut **s),
+        None => None,
+    }
+}
+
+/// The observability context threaded through instrumented code paths:
+/// an optional event sink plus an optional metrics registry.
+///
+/// Both halves are independent — a caller may want only counters (cheap,
+/// aggregated) or only events (detailed, bounded history). Uninstrumented
+/// callers pass [`ObsCtx::none`]; every hook then reduces to a branch on
+/// `None`.
+pub struct ObsCtx<'a> {
+    /// Where events go, if anywhere.
+    pub sink: Option<&'a mut dyn EventSink>,
+    /// Where counters live, if anywhere.
+    pub metrics: Option<&'a crate::metrics::MetricsRegistry>,
+}
+
+impl<'a> ObsCtx<'a> {
+    /// A context that observes nothing.
+    pub fn none() -> Self {
+        ObsCtx {
+            sink: None,
+            metrics: None,
+        }
+    }
+
+    /// A context with both an event sink and a metrics registry.
+    pub fn new(sink: &'a mut dyn EventSink, metrics: &'a crate::metrics::MetricsRegistry) -> Self {
+        ObsCtx {
+            sink: Some(sink),
+            metrics: Some(metrics),
+        }
+    }
+
+    /// A context that only records events.
+    pub fn events(sink: &'a mut dyn EventSink) -> Self {
+        ObsCtx {
+            sink: Some(sink),
+            metrics: None,
+        }
+    }
+
+    /// A context that only records metrics.
+    pub fn counters(metrics: &'a crate::metrics::MetricsRegistry) -> Self {
+        ObsCtx {
+            sink: None,
+            metrics: Some(metrics),
+        }
+    }
+
+    /// True if neither events nor metrics are being collected.
+    pub fn is_none(&self) -> bool {
+        self.sink.is_none() && self.metrics.is_none()
+    }
+
+    /// Emits `ev` if a sink is attached. The event is built lazily so
+    /// uninstrumented runs don't even construct it.
+    pub fn emit(&mut self, ev: impl FnOnce() -> Event) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(ev());
+        }
+    }
+
+    /// Reborrows the context for a nested call without giving it up.
+    pub fn reborrow(&mut self) -> ObsCtx<'_> {
+        ObsCtx {
+            sink: self.sink.as_deref_mut().map(|s| s as &mut dyn EventSink),
+            metrics: self.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::ring::RingSink;
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(Event::begin(1, "a", "c", 0).kind, EventKind::Begin);
+        assert_eq!(Event::end(2, "a", "c", 0).kind, EventKind::End);
+        assert_eq!(Event::instant(3, "a", "c", 0).kind, EventKind::Instant);
+        assert_eq!(
+            Event::counter(4, "a", "c", 0, 9).kind,
+            EventKind::Counter { value: 9 }
+        );
+        let ev = Event::instant(5, "a", "c", 2).with_arg("k", 7);
+        assert_eq!(ev.arg, Some(("k", 7)));
+        assert_eq!(ev.track, 2);
+    }
+
+    #[test]
+    fn none_ctx_skips_event_construction() {
+        let mut ctx = ObsCtx::none();
+        assert!(ctx.is_none());
+        let mut built = false;
+        ctx.emit(|| {
+            built = true;
+            Event::instant(0, "never", "test", 0)
+        });
+        assert!(!built, "event closure must not run without a sink");
+    }
+
+    #[test]
+    fn reborrow_keeps_both_halves_usable() {
+        let reg = MetricsRegistry::new();
+        let mut sink = RingSink::new(8);
+        let mut ctx = ObsCtx::new(&mut sink, &reg);
+        {
+            let mut inner = ctx.reborrow();
+            inner.emit(|| Event::instant(1, "inner", "test", 0));
+            if let Some(m) = inner.metrics {
+                m.counter("n").inc();
+            }
+        }
+        ctx.emit(|| Event::instant(2, "outer", "test", 0));
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(reg.counter("n").get(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Exporters: Chrome `trace_event` JSON and plain-text metrics dumps.
+//!
+//! [`chrome_trace`] serialises an event slice into the Chrome Trace Event
+//! JSON Array Format, loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Each category (layer) becomes its own process
+//! (pid) with a `process_name` metadata record, and each track becomes a
+//! thread (tid) inside it, so a multi-layer run renders as parallel
+//! swim-lanes. Everything is written with `std::fmt` — no serde.
+
+use crate::event::{Event, EventKind};
+use std::fmt::Write;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises `events` as Chrome Trace Event JSON (array format).
+///
+/// Events are sorted by timestamp (stably, so same-timestamp begin/end
+/// ordering is preserved), categories are mapped to pids in order of first
+/// appearance, and a `process_name` metadata record is emitted per
+/// category. Timestamps are taken verbatim as microseconds — each layer's
+/// native unit simply becomes "µs" on the timeline, which keeps relative
+/// durations within a layer faithful.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut cats: Vec<&'static str> = Vec::new();
+    for ev in events {
+        if !cats.contains(&ev.cat) {
+            cats.push(ev.cat);
+        }
+    }
+
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].ts);
+
+    let mut out = String::new();
+    out.push_str("[\n");
+    let mut first = true;
+
+    for (pid, cat) in cats.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            pid + 1
+        );
+        escape_json(cat, &mut out);
+        out.push_str("\"}}");
+    }
+
+    for &i in &order {
+        let ev = &events[i];
+        let pid = cats.iter().position(|c| *c == ev.cat).unwrap() + 1;
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ph = match ev.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter { .. } => "C",
+        };
+        out.push_str("{\"name\":\"");
+        escape_json(&ev.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            ev.cat, ph, ev.ts, pid, ev.track
+        );
+        match ev.kind {
+            EventKind::Instant => out.push_str(",\"s\":\"t\""),
+            EventKind::Counter { value } => {
+                out.push_str(",\"args\":{\"value\":");
+                let _ = write!(out, "{value}");
+                out.push('}');
+            }
+            _ => {}
+        }
+        if let Some((key, value)) = ev.arg {
+            if !matches!(ev.kind, EventKind::Counter { .. }) {
+                out.push_str(",\"args\":{\"");
+                escape_json(key, &mut out);
+                let _ = write!(out, "\":{value}");
+                out.push('}');
+            }
+        }
+        out.push('}');
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn emits_all_phases_and_metadata() {
+        let events = vec![
+            Event::begin(10, "span", "platform", 0),
+            Event::end(20, "span", "platform", 0),
+            Event::instant(15, "tick", "rtkernel", 1),
+            Event::counter(12, "occ", "dataflow", 2, 5),
+        ];
+        let json = chrome_trace(&events);
+        for needle in [
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"M\"",
+            "\"args\":{\"value\":5}",
+            "\"name\":\"platform\"",
+            "\"name\":\"rtkernel\"",
+            "\"name\":\"dataflow\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn sorted_by_timestamp() {
+        let events = vec![
+            Event::instant(30, "late", "l", 0),
+            Event::instant(10, "early", "l", 0),
+        ];
+        let json = chrome_trace(&events);
+        let early = json.find("early").unwrap();
+        let late = json.find("late").unwrap();
+        assert!(early < late, "events must be sorted by ts");
+    }
+
+    #[test]
+    fn arg_serialised_for_non_counter() {
+        let events = vec![Event::instant(1, "irq", "platform", 0).with_arg("line", 3)];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"args\":{\"line\":3}"));
+    }
+
+    #[test]
+    fn empty_input_is_valid_empty_array() {
+        let json = chrome_trace(&[]);
+        let trimmed = json.trim();
+        assert!(trimmed.starts_with('['));
+        assert!(trimmed.ends_with(']'));
+        assert!(!trimmed.contains('{'), "no records expected: {json}");
+    }
+}

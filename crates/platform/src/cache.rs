@@ -58,9 +58,18 @@ impl Cache {
     /// Panics if any parameter is zero or `num_sets`/`line_words` is not a
     /// power of two (required for bit-sliced indexing).
     pub fn new(num_sets: u32, assoc: u32, line_words: u32) -> Self {
-        assert!(num_sets > 0 && assoc > 0 && line_words > 0, "cache dims must be non-zero");
-        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
-        assert!(line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(
+            num_sets > 0 && assoc > 0 && line_words > 0,
+            "cache dims must be non-zero"
+        );
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
+        assert!(
+            line_words.is_power_of_two(),
+            "line_words must be a power of two"
+        );
         Cache {
             sets: (0..num_sets)
                 .map(|_| CacheSet {

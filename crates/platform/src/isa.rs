@@ -191,11 +191,7 @@ impl Program {
     /// program's symbol table, used by debuggers for function-execution
     /// histories.
     pub fn labels_snapshot(&self) -> Vec<(String, u32)> {
-        let mut v: Vec<(String, u32)> = self
-            .labels
-            .iter()
-            .map(|(n, a)| (n.clone(), *a))
-            .collect();
+        let mut v: Vec<(String, u32)> = self.labels.iter().map(|(n, a)| (n.clone(), *a)).collect();
         v.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -495,8 +491,14 @@ mod tests {
     #[test]
     fn base_cycles_reflect_functional_units() {
         assert_eq!(Instr::Nop.base_cycles(), 1);
-        assert_eq!(Instr::Mul(Reg::new(0), Reg::new(0), Reg::new(0)).base_cycles(), 3);
-        assert_eq!(Instr::Div(Reg::new(0), Reg::new(0), Reg::new(1)).base_cycles(), 10);
+        assert_eq!(
+            Instr::Mul(Reg::new(0), Reg::new(0), Reg::new(0)).base_cycles(),
+            3
+        );
+        assert_eq!(
+            Instr::Div(Reg::new(0), Reg::new(0), Reg::new(1)).base_cycles(),
+            10
+        );
     }
 
     #[test]

@@ -176,11 +176,17 @@ mod tests {
     fn decode_local_per_core() {
         assert_eq!(
             decode(LOCAL_BASE + 5, 1024, 2).unwrap(),
-            Region::Local { owner: 0, offset: 5 }
+            Region::Local {
+                owner: 0,
+                offset: 5
+            }
         );
         assert_eq!(
             decode(LOCAL_BASE + LOCAL_STRIDE + 7, 1024, 2).unwrap(),
-            Region::Local { owner: 1, offset: 7 }
+            Region::Local {
+                owner: 1,
+                offset: 7
+            }
         );
         // Core 2 does not exist on a 2-core platform.
         assert!(decode(LOCAL_BASE + 2 * LOCAL_STRIDE, 1024, 2).is_err());
@@ -194,7 +200,10 @@ mod tests {
         );
         assert_eq!(
             decode(periph_addr(3, 0x10), 1024, 1).unwrap(),
-            Region::Periph { page: 3, offset: 0x10 }
+            Region::Periph {
+                page: 3,
+                offset: 0x10
+            }
         );
     }
 
@@ -203,7 +212,10 @@ mod tests {
         let a = local_addr(1, 42);
         assert_eq!(
             decode(a, 16, 4).unwrap(),
-            Region::Local { owner: 1, offset: 42 }
+            Region::Local {
+                owner: 1,
+                offset: 42
+            }
         );
         let p = periph_addr(2, 3);
         assert_eq!(

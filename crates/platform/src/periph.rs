@@ -341,7 +341,10 @@ impl Peripheral for Mailbox {
                     ctx.signals.drive(&sig, ctx.now, self.fifo.len() as Word);
                     if was_empty {
                         if let Some(core) = self.notify_core {
-                            ctx.effects.push(Effect::RaiseIrq { core, irq: self.irq });
+                            ctx.effects.push(Effect::RaiseIrq {
+                                core,
+                                irq: self.irq,
+                            });
                         }
                     }
                 }
@@ -372,7 +375,10 @@ impl Peripheral for Mailbox {
             (mailbox_reg::COUNT, self.fifo.len() as Word),
             (mailbox_reg::CAP, self.capacity as Word),
             (mailbox_reg::DROPS, self.drops as Word),
-            (mailbox_reg::NOTIFY, self.notify_core.map_or(-1, |c| c as Word)),
+            (
+                mailbox_reg::NOTIFY,
+                self.notify_core.map_or(-1, |c| c as Word),
+            ),
             (mailbox_reg::IRQ, self.irq as Word),
         ]
     }
@@ -653,14 +659,22 @@ mod tests {
         let (mut sb, mut fx) = ctx_parts();
         let mut t = Timer::new("timer0");
         {
-            let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+            let mut ctx = PeriphCtx {
+                now: Time::ZERO,
+                signals: &mut sb,
+                effects: &mut fx,
+            };
             t.write(timer_reg::PERIOD, 100, &mut ctx).unwrap(); // 100 ns
             t.write(timer_reg::IRQ, 3, &mut ctx).unwrap();
             t.write(timer_reg::CTRL, 1, &mut ctx).unwrap();
         }
         assert_eq!(t.next_event(), Some(Time::from_ns(100)));
         {
-            let mut ctx = PeriphCtx { now: Time::from_ns(100), signals: &mut sb, effects: &mut fx };
+            let mut ctx = PeriphCtx {
+                now: Time::from_ns(100),
+                signals: &mut sb,
+                effects: &mut fx,
+            };
             t.on_event(&mut ctx);
         }
         assert_eq!(fx, vec![Effect::RaiseIrq { core: 0, irq: 3 }]);
@@ -671,7 +685,11 @@ mod tests {
     #[test]
     fn timer_rejects_zero_period() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut t = Timer::new("t");
         assert!(t.write(timer_reg::PERIOD, 0, &mut ctx).is_err());
         assert!(t.write(timer_reg::PERIOD, -5, &mut ctx).is_err());
@@ -680,7 +698,11 @@ mod tests {
     #[test]
     fn timer_disable_cancels() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut t = Timer::new("t");
         t.write(timer_reg::CTRL, 1, &mut ctx).unwrap();
         assert!(t.next_event().is_some());
@@ -691,7 +713,11 @@ mod tests {
     #[test]
     fn mailbox_fifo_order_and_drops() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut mb = Mailbox::new("mb0", 2);
         mb.write(mailbox_reg::DATA, 10, &mut ctx).unwrap();
         mb.write(mailbox_reg::DATA, 20, &mut ctx).unwrap();
@@ -706,7 +732,11 @@ mod tests {
     #[test]
     fn mailbox_notifies_on_first_word() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut mb = Mailbox::new("mb0", 4);
         mb.write(mailbox_reg::NOTIFY, 1, &mut ctx).unwrap();
         mb.write(mailbox_reg::DATA, 42, &mut ctx).unwrap();
@@ -718,7 +748,11 @@ mod tests {
     #[test]
     fn semaphore_atomic_tryacq() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut s = Semaphore::new("lock0", 1);
         assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 1);
         assert_eq!(s.read(semaphore_reg::TRYACQ, &mut ctx).unwrap(), 0);
@@ -731,7 +765,11 @@ mod tests {
     #[test]
     fn semaphore_counting_init() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut s = Semaphore::new("s", 0);
         s.write(semaphore_reg::INIT, 3, &mut ctx).unwrap();
         for _ in 0..3 {
@@ -743,7 +781,11 @@ mod tests {
     #[test]
     fn dma_start_emits_copy_effect() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut d = Dma::new("dma0", 7);
         d.write(dma_reg::SRC, 100, &mut ctx).unwrap();
         d.write(dma_reg::DST, 200, &mut ctx).unwrap();
@@ -751,7 +793,12 @@ mod tests {
         d.write(dma_reg::CTRL, 1, &mut ctx).unwrap();
         assert_eq!(
             ctx.effects,
-            &vec![Effect::DmaCopy { page: 7, src: 100, dst: 200, len: 16 }]
+            &vec![Effect::DmaCopy {
+                page: 7,
+                src: 100,
+                dst: 200,
+                len: 16
+            }]
         );
         assert_eq!(d.read(dma_reg::BUSY, &mut ctx).unwrap(), 1);
         assert_eq!(ctx.signals.value("dma0.busy"), 1);
@@ -765,7 +812,11 @@ mod tests {
         let (mut sb, mut fx) = ctx_parts();
         let mut d = Dma::new("dma0", 7);
         {
-            let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+            let mut ctx = PeriphCtx {
+                now: Time::ZERO,
+                signals: &mut sb,
+                effects: &mut fx,
+            };
             d.write(dma_reg::LEN, 4, &mut ctx).unwrap();
             d.write(dma_reg::CORE, 2, &mut ctx).unwrap();
             d.write(dma_reg::CTRL, 1, &mut ctx).unwrap();
@@ -779,7 +830,11 @@ mod tests {
     #[test]
     fn unknown_registers_rejected() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut t = Timer::new("t");
         assert!(t.read(99, &mut ctx).is_err());
         let mut mb = Mailbox::new("m", 1);
@@ -789,7 +844,11 @@ mod tests {
     #[test]
     fn snapshots_do_not_perturb() {
         let (mut sb, mut fx) = ctx_parts();
-        let mut ctx = PeriphCtx { now: Time::ZERO, signals: &mut sb, effects: &mut fx };
+        let mut ctx = PeriphCtx {
+            now: Time::ZERO,
+            signals: &mut sb,
+            effects: &mut fx,
+        };
         let mut mb = Mailbox::new("m", 2);
         mb.write(mailbox_reg::DATA, 5, &mut ctx).unwrap();
         let snap = mb.snapshot();

@@ -23,6 +23,36 @@ use crate::mem::{decode, Ram, Region, LOCAL_STRIDE};
 use crate::periph::{Dma, Effect, Mailbox, PeriphCtx, Peripheral, Semaphore, Timer};
 use crate::signal::SignalBoard;
 use crate::time::{Cycles, Frequency, Time};
+use mpsoc_obs::event::{Event, EventSink};
+use mpsoc_obs::metrics::{Counter, MetricsRegistry};
+
+/// Cached handles into a [`MetricsRegistry`] for the platform's hot-path
+/// counters, so the per-step cost of metrics is an atomic add, not a name
+/// lookup. Created by [`Platform::attach_metrics`].
+#[derive(Clone, Debug)]
+struct PlatformMetrics {
+    instr_retired: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    noc_transfers: Counter,
+    dma_words: Counter,
+    irq_delivered: Counter,
+    periph_events: Counter,
+}
+
+impl PlatformMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        PlatformMetrics {
+            instr_retired: registry.counter("platform.instr_retired"),
+            cache_hits: registry.counter("platform.cache_hits"),
+            cache_misses: registry.counter("platform.cache_misses"),
+            noc_transfers: registry.counter("platform.noc_transfers"),
+            dma_words: registry.counter("platform.dma_words"),
+            irq_delivered: registry.counter("platform.irq_delivered"),
+            periph_events: registry.counter("platform.periph_events"),
+        }
+    }
+}
 
 /// Who performed a memory access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -278,7 +308,9 @@ impl PlatformBuilder {
         }
         let n = self.core_freqs.len();
         let interconnect: Box<dyn Interconnect> = match self.interconnect {
-            InterconnectConfig::Bus { latency, occupancy } => Box::new(Bus::new(latency, occupancy)),
+            InterconnectConfig::Bus { latency, occupancy } => {
+                Box::new(Bus::new(latency, occupancy))
+            }
             InterconnectConfig::Mesh {
                 w,
                 h,
@@ -318,6 +350,7 @@ impl PlatformBuilder {
             local_latency_cycles: self.local_latency_cycles,
             shared_words: self.shared_words,
             steps: 0,
+            metrics: None,
         })
     }
 }
@@ -353,6 +386,7 @@ pub struct Platform {
     local_latency_cycles: u64,
     shared_words: u32,
     steps: u64,
+    metrics: Option<PlatformMetrics>,
 }
 
 impl Platform {
@@ -369,6 +403,20 @@ impl Platform {
     /// Total steps executed.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Attaches `registry` to the platform: from now on the hot paths bump
+    /// the `platform.*` counters (instructions retired, cache hits/misses,
+    /// interconnect transfers, DMA words, IRQs delivered, peripheral
+    /// events). Handles are resolved once here, so the steady-state cost is
+    /// one relaxed atomic add per counted event.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(PlatformMetrics::new(registry));
+    }
+
+    /// Detaches a previously attached metrics registry.
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
     }
 
     /// Immutable access to core `id`.
@@ -550,6 +598,15 @@ impl Platform {
     /// [`Error::PcOutOfRange`]); the offending core is left in
     /// [`CoreStatus::Faulted`] and the rest of the platform remains usable.
     pub fn step(&mut self) -> Result<StepEvent> {
+        self.step_observed(None)
+    }
+
+    /// [`step`](Platform::step) with an optional event sink: structured
+    /// events (instruction retirements per core, IRQ deliveries, peripheral
+    /// events, DMA completions) are emitted under category `"platform"`,
+    /// timestamped in nanoseconds of simulated time. Passing `None` is
+    /// exactly [`step`](Platform::step).
+    pub fn step_observed(&mut self, mut sink: Option<&mut dyn EventSink>) -> Result<StepEvent> {
         self.steps += 1;
         let Some((t, actor)) = self.next_actor() else {
             return Ok(StepEvent {
@@ -559,8 +616,8 @@ impl Platform {
             });
         };
         self.now = self.now.max(t);
-        match actor {
-            Actor::Core(id) => self.step_core(id),
+        let ev = match actor {
+            Actor::Core(id) => self.step_core(id)?,
             Actor::Periph(page) => {
                 let mut effects = Vec::new();
                 {
@@ -572,11 +629,14 @@ impl Platform {
                     self.periphs[page].on_event(&mut ctx);
                 }
                 let accesses = self.run_effects(effects)?;
-                Ok(StepEvent {
+                if let Some(m) = &self.metrics {
+                    m.periph_events.inc();
+                }
+                StepEvent {
                     at: self.now,
                     kind: StepKind::PeriphEvent { page },
                     accesses,
-                })
+                }
             }
             Actor::Dma(i) => {
                 let d = self.pending_dma.remove(i);
@@ -611,12 +671,56 @@ impl Platform {
                         c.post_irq(irq, self.now);
                     }
                 }
-                Ok(StepEvent {
+                if let Some(m) = &self.metrics {
+                    m.dma_words.add(d.len as u64);
+                }
+                StepEvent {
                     at: self.now,
                     kind: StepKind::DmaComplete { page: d.page },
                     accesses,
-                })
+                }
             }
+        };
+        self.observe_step(&ev, mpsoc_obs::event::reborrow_sink(&mut sink));
+        Ok(ev)
+    }
+
+    /// Metrics + event fan-out for one completed step.
+    fn observe_step(&self, ev: &StepEvent, sink: Option<&mut dyn EventSink>) {
+        let ts = ev.at.as_ps() / 1_000; // simulated nanoseconds
+        if let StepKind::Instr { irq_taken, .. } = &ev.kind {
+            if let Some(m) = &self.metrics {
+                m.instr_retired.inc();
+                if irq_taken.is_some() {
+                    m.irq_delivered.inc();
+                }
+            }
+        }
+        let Some(sink) = sink else { return };
+        match &ev.kind {
+            StepKind::Instr {
+                core, irq_taken, ..
+            } => {
+                if let Some(irq) = irq_taken {
+                    sink.emit(
+                        Event::instant(ts, "irq", "platform", *core as u32)
+                            .with_arg("irq", *irq as u64),
+                    );
+                }
+                if self.cores[*core].status() == CoreStatus::Halted {
+                    sink.emit(Event::instant(ts, "halt", "platform", *core as u32));
+                }
+            }
+            StepKind::PeriphEvent { page } => {
+                sink.emit(Event::instant(ts, "periph", "platform", *page as u32));
+            }
+            StepKind::DmaComplete { page } => {
+                sink.emit(
+                    Event::instant(ts, "dma_complete", "platform", *page as u32)
+                        .with_arg("accesses", ev.accesses.len() as u64),
+                );
+            }
+            StepKind::Idle => {}
         }
     }
 
@@ -804,12 +908,18 @@ impl Platform {
                 if owner == core {
                     Ok((v, Cycles(self.local_latency_cycles), Time::ZERO))
                 } else {
+                    if let Some(m) = &self.metrics {
+                        m.noc_transfers.inc();
+                    }
                     let done = self.interconnect.transfer(core, owner, start);
                     Ok((v, Cycles::ZERO, done.saturating_sub(start)))
                 }
             }
             Region::Periph { page, offset } => {
                 let mem_node = self.cores.len();
+                if let Some(m) = &self.metrics {
+                    m.noc_transfers.inc();
+                }
                 let done = self.interconnect.transfer(core, mem_node, start);
                 let mut effects = Vec::new();
                 let v = {
@@ -851,12 +961,18 @@ impl Platform {
                 if owner == core {
                     Ok((Cycles(self.local_latency_cycles), Time::ZERO))
                 } else {
+                    if let Some(m) = &self.metrics {
+                        m.noc_transfers.inc();
+                    }
                     let done = self.interconnect.transfer(core, owner, start);
                     Ok((Cycles::ZERO, done.saturating_sub(start)))
                 }
             }
             Region::Periph { page, offset } => {
                 let mem_node = self.cores.len();
+                if let Some(m) = &self.metrics {
+                    m.noc_transfers.inc();
+                }
                 let done = self.interconnect.transfer(core, mem_node, start);
                 let mut effects = Vec::new();
                 {
@@ -881,9 +997,21 @@ impl Platform {
     /// round trip on a miss (write-through writes always ride the bus).
     fn shared_access_cost(&mut self, core: usize, addr: u32, start: Time) -> (Cycles, Time) {
         let mem_node = self.cores.len();
-        match self.caches[core].as_mut().map(|c| c.access(addr)) {
-            Some(CacheOutcome::Hit) => (Cycles(self.cache_hit_cycles), Time::ZERO),
+        let outcome = self.caches[core].as_mut().map(|c| c.access(addr));
+        match outcome {
+            Some(CacheOutcome::Hit) => {
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
+                (Cycles(self.cache_hit_cycles), Time::ZERO)
+            }
             _ => {
+                if let Some(m) = &self.metrics {
+                    if outcome.is_some() {
+                        m.cache_misses.inc();
+                    }
+                    m.noc_transfers.inc();
+                }
                 let done = self.interconnect.transfer(core, mem_node, start);
                 (Cycles::ZERO, done.saturating_sub(start))
             }
@@ -899,13 +1027,21 @@ impl Platform {
                         c.post_irq(irq, self.now);
                     }
                 }
-                Effect::DmaCopy { page, src, dst, len } => {
+                Effect::DmaCopy {
+                    page,
+                    src,
+                    dst,
+                    len,
+                } => {
                     // Charge one interconnect transfer per word moved:
                     // read + write legs, streamed back-to-back.
                     let mem_node = self.cores.len();
                     let mut t = self.now;
                     for _ in 0..len {
                         t = self.interconnect.transfer(mem_node, mem_node, t);
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.noc_transfers.add(len as u64);
                     }
                     self.pending_dma.push(PendingDma {
                         finish: t,
@@ -930,11 +1066,25 @@ impl Platform {
     ///
     /// Propagates the first fault.
     pub fn run_until(&mut self, deadline: Time) -> Result<Vec<StepEvent>> {
+        self.run_until_observed(deadline, None)
+    }
+
+    /// [`run_until`](Platform::run_until) with an optional event sink (see
+    /// [`step_observed`](Platform::step_observed)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault.
+    pub fn run_until_observed(
+        &mut self,
+        deadline: Time,
+        mut sink: Option<&mut dyn EventSink>,
+    ) -> Result<Vec<StepEvent>> {
         let mut events = Vec::new();
         loop {
             match self.next_actor() {
                 Some((t, _)) if t < deadline => {
-                    events.push(self.step()?);
+                    events.push(self.step_observed(mpsoc_obs::event::reborrow_sink(&mut sink))?);
                 }
                 _ => break,
             }
@@ -950,8 +1100,23 @@ impl Platform {
     /// Propagates faults; returns [`Error::Config`] if `max_steps` is
     /// exhausted (runaway program guard).
     pub fn run_to_completion(&mut self, max_steps: u64) -> Result<u64> {
+        self.run_to_completion_observed(max_steps, None)
+    }
+
+    /// [`run_to_completion`](Platform::run_to_completion) with an optional
+    /// event sink (see [`step_observed`](Platform::step_observed)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; returns [`Error::Config`] if `max_steps` is
+    /// exhausted (runaway program guard).
+    pub fn run_to_completion_observed(
+        &mut self,
+        max_steps: u64,
+        mut sink: Option<&mut dyn EventSink>,
+    ) -> Result<u64> {
         for n in 0..max_steps {
-            let ev = self.step()?;
+            let ev = self.step_observed(mpsoc_obs::event::reborrow_sink(&mut sink))?;
             if ev.is_idle() {
                 return Ok(n);
             }
@@ -1029,10 +1194,7 @@ mod tests {
         let run = || {
             let mut p = small();
             let prog = |v: i64| {
-                assemble(&format!(
-                    "movi r1, {v}\nmovi r2, 0x10\nst r1, r2, 0\nhalt"
-                ))
-                .unwrap()
+                assemble(&format!("movi r1, {v}\nmovi r2, 0x10\nst r1, r2, 0\nhalt")).unwrap()
             };
             p.load_program(0, prog(1), 0).unwrap();
             p.load_program(1, prog(2), 0).unwrap();
@@ -1069,7 +1231,14 @@ mod tests {
         let prog = assemble(&format!("movi r1, {foreign}\nld r2, r1, 0\nhalt")).unwrap();
         p.load_program(1, prog, 0).unwrap();
         let err = p.run_to_completion(10).unwrap_err();
-        assert!(matches!(err, Error::LocalityViolation { core: 1, owner: 0, .. }));
+        assert!(matches!(
+            err,
+            Error::LocalityViolation {
+                core: 1,
+                owner: 0,
+                ..
+            }
+        ));
         assert_eq!(p.core(1).unwrap().status(), CoreStatus::Faulted);
     }
 
@@ -1139,10 +1308,8 @@ mod tests {
         let page = p.add_mailbox("mb0", 8);
         let data = periph_addr(page, mailbox_reg::DATA);
         let count = periph_addr(page, mailbox_reg::COUNT);
-        let producer = assemble(&format!(
-            "movi r1, {data}\nmovi r2, 77\nst r2, r1, 0\nhalt"
-        ))
-        .unwrap();
+        let producer =
+            assemble(&format!("movi r1, {data}\nmovi r2, 77\nst r2, r1, 0\nhalt")).unwrap();
         let consumer = assemble(&format!(
             "movi r1, {count}\n\
              wait: ld r2, r1, 0\n\
@@ -1291,7 +1458,10 @@ mod tests {
 
     #[test]
     fn builder_validates() {
-        assert!(PlatformBuilder::new().cores(0, Frequency::mhz(1)).build().is_err());
+        assert!(PlatformBuilder::new()
+            .cores(0, Frequency::mhz(1))
+            .build()
+            .is_err());
         assert!(PlatformBuilder::new().shared_words(0).build().is_err());
         assert!(PlatformBuilder::new()
             .cores(8, Frequency::mhz(100))
@@ -1312,6 +1482,75 @@ mod tests {
         assert!(p.debug_read(periph_addr(page, 0)).is_err());
         assert!(p.peripheral_snapshot(page).is_ok());
         assert_eq!(p.peripheral_name(page), Some("mb"));
+    }
+
+    #[test]
+    fn metrics_and_events_cover_the_hot_paths() {
+        use mpsoc_obs::metrics::MetricsRegistry;
+        use mpsoc_obs::ring::RingSink;
+
+        let registry = MetricsRegistry::new();
+        let mut sink = RingSink::new(4096);
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(1024)
+            .cache(Some(CacheConfig::default()))
+            .build()
+            .unwrap();
+        p.attach_metrics(&registry);
+        let page = p.add_dma("dma0");
+        p.load_shared(100, &[9, 8, 7, 6]).unwrap();
+        let src = periph_addr(page, dma_reg::SRC);
+        let dst = periph_addr(page, dma_reg::DST);
+        let len = periph_addr(page, dma_reg::LEN);
+        let ctrl = periph_addr(page, dma_reg::CTRL);
+        let busy = periph_addr(page, dma_reg::BUSY);
+        let prog = assemble(&format!(
+            "movi r1, {src}\nmovi r2, 100\nst r2, r1, 0\n\
+             movi r1, {dst}\nmovi r2, 200\nst r2, r1, 0\n\
+             movi r1, {len}\nmovi r2, 4\nst r2, r1, 0\n\
+             movi r1, {ctrl}\nmovi r2, 1\nst r2, r1, 0\n\
+             movi r1, {busy}\n\
+             wait: ld r2, r1, 0\n\
+             bne r2, r0, wait\n\
+             movi r1, 0x10\nld r2, r1, 0\nld r2, r1, 0\n\
+             halt"
+        ))
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        p.run_to_completion_observed(10_000, Some(&mut sink))
+            .unwrap();
+
+        let get = |name: &str| registry.counter(name).get();
+        assert!(get("platform.instr_retired") > 0);
+        assert_eq!(
+            get("platform.instr_retired"),
+            p.core(0).unwrap().retired(),
+            "registry must agree with the core's own retirement count"
+        );
+        assert_eq!(get("platform.dma_words"), 4);
+        assert!(get("platform.noc_transfers") > 0);
+        // Back-to-back loads of the same shared word: second one must hit.
+        assert!(get("platform.cache_hits") > 0);
+        assert!(get("platform.cache_misses") > 0);
+        let (hits, misses) = p.cache_stats(0).unwrap();
+        assert_eq!(get("platform.cache_hits"), hits);
+        assert_eq!(get("platform.cache_misses"), misses);
+
+        let events = sink.events();
+        assert!(events.iter().all(|e| e.cat == "platform"));
+        assert!(events.iter().any(|e| e.name == "dma_complete"));
+        assert!(events.iter().any(|e| e.name == "halt"));
+    }
+
+    #[test]
+    fn unobserved_step_has_no_metrics_side_channel() {
+        let mut p = small();
+        let prog = assemble("movi r1, 1\nhalt").unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        // No attach_metrics, no sink: just runs.
+        p.run_to_completion(10).unwrap();
+        assert_eq!(p.core(0).unwrap().retired(), 2);
     }
 
     #[test]

@@ -117,8 +117,20 @@ mod tests {
         assert!(b.drive("x", Time::from_ns(3), 0));
         let h = b.get("x").unwrap().history();
         assert_eq!(h.len(), 2);
-        assert_eq!(h[0], SignalChange { at: Time::from_ns(1), value: 1 });
-        assert_eq!(h[1], SignalChange { at: Time::from_ns(3), value: 0 });
+        assert_eq!(
+            h[0],
+            SignalChange {
+                at: Time::from_ns(1),
+                value: 1
+            }
+        );
+        assert_eq!(
+            h[1],
+            SignalChange {
+                at: Time::from_ns(3),
+                value: 0
+            }
+        );
     }
 
     #[test]

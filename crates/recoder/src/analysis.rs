@@ -66,36 +66,37 @@ pub fn shared_arrays(unit: &Unit, func: &str) -> Result<Vec<SharedArray>> {
     for name in names {
         let mut uses = Vec::new();
         for (i, set) in sets.iter().enumerate() {
-            let touch = |refs: &std::collections::BTreeSet<MemRef>| -> (bool, Option<(i64, i64)>, bool) {
-                let mut any = false;
-                let mut bounded = true;
-                let mut range: Option<(i64, i64)> = None;
-                for r in refs {
-                    match r {
-                        MemRef::Array(n, idx) if *n == name => {
-                            any = true;
-                            match idx {
-                                Some(k) => {
-                                    range = Some(match range {
-                                        Some((lo, hi)) => (lo.min(*k), hi.max(k + 1)),
-                                        None => (*k, k + 1),
-                                    })
+            let touch =
+                |refs: &std::collections::BTreeSet<MemRef>| -> (bool, Option<(i64, i64)>, bool) {
+                    let mut any = false;
+                    let mut bounded = true;
+                    let mut range: Option<(i64, i64)> = None;
+                    for r in refs {
+                        match r {
+                            MemRef::Array(n, idx) if *n == name => {
+                                any = true;
+                                match idx {
+                                    Some(k) => {
+                                        range = Some(match range {
+                                            Some((lo, hi)) => (lo.min(*k), hi.max(k + 1)),
+                                            None => (*k, k + 1),
+                                        })
+                                    }
+                                    None => bounded = false,
                                 }
-                                None => bounded = false,
                             }
+                            MemRef::ArrayRange(n, lo, hi) if *n == name => {
+                                any = true;
+                                range = Some(match range {
+                                    Some((l, h)) => (l.min(*lo), h.max(*hi)),
+                                    None => (*lo, *hi),
+                                });
+                            }
+                            _ => {}
                         }
-                        MemRef::ArrayRange(n, lo, hi) if *n == name => {
-                            any = true;
-                            range = Some(match range {
-                                Some((l, h)) => (l.min(*lo), h.max(*hi)),
-                                None => (*lo, *hi),
-                            });
-                        }
-                        _ => {}
                     }
-                }
-                (any, if bounded { range } else { None }, bounded)
-            };
+                    (any, if bounded { range } else { None }, bounded)
+                };
             let (r_any, r_range, r_bounded) = touch(&set.reads);
             let (w_any, w_range, w_bounded) = touch(&set.writes);
             if r_any || w_any {

@@ -125,10 +125,7 @@ impl Recoder {
     ///
     /// Whatever the transformation returns; the session is unchanged on
     /// error.
-    pub fn apply<T>(
-        &mut self,
-        transform: impl FnOnce(&mut Unit) -> Result<T>,
-    ) -> Result<T> {
+    pub fn apply<T>(&mut self, transform: impl FnOnce(&mut Unit) -> Result<T>) -> Result<T> {
         let mut candidate = self.unit.clone();
         let value = transform(&mut candidate)?;
         let document = print_unit(&candidate);
@@ -222,7 +219,7 @@ mod tests {
         r.edit_text(&edited).unwrap();
         assert_eq!(r.stats().manual_edits, 1);
         assert_eq!(r.stats().lines_changed_manually, 2); // one line out, one in
-        // The code generator renormalises the expression's parentheses.
+                                                         // The code generator renormalises the expression's parentheses.
         assert!(r.document().contains("(i * i) + 1"));
     }
 
@@ -261,8 +258,7 @@ mod tests {
         assert_eq!(stats.automated_steps, 3);
         assert!(stats.productivity_factor() > 1.0);
         // The resulting model is fully analyzable.
-        let score =
-            mpsoc_minic::analysis::analyzability(r.unit(), &r.unit().functions[0]);
+        let score = mpsoc_minic::analysis::analyzability(r.unit(), &r.unit().functions[0]);
         assert!(score.is_fully_analyzable());
     }
 

@@ -204,12 +204,9 @@ pub fn split_vector(unit: &mut Unit, func: &str, array: &str) -> Result<()> {
     let mut ranges: Vec<(usize, i64, i64, String)> = Vec::new(); // (stmt idx, lo, hi, ivar)
     for (i, s) in f.body.iter().enumerate() {
         let set = accesses(s);
-        let touches = set
-            .all()
-            .any(|r| {
-                matches!(r, MemRef::Array(..) | MemRef::ArrayRange(..))
-                    && r.base() == Some(array)
-            });
+        let touches = set.all().any(|r| {
+            matches!(r, MemRef::Array(..) | MemRef::ArrayRange(..)) && r.base() == Some(array)
+        });
         if !touches {
             continue;
         }
@@ -254,7 +251,10 @@ pub fn split_vector(unit: &mut Unit, func: &str, array: &str) -> Result<()> {
     // Group loops by identical range; ranges across groups must be disjoint.
     let mut groups: Vec<(i64, i64, Vec<usize>)> = Vec::new();
     for (i, lo, hi, _) in &ranges {
-        match groups.iter_mut().find(|(glo, ghi, _)| glo == lo && ghi == hi) {
+        match groups
+            .iter_mut()
+            .find(|(glo, ghi, _)| glo == lo && ghi == hi)
+        {
             Some((_, _, members)) => members.push(*i),
             None => groups.push((*lo, *hi, vec![*i])),
         }
@@ -398,9 +398,7 @@ pub fn localize_variable(unit: &mut Unit, func: &str, var: &str) -> Result<()> {
     let decl_pos = f
         .body
         .iter()
-        .position(
-            |s| matches!(&s.kind, StmtKind::Decl { name, ty: Type::Int, .. } if name == var),
-        )
+        .position(|s| matches!(&s.kind, StmtKind::Decl { name, ty: Type::Int, .. } if name == var))
         .ok_or_else(|| Error::Precondition(format!("`{var}` is not a scalar declaration")))?;
     let users: Vec<usize> = f
         .body
@@ -422,7 +420,11 @@ pub fn localize_variable(unit: &mut Unit, func: &str, var: &str) -> Result<()> {
     };
     let single = *single;
     let decl = f.body.remove(decl_pos);
-    let target = if single > decl_pos { single - 1 } else { single };
+    let target = if single > decl_pos {
+        single - 1
+    } else {
+        single
+    };
     match &mut f.body[target].kind {
         StmtKind::For { body, .. } | StmtKind::While { body, .. } | StmtKind::Block(body) => {
             body.insert(0, decl);
@@ -520,7 +522,10 @@ pub fn recode_pointers(unit: &mut Unit, func: &str) -> Result<usize> {
     candidates.retain(|(p, _, _)| {
         let mut writes = 0;
         visit_stmts(&f.body, &mut |s| match &s.kind {
-            StmtKind::Assign { lhs: LValue::Var(n), .. } if n == p => writes += 1,
+            StmtKind::Assign {
+                lhs: LValue::Var(n),
+                ..
+            } if n == p => writes += 1,
             StmtKind::Decl { name, .. } if name == p => {} // the defining decl
             _ => {}
         });
@@ -711,10 +716,7 @@ fn prune_stmts(stmts: Vec<Stmt>) -> Vec<Stmt> {
                 // Blocks without declarations flatten safely (single
                 // function-wide namespace in mini-C).
                 let body = prune_stmts(body);
-                if body
-                    .iter()
-                    .any(|b| matches!(b.kind, StmtKind::Decl { .. }))
-                {
+                if body.iter().any(|b| matches!(b.kind, StmtKind::Decl { .. })) {
                     s.kind = StmtKind::Block(body);
                     out.push(s);
                 } else {

@@ -154,9 +154,7 @@ impl AdmissionController {
                 });
             }
             // Critical path with overhead margin must fit the deadline.
-            let response = spec.critical_path_ticks(speed)
-                + self.cfg.overhead.div_ceil(speed)
-                + 1; // release quantisation
+            let response = spec.critical_path_ticks(speed) + self.cfg.overhead.div_ceil(speed) + 1; // release quantisation
             if response > spec.deadline {
                 self.rejected += 1;
                 return Err(Error::AdmissionRejected {
@@ -179,16 +177,20 @@ impl AdmissionController {
             Reservation::Gang { width: spec.width }
         } else {
             // Sequential task: first-fit onto a time-shared core.
-            let util = (spec.serial_work + self.cfg.overhead) as f64 / (speed as f64 * period as f64);
+            let util =
+                (spec.serial_work + self.cfg.overhead) as f64 / (speed as f64 * period as f64);
             if util > self.cfg.util_bound {
                 self.rejected += 1;
                 return Err(Error::AdmissionRejected {
                     task: spec.name.clone(),
-                    reason: format!("utilisation {util:.3} exceeds bound {}", self.cfg.util_bound),
+                    reason: format!(
+                        "utilisation {util:.3} exceeds bound {}",
+                        self.cfg.util_bound
+                    ),
                 });
             }
-            let Some(core) = (0..self.cfg.ts_cores)
-                .find(|&c| self.ts_util[c] + util <= self.cfg.util_bound)
+            let Some(core) =
+                (0..self.cfg.ts_cores).find(|&c| self.ts_util[c] + util <= self.cfg.util_bound)
             else {
                 self.rejected += 1;
                 return Err(Error::AdmissionRejected {
@@ -209,7 +211,10 @@ impl AdmissionController {
                 self.rejected += 1;
                 return Err(Error::AdmissionRejected {
                     task: spec.name.clone(),
-                    reason: format!("busy-period bound {busy} exceeds deadline {}", spec.deadline),
+                    reason: format!(
+                        "busy-period bound {busy} exceeds deadline {}",
+                        spec.deadline
+                    ),
                 });
             }
             self.ts_util[core] += util;
@@ -332,10 +337,8 @@ mod tests {
         // Each task uses ~0.52 of a ts core; two fit (one per core), the
         // third finds no core under the 0.8 bound.
         for i in 0..2 {
-            ac.try_admit(
-                TaskSpec::sequential(format!("s{i}"), 500, 900).with_period(100, 10),
-            )
-            .unwrap();
+            ac.try_admit(TaskSpec::sequential(format!("s{i}"), 500, 900).with_period(100, 10))
+                .unwrap();
         }
         let e = ac
             .try_admit(TaskSpec::sequential("s2", 500, 900).with_period(100, 10))

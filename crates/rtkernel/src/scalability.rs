@@ -84,7 +84,10 @@ pub fn heterogeneous_speedup(
 ) -> f64 {
     assert!((0.0..=1.0).contains(&serial_frac), "fraction out of range");
     assert!((0.0..=1.0).contains(&domain_a_share), "share out of range");
-    assert!((0.0..=1.0).contains(&partition_to_a), "partition out of range");
+    assert!(
+        (0.0..=1.0).contains(&partition_to_a),
+        "partition out of range"
+    );
     assert!(n > 0, "need at least one core");
     if n == 1 {
         // A single core has no partition boundary to suffer from.
@@ -143,9 +146,7 @@ mod tests {
 
     #[test]
     fn boost_of_one_is_identity() {
-        assert!(
-            (boosted_amdahl_speedup(0.3, 10, 1.0) - amdahl_speedup(0.3, 10)).abs() < 1e-12
-        );
+        assert!((boosted_amdahl_speedup(0.3, 10, 1.0) - amdahl_speedup(0.3, 10)).abs() < 1e-12);
     }
 
     #[test]

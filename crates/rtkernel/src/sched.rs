@@ -21,6 +21,16 @@
 
 use crate::error::{Error, Result};
 use crate::task::{TaskId, Workload};
+use mpsoc_obs::event::{Event, ObsCtx};
+use mpsoc_obs::metrics::Counter;
+
+/// Cached `sched.*` counter handles (resolved once per simulation).
+struct SchedMetrics {
+    jobs_released: Counter,
+    jobs_completed: Counter,
+    deadline_misses: Counter,
+    context_switches: Counter,
+}
 
 /// Scheduling policy under simulation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -181,6 +191,31 @@ impl Job {
 /// Returns [`Error::Config`] for zero cores/speed/horizon, or a hybrid pool
 /// larger than the machine.
 pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
+    simulate_observed(workload, cfg, &mut ObsCtx::none())
+}
+
+/// [`simulate`] with an observability context: bumps the `sched.*` counters
+/// (jobs released/completed, deadline misses, context switches) and emits
+/// one span per job (begin at release, end at retirement, task id as the
+/// track) plus `deadline_miss` instants, all under category `"rtkernel"`
+/// with the tick count as the timestamp. Passing [`ObsCtx::none`] is
+/// exactly [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] for zero cores/speed/horizon, or a hybrid pool
+/// larger than the machine.
+pub fn simulate_observed(
+    workload: &Workload,
+    cfg: &SimConfig,
+    obs: &mut ObsCtx<'_>,
+) -> Result<SimResult> {
+    let metrics = obs.metrics.map(|r| SchedMetrics {
+        jobs_released: r.counter("sched.jobs_released"),
+        jobs_completed: r.counter("sched.jobs_completed"),
+        deadline_misses: r.counter("sched.deadline_misses"),
+        context_switches: r.counter("sched.context_switches"),
+    });
     if cfg.cores == 0 {
         return Err(Error::Config("need at least one core".into()));
     }
@@ -239,6 +274,13 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
                 });
                 seq_counter += 1;
                 result.tasks[tid].released += 1;
+                if let Some(m) = &metrics {
+                    m.jobs_released.inc();
+                }
+                obs.emit(|| {
+                    Event::begin(now, spec.name.clone(), "rtkernel", tid as u32)
+                        .with_arg("deadline", now + spec.deadline)
+                });
                 *count += 1;
                 match spec.period {
                     Some(p) => *next += p,
@@ -282,22 +324,21 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
             Policy::Hybrid { ts_cores, .. } => {
                 // Space pool: cores [ts_cores..). Keep existing gangs.
                 let mut space_free: Vec<bool> = vec![true; cfg.cores];
-                for ji in 0..jobs.len() {
-                    if jobs[ji].phase_now() == Phase::Parallel && !jobs[ji].gang.is_empty() {
-                        for &c in &jobs[ji].gang {
+                for (ji, job) in jobs.iter_mut().enumerate() {
+                    if job.phase_now() == Phase::Parallel && !job.gang.is_empty() {
+                        for &c in &job.gang {
                             assignment[c] = Some(ji);
                             space_free[c] = false;
                         }
-                    } else if jobs[ji].phase_now() != Phase::Parallel {
-                        jobs[ji].gang.clear();
+                    } else if job.phase_now() != Phase::Parallel {
+                        job.gang.clear();
                     }
                 }
                 // Grant new gangs reactively, in priority order.
                 for &ji in &order {
                     if jobs[ji].phase_now() == Phase::Parallel && jobs[ji].gang.is_empty() {
-                        let free_now: Vec<usize> = (ts_cores..cfg.cores)
-                            .filter(|&c| space_free[c])
-                            .collect();
+                        let free_now: Vec<usize> =
+                            (ts_cores..cfg.cores).filter(|&c| space_free[c]).collect();
                         if free_now.len() >= jobs[ji].width {
                             let gang: Vec<usize> =
                                 free_now.into_iter().take(jobs[ji].width).collect();
@@ -312,7 +353,8 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
                 // Time-shared pool runs serial phases (and parallel jobs
                 // still waiting for a gang make no progress — the cost of
                 // space sharing, also modelled).
-                let mut free_ts: Vec<usize> = (0..ts_cores).filter(|&c| assignment[c].is_none()).collect();
+                let mut free_ts: Vec<usize> =
+                    (0..ts_cores).filter(|&c| assignment[c].is_none()).collect();
                 for &ji in &order {
                     if jobs[ji].phase_now() == Phase::Serial {
                         if let Some(c) = free_ts.pop() {
@@ -338,6 +380,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
             };
             if core_last[c] != Some(key) {
                 result.switches += 1;
+                if let Some(m) = &metrics {
+                    m.context_switches.inc();
+                }
                 let pay = cfg.switch_overhead.min(budget);
                 result.overhead_work += pay;
                 budget -= pay;
@@ -381,7 +426,25 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
                     stats.met += 1;
                 } else {
                     stats.missed += 1;
+                    if let Some(m) = &metrics {
+                        m.deadline_misses.inc();
+                    }
+                    obs.emit(|| {
+                        Event::instant(now + 1, "deadline_miss", "rtkernel", j.task.0 as u32)
+                    });
                 }
+                if let Some(m) = &metrics {
+                    m.jobs_completed.inc();
+                }
+                obs.emit(|| {
+                    Event::end(
+                        now + 1,
+                        workload.tasks()[j.task.0].name.clone(),
+                        "rtkernel",
+                        j.task.0 as u32,
+                    )
+                    .with_arg("response", response)
+                });
                 // Invalidate stale core affinity records.
                 for cl in core_last.iter_mut() {
                     if *cl == Some((j.task.0, j.seq)) {
@@ -395,10 +458,23 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> Result<SimResult> {
     }
 
     // Jobs unfinished at the horizon with expired deadlines have missed.
+    // Their spans are closed at the horizon so every Begin has an End.
     for j in &jobs {
         if j.abs_deadline < cfg.horizon {
             result.tasks[j.task.0].missed += 1;
+            if let Some(m) = &metrics {
+                m.deadline_misses.inc();
+            }
         }
+        obs.emit(|| {
+            Event::end(
+                cfg.horizon,
+                workload.tasks()[j.task.0].name.clone(),
+                "rtkernel",
+                j.task.0 as u32,
+            )
+            .with_arg("unfinished", 1)
+        });
     }
     result.end_tick = cfg.horizon;
     Ok(result)
@@ -446,6 +522,58 @@ mod tests {
         let r = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
         assert_eq!(r.tasks[0].missed, 1);
         assert_eq!(r.total_met(), 0);
+    }
+
+    #[test]
+    fn observed_run_counters_match_sim_result() {
+        use mpsoc_obs::event::EventKind;
+        use mpsoc_obs::metrics::MetricsRegistry;
+        use mpsoc_obs::ring::RingSink;
+
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("per", 10, 50).with_period(100, 10));
+        w.push(TaskSpec::sequential("tight", 1_000, 5));
+        let reg = MetricsRegistry::new();
+        let mut sink = RingSink::new(1024);
+        let mut obs = ObsCtx::new(&mut sink, &reg);
+        let r = simulate_observed(&w, &cfg(Policy::TimeShared), &mut obs).unwrap();
+
+        let released: usize = r.tasks.iter().map(|t| t.released).sum();
+        assert_eq!(reg.counter("sched.jobs_released").get(), released as u64);
+        assert_eq!(
+            reg.counter("sched.deadline_misses").get(),
+            r.total_missed() as u64
+        );
+        assert_eq!(
+            reg.counter("sched.context_switches").get(),
+            r.switches as u64
+        );
+        assert_eq!(
+            reg.counter("sched.jobs_completed").get(),
+            (r.total_met() + r.total_missed()) as u64
+        );
+
+        // Every span begin has a matching end, all under cat "rtkernel".
+        let evs = sink.events();
+        assert!(!evs.is_empty());
+        assert!(evs.iter().all(|e| e.cat == "rtkernel"));
+        let begins = evs.iter().filter(|e| e.kind == EventKind::Begin).count();
+        let ends = evs.iter().filter(|e| e.kind == EventKind::End).count();
+        assert_eq!(begins, released);
+        assert_eq!(begins, ends, "every job span must be closed");
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "deadline_miss"));
+    }
+
+    #[test]
+    fn unobserved_simulate_matches_observed_result() {
+        let mut w = Workload::new();
+        w.push(TaskSpec::sequential("s", 100, 100).with_period(150, 5));
+        let plain = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
+        let observed =
+            simulate_observed(&w, &cfg(Policy::TimeShared), &mut ObsCtx::none()).unwrap();
+        assert_eq!(plain, observed);
     }
 
     #[test]
@@ -554,8 +682,7 @@ mod tests {
         let mut w = Workload::new();
         for i in 0..6 {
             w.push(
-                TaskSpec::parallel(format!("t{i}"), 10, 100, 2, 150)
-                    .with_period(37 + i as u64, 20),
+                TaskSpec::parallel(format!("t{i}"), 10, 100, 2, 150).with_period(37 + i as u64, 20),
             );
         }
         let a = simulate(&w, &cfg(Policy::TimeShared)).unwrap();
@@ -566,12 +693,10 @@ mod tests {
     #[test]
     fn config_validation() {
         let w = Workload::new();
-        assert!(simulate(&w, &SimConfig { cores: 0, ..SimConfig::default() }).is_err());
-        assert!(simulate(&w, &SimConfig { speed: 0, ..SimConfig::default() }).is_err());
         assert!(simulate(
             &w,
             &SimConfig {
-                policy: Policy::Hybrid { ts_cores: 99, boost: 1.0 },
+                cores: 0,
                 ..SimConfig::default()
             }
         )
@@ -579,7 +704,29 @@ mod tests {
         assert!(simulate(
             &w,
             &SimConfig {
-                policy: Policy::Hybrid { ts_cores: 2, boost: 0.5 },
+                speed: 0,
+                ..SimConfig::default()
+            }
+        )
+        .is_err());
+        assert!(simulate(
+            &w,
+            &SimConfig {
+                policy: Policy::Hybrid {
+                    ts_cores: 99,
+                    boost: 1.0
+                },
+                ..SimConfig::default()
+            }
+        )
+        .is_err());
+        assert!(simulate(
+            &w,
+            &SimConfig {
+                policy: Policy::Hybrid {
+                    ts_cores: 2,
+                    boost: 0.5
+                },
                 ..SimConfig::default()
             }
         )

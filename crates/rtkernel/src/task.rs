@@ -151,10 +151,7 @@ impl Workload {
 
     /// Sum of periodic utilisations at `speed` (aperiodic tasks excluded).
     pub fn total_utilization(&self, speed: u64) -> f64 {
-        self.tasks
-            .iter()
-            .filter_map(|t| t.utilization(speed))
-            .sum()
+        self.tasks.iter().filter_map(|t| t.utilization(speed)).sum()
     }
 }
 

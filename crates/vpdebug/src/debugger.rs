@@ -247,7 +247,13 @@ impl Debugger {
         }
         // Access watchpoints.
         for (i, wp) in self.watchpoints.iter().enumerate() {
-            if let Watchpoint::Access { lo, hi, kind, origin } = wp {
+            if let Watchpoint::Access {
+                lo,
+                hi,
+                kind,
+                origin,
+            } = wp
+            {
                 for a in &event.accesses {
                     if a.addr >= *lo
                         && a.addr <= *hi
@@ -375,7 +381,11 @@ mod tests {
         let stop = dbg.run(100).unwrap();
         assert_eq!(
             stop,
-            Stop::Breakpoint { index: 0, core: 0, pc: 2 }
+            Stop::Breakpoint {
+                index: 0,
+                core: 0,
+                pc: 2
+            }
         );
         // r2 written, r3 not yet.
         let core = dbg.core_regs(0).unwrap();
@@ -383,7 +393,12 @@ mod tests {
         assert_eq!(core.reg(mpsoc_platform::isa::Reg::new(3)), 0);
         // Resume to completion.
         assert_eq!(dbg.run(100).unwrap(), Stop::Finished);
-        assert_eq!(dbg.core_regs(0).unwrap().reg(mpsoc_platform::isa::Reg::new(3)), 3);
+        assert_eq!(
+            dbg.core_regs(0)
+                .unwrap()
+                .reg(mpsoc_platform::isa::Reg::new(3)),
+            3
+        );
     }
 
     #[test]
@@ -398,7 +413,10 @@ mod tests {
             origin: OriginFilter::Any,
         });
         match dbg.run(100).unwrap() {
-            Stop::Watchpoint { index: 0, access: Some(a) } => {
+            Stop::Watchpoint {
+                index: 0,
+                access: Some(a),
+            } => {
                 assert_eq!(a.addr, 0x50);
                 assert_eq!(a.value, 99);
             }
@@ -409,7 +427,8 @@ mod tests {
     #[test]
     fn origin_filter_selects_core() {
         let mut dbg = Debugger::new(platform());
-        let store = |v: i64| assemble(&format!("movi r1, 0x60\nmovi r2, {v}\nst r2, r1, 0\nhalt")).unwrap();
+        let store =
+            |v: i64| assemble(&format!("movi r1, 0x60\nmovi r2, {v}\nst r2, r1, 0\nhalt")).unwrap();
         dbg.platform_mut().load_program(0, store(1), 0).unwrap();
         dbg.platform_mut().load_program(1, store(2), 0).unwrap();
         dbg.add_watchpoint(Watchpoint::Access {
@@ -419,7 +438,9 @@ mod tests {
             origin: OriginFilter::Core(1),
         });
         match dbg.run(100).unwrap() {
-            Stop::Watchpoint { access: Some(a), .. } => {
+            Stop::Watchpoint {
+                access: Some(a), ..
+            } => {
                 assert_eq!(a.originator, Originator::Core(1));
                 assert_eq!(a.value, 2);
             }
@@ -446,7 +467,10 @@ mod tests {
             value: None,
         });
         match dbg.run(10_000).unwrap() {
-            Stop::Watchpoint { index: 0, access: None } => {}
+            Stop::Watchpoint {
+                index: 0,
+                access: None,
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(dbg.signal("timer0.tick"), 1);
@@ -500,7 +524,12 @@ mod tests {
             // Keep a second core busy so time advances while core 0 is
             // halted by the intrusive debugger.
             dbg.platform_mut()
-                .load_program(1, assemble("movi r1, 0\nmovi r3, 2000\nl: addi r1, r1, 1\nblt r1, r3, l\nhalt").unwrap(), 0)
+                .load_program(
+                    1,
+                    assemble("movi r1, 0\nmovi r3, 2000\nl: addi r1, r1, 1\nblt r1, r3, l\nhalt")
+                        .unwrap(),
+                    0,
+                )
                 .unwrap();
             for _ in 0..50 {
                 dbg.step().unwrap();
@@ -547,7 +576,9 @@ mod tests {
             origin: OriginFilter::Dma(page),
         });
         match dbg.run(100_000).unwrap() {
-            Stop::Watchpoint { access: Some(a), .. } => {
+            Stop::Watchpoint {
+                access: Some(a), ..
+            } => {
                 assert_eq!(a.originator, Originator::Dma(page));
                 assert_eq!(a.addr, 300);
                 assert_eq!(a.value, 7);

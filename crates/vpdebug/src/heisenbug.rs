@@ -197,8 +197,7 @@ mod tests {
     fn non_intrusive_suspend_reproduces_exactly() {
         let plain = run_race(ITERS, DebugMode::Plain).unwrap();
         for every in [1, 7, 100] {
-            let suspended =
-                run_race(ITERS, DebugMode::NonIntrusiveSuspend { every }).unwrap();
+            let suspended = run_race(ITERS, DebugMode::NonIntrusiveSuspend { every }).unwrap();
             assert_eq!(
                 suspended, plain,
                 "VP suspension must be invisible (every={every})"
@@ -246,7 +245,9 @@ mod tests {
         let mut writers = Vec::new();
         for _ in 0..40 {
             match dbg.run(100_000).unwrap() {
-                Stop::Watchpoint { access: Some(a), .. } => writers.push(a.originator),
+                Stop::Watchpoint {
+                    access: Some(a), ..
+                } => writers.push(a.originator),
                 Stop::Finished => break,
                 other => panic!("unexpected {other:?}"),
             }
@@ -289,8 +290,10 @@ pub fn build_locked_platform(iters: i64) -> Result<Platform> {
         .build()
         .map_err(Error::from)?;
     let page = p.add_semaphore("lock", 1);
-    let tryacq = mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::TRYACQ);
-    let release = mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::RELEASE);
+    let tryacq =
+        mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::TRYACQ);
+    let release =
+        mpsoc_platform::mem::periph_addr(page, mpsoc_platform::periph::semaphore_reg::RELEASE);
     let prog = || {
         assemble(&format!(
             "movi r1, {COUNTER_ADDR}\n\

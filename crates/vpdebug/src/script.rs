@@ -142,12 +142,13 @@ fn eval(e: &Expr, dbg: &Debugger) -> Result<Word> {
         Expr::Reg(core, idx) => {
             let c = eval(core, dbg)? as usize;
             let i = eval(idx, dbg)?;
-            let i = u8::try_from(i).ok().filter(|&i| (i as usize) < 16).ok_or(
-                Error::Script {
+            let i = u8::try_from(i)
+                .ok()
+                .filter(|&i| (i as usize) < 16)
+                .ok_or(Error::Script {
                     line: 0,
                     msg: format!("bad register index {i}"),
-                },
-            )?;
+                })?;
             dbg.core_regs(c)?.reg(mpsoc_platform::isa::Reg::new(i))
         }
         Expr::Mem(addr) => {
@@ -355,7 +356,10 @@ impl P<'_> {
             }
             return Ok(e);
         }
-        let c = *self.chars.get(self.pos).ok_or_else(|| self.err("unexpected end"))?;
+        let c = *self
+            .chars
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end"))?;
         if c.is_ascii_digit() {
             return self.number();
         }
@@ -378,11 +382,15 @@ impl P<'_> {
                 }
                 "mem" => {
                     let args = self.args(1)?;
-                    return Ok(Expr::Mem(Box::new(args.into_iter().next().expect("arity 1"))));
+                    return Ok(Expr::Mem(Box::new(
+                        args.into_iter().next().expect("arity 1"),
+                    )));
                 }
                 "pc" => {
                     let args = self.args(1)?;
-                    return Ok(Expr::Pc(Box::new(args.into_iter().next().expect("arity 1"))));
+                    return Ok(Expr::Pc(Box::new(
+                        args.into_iter().next().expect("arity 1"),
+                    )));
                 }
                 "reg" => {
                     let mut args = self.args(2)?.into_iter();
@@ -405,9 +413,11 @@ impl P<'_> {
                     }
                     self.ws();
                     let start = self.pos;
-                    while self.chars.get(self.pos).is_some_and(|c| {
-                        c.is_ascii_alphanumeric() || matches!(c, '_' | '.')
-                    }) {
+                    while self
+                        .chars
+                        .get(self.pos)
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.'))
+                    {
                         self.pos += 1;
                     }
                     let sname: String = self.chars[start..self.pos].iter().collect();
@@ -452,7 +462,11 @@ impl P<'_> {
             || self.chars[self.pos..].starts_with(&['0', 'X'])
         {
             self.pos += 2;
-            while self.chars.get(self.pos).is_some_and(char::is_ascii_hexdigit) {
+            while self
+                .chars
+                .get(self.pos)
+                .is_some_and(char::is_ascii_hexdigit)
+            {
                 self.pos += 1;
             }
             let text: String = self.chars[start + 2..self.pos].iter().collect();
@@ -568,7 +582,9 @@ mod tests {
     #[test]
     fn parse_errors_carry_line() {
         let mut eng = ScriptEngine::new();
-        let e = eng.load("assert a 1 == 1\nassert broken foo(3)").unwrap_err();
+        let e = eng
+            .load("assert a 1 == 1\nassert broken foo(3)")
+            .unwrap_err();
         match e {
             Error::Script { line, msg } => {
                 assert_eq!(line, 2);

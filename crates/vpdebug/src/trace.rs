@@ -11,10 +11,11 @@
 //! platform step events, with query helpers for the two histories the
 //! paper names: per-core control flow and per-address access streams.
 
-use std::collections::VecDeque;
-
+use mpsoc_obs::event::Event;
+use mpsoc_obs::export::chrome_trace;
+use mpsoc_obs::ring::Ring;
 use mpsoc_platform::isa::Instr;
-use mpsoc_platform::platform::{Access, StepKind};
+use mpsoc_platform::platform::{Access, AccessKind, StepKind};
 use mpsoc_platform::{StepEvent, Time};
 
 /// One recorded simulation step.
@@ -34,12 +35,14 @@ pub struct TraceEntry {
     pub accesses: Vec<Access>,
 }
 
-/// A bounded execution-history ring buffer.
+/// A bounded execution-history ring buffer, backed by the suite-wide
+/// [`mpsoc_obs::ring::Ring`] so the debugger's history and the
+/// observability layer share one eviction policy — and so a captured
+/// history can be exported as a Chrome trace via [`TraceBuffer::to_events`]
+/// / [`TraceBuffer::to_chrome_trace`].
 #[derive(Debug, Clone)]
 pub struct TraceBuffer {
-    entries: VecDeque<TraceEntry>,
-    capacity: usize,
-    dropped: u64,
+    entries: Ring<TraceEntry>,
 }
 
 impl TraceBuffer {
@@ -51,9 +54,7 @@ impl TraceBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be non-zero");
         TraceBuffer {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
-            dropped: 0,
+            entries: Ring::new(capacity),
         }
     }
 
@@ -68,11 +69,7 @@ impl TraceBuffer {
             } => (Some(core), Some(pc), Some(instr), irq_taken),
             _ => (None, None, None, None),
         };
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-        self.entries.push_back(TraceEntry {
+        self.entries.push(TraceEntry {
             at: event.at,
             core,
             pc,
@@ -94,12 +91,48 @@ impl TraceBuffer {
 
     /// Entries dropped due to capacity.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.entries.dropped()
     }
 
     /// All retained entries, oldest first.
     pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter()
+    }
+
+    /// Renders the retained history as structured [`Event`]s under category
+    /// `"vpdebug"`: one `"instr"` instant per executed instruction (core as
+    /// the track, pc as the argument), one `"irq"` instant per delivered
+    /// interrupt and one `"read"`/`"write"` instant per memory access (word
+    /// address as the argument). Timestamps are simulated nanoseconds.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for e in self.entries.iter() {
+            let ts = e.at.as_ps() / 1_000;
+            let track = e.core.unwrap_or(0) as u32;
+            if let Some(pc) = e.pc {
+                out.push(Event::instant(ts, "instr", "vpdebug", track).with_arg("pc", pc as u64));
+            }
+            if let Some(irq) = e.irq {
+                out.push(Event::instant(ts, "irq", "vpdebug", track).with_arg("irq", irq as u64));
+            }
+            for a in &e.accesses {
+                let name = match a.kind {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                };
+                out.push(
+                    Event::instant(a.at.as_ps() / 1_000, name, "vpdebug", track)
+                        .with_arg("addr", a.addr as u64),
+                );
+            }
+        }
+        out
+    }
+
+    /// The retained history as Chrome `trace_event` JSON (see
+    /// [`mpsoc_obs::export::chrome_trace`]), loadable in Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace(&self.to_events())
     }
 
     /// The control-flow history of one core: `(time, pc)` pairs.
@@ -191,5 +224,18 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = TraceBuffer::new(0);
+    }
+
+    #[test]
+    fn exports_history_as_chrome_trace() {
+        let buf = traced_run("movi r1, 0x10\nmovi r2, 5\nst r2, r1, 0\nhalt", 16);
+        let evs = buf.to_events();
+        assert!(evs.iter().all(|e| e.cat == "vpdebug"));
+        assert_eq!(evs.iter().filter(|e| e.name == "instr").count(), 4);
+        assert_eq!(evs.iter().filter(|e| e.name == "write").count(), 1);
+        let json = buf.to_chrome_trace();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cat\":\"vpdebug\""));
+        assert!(json.contains("\"name\":\"write\""));
     }
 }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let caps = minimal_capacities(&graph, 20)?;
     println!("minimal wait-free buffer capacities: {caps:?} tokens");
 
-    println!("\n{:>9} {:>14} {:>14} {:>14}", "overrun", "TT corrupted", "DD corrupted", "DD late sinks");
+    println!(
+        "\n{:>9} {:>14} {:>14} {:>14}",
+        "overrun", "TT corrupted", "DD corrupted", "DD late sinks"
+    );
     for hi in [100u64, 130, 170, 250] {
         let mut tt_times = VaryingTimes::new(99, 70, hi);
         let (_sched, tt) = time_triggered_experiment(&graph, &caps, 100, &mut tt_times)?;

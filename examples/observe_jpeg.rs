@@ -1,0 +1,146 @@
+//! Observability tour: a JPEG encoder observed across three layers.
+//!
+//! One [`MetricsRegistry`] and one bounded [`RingSink`] watch:
+//!
+//! 1. the **dataflow** layer — the JPEG pipeline (`src → dct → quant → rle
+//!    → snk`) executed self-timed,
+//! 2. the **rtkernel** layer — the same encoder as a periodic parallel
+//!    real-time task competing with background work,
+//! 3. the **platform** layer — a two-core MPSoC DMA-ing a block through
+//!    shared memory.
+//!
+//! The run writes `trace.json` in Chrome `trace_event` format — open it at
+//! `ui.perfetto.dev` (or `chrome://tracing`) to see all three layers side
+//! by side — and prints the metrics registry as text. Run with:
+//!
+//! ```text
+//! cargo run --example observe_jpeg
+//! ```
+
+use mpsoc_suite::dataflow::{
+    run_self_timed_observed, ActorKind, Graph, SelfTimedConfig, WcetTimes,
+};
+use mpsoc_suite::obs::event::ObsCtx;
+use mpsoc_suite::obs::export::chrome_trace;
+use mpsoc_suite::obs::metrics::MetricsRegistry;
+use mpsoc_suite::obs::ring::RingSink;
+use mpsoc_suite::platform::isa::assemble;
+use mpsoc_suite::platform::mem::periph_addr;
+use mpsoc_suite::platform::periph::dma_reg;
+use mpsoc_suite::platform::platform::{CacheConfig, PlatformBuilder};
+use mpsoc_suite::platform::Frequency;
+use mpsoc_suite::rtkernel::sched::{simulate_observed, Policy, SimConfig};
+use mpsoc_suite::rtkernel::task::{TaskSpec, Workload};
+
+/// The JPEG block pipeline as a dataflow graph: per-block WCETs roughly
+/// proportional to the arithmetic of each stage (DCT dominates).
+fn jpeg_graph() -> Graph {
+    let mut g = Graph::new();
+    let src = g.add_actor("src", vec![80], ActorKind::Source { period: 1_200 });
+    let dct = g.add_actor("dct", vec![900], ActorKind::Regular);
+    let quant = g.add_actor("quant", vec![120], ActorKind::Regular);
+    let rle = g.add_actor("rle", vec![150], ActorKind::Regular);
+    let snk = g.add_actor("snk", vec![60], ActorKind::Sink { period: 1_200 });
+    g.add_channel(src, dct, vec![1], vec![1], 0).unwrap();
+    g.add_channel(dct, quant, vec![1], vec![1], 0).unwrap();
+    g.add_channel(quant, rle, vec![1], vec![1], 0).unwrap();
+    g.add_channel(rle, snk, vec![1], vec![1], 0).unwrap();
+    g
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = MetricsRegistry::new();
+    let mut sink = RingSink::new(65_536);
+
+    // 1. Dataflow: 16 blocks through the self-timed JPEG pipeline.
+    let graph = jpeg_graph();
+    let cfg = SelfTimedConfig {
+        capacities: Some(vec![2; 4]),
+        iterations: 16,
+        ..Default::default()
+    };
+    let df = {
+        let mut obs = ObsCtx::new(&mut sink, &registry);
+        run_self_timed_observed(&graph, &cfg, &mut WcetTimes, &mut obs)?
+    };
+    println!(
+        "dataflow: {} firings, achieved period {:.0}",
+        df.firings.len(),
+        df.achieved_period().unwrap_or(f64::NAN)
+    );
+
+    // 2. Rtkernel: the encoder as a periodic gang task plus background load.
+    let mut w = Workload::new();
+    w.push(TaskSpec::parallel("jpeg_enc", 120, 1_600, 4, 450).with_period(500, 12));
+    w.push(TaskSpec::sequential("ui", 90, 240).with_period(250, 24));
+    w.push(TaskSpec::sequential("batch", 4_000, 6_000));
+    let sim_cfg = SimConfig {
+        cores: 6,
+        speed: 10,
+        switch_overhead: 2,
+        horizon: 6_000,
+        policy: Policy::Hybrid {
+            ts_cores: 2,
+            boost: 1.0,
+        },
+    };
+    let rt = {
+        let mut obs = ObsCtx::new(&mut sink, &registry);
+        simulate_observed(&w, &sim_cfg, &mut obs)?
+    };
+    println!(
+        "rtkernel: {} met / {} missed, {} switches",
+        rt.total_met(),
+        rt.total_missed(),
+        rt.switches
+    );
+
+    // 3. Platform: core 0 DMAs a block through shared memory, core 1 sums
+    // its own copy; both end up in the same trace.
+    let mut p = PlatformBuilder::new()
+        .cores(2, Frequency::mhz(100))
+        .shared_words(4_096)
+        .cache(Some(CacheConfig::default()))
+        .build()?;
+    p.attach_metrics(&registry);
+    let page = p.add_dma("dma0");
+    let block: Vec<i64> = (0..64).map(|i| (i * 7) % 256).collect();
+    p.load_shared(256, &block)?;
+    let src = periph_addr(page, dma_reg::SRC);
+    let dst = periph_addr(page, dma_reg::DST);
+    let len = periph_addr(page, dma_reg::LEN);
+    let ctrl = periph_addr(page, dma_reg::CTRL);
+    let busy = periph_addr(page, dma_reg::BUSY);
+    let dma_prog = assemble(&format!(
+        "movi r1, {src}\nmovi r2, 256\nst r2, r1, 0\n\
+         movi r1, {dst}\nmovi r2, 512\nst r2, r1, 0\n\
+         movi r1, {len}\nmovi r2, 64\nst r2, r1, 0\n\
+         movi r1, {ctrl}\nmovi r2, 1\nst r2, r1, 0\n\
+         movi r1, {busy}\n\
+         wait: ld r2, r1, 0\n\
+         bne r2, r0, wait\n\
+         movi r1, 512\nld r3, r1, 0\nld r4, r1, 1\nadd r3, r3, r4\n\
+         halt"
+    ))?;
+    let sum_prog = assemble(
+        "movi r1, 256\nmovi r3, 0\nmovi r4, 8\n\
+         loop: ld r2, r1, 0\nadd r3, r3, r2\naddi r1, r1, 1\n\
+         addi r4, r4, -1\nbne r4, r0, loop\n\
+         halt",
+    )?;
+    p.load_program(0, dma_prog, 0)?;
+    p.load_program(1, sum_prog, 0)?;
+    let steps = p.run_to_completion_observed(100_000, Some(&mut sink))?;
+    println!("platform: halted after {steps} steps");
+
+    // Export: Chrome trace (all three layers) + metrics dump.
+    let json = chrome_trace(sink.events());
+    std::fs::write("trace.json", &json)?;
+    println!(
+        "\nwrote trace.json ({} events, {} dropped) — open in Perfetto",
+        sink.len(),
+        sink.dropped()
+    );
+    println!("\n== metrics ==\n{}", registry.dump());
+    Ok(())
+}

@@ -52,8 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         origin: OriginFilter::Core(0),
     });
     match dbg.run(10_000)? {
-        Stop::Watchpoint { access: Some(a), .. } => {
-            println!("watchpoint: {:?} wrote {} to {:#x} at {}", a.originator, a.value, a.addr, a.at);
+        Stop::Watchpoint {
+            access: Some(a), ..
+        } => {
+            println!(
+                "watchpoint: {:?} wrote {} to {:#x} at {}",
+                a.originator, a.value, a.addr, a.at
+            );
         }
         other => println!("unexpected stop: {other:?}"),
     }

@@ -64,7 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let (pe, source) = &translation.sources[0];
         println!("  runtime synthesised for `{pe}` (first lines):");
-        for line in source.lines().rev().take(8).collect::<Vec<_>>().into_iter().rev() {
+        for line in source
+            .lines()
+            .rev()
+            .take(8)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
             println!("  | {line}");
         }
         assert!(matches, "retargeting must preserve function");

@@ -12,9 +12,9 @@
 
 use mpsoc_suite::maps::anno::take_annotations;
 use mpsoc_suite::maps::arch::{ArchModel, PeClass};
-use mpsoc_suite::maps::mapping::verify_realtime;
 use mpsoc_suite::maps::codegen::generate;
 use mpsoc_suite::maps::concurrency::ConcurrencyGraph;
+use mpsoc_suite::maps::mapping::verify_realtime;
 use mpsoc_suite::maps::mapping::{anneal, list_schedule};
 use mpsoc_suite::maps::mvp::{simulate_mvp, MvpApp, RtClass};
 use mpsoc_suite::maps::taskgraph::{annotate_pe_hints, extract_task_graph};
@@ -25,11 +25,10 @@ use mpsoc_suite::recoder::transforms;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Sequential input with the paper's lightweight C-extension
     //    annotations, + one semi-automatic partitioning action.
-    let src = mpsoc_suite::apps::jpeg::jpeg_frame_minic_source(64)
-        .replace(
-            "void encode_frame(int px[], int out[]) {\n",
-            "void encode_frame(int px[], int out[]) {\nmaps_period(60000);\nmaps_latency(30000);\n",
-        );
+    let src = mpsoc_suite::apps::jpeg::jpeg_frame_minic_source(64).replace(
+        "void encode_frame(int px[], int out[]) {\n",
+        "void encode_frame(int px[], int out[]) {\nmaps_period(60000);\nmaps_latency(30000);\n",
+    );
     let mut session = Recoder::from_source(&src)?;
     let mut annotated = session.unit().clone();
     let anno = take_annotations(&mut annotated, "encode_frame")?;
@@ -47,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Task graph + PE-class annotations (the lightweight C extensions).
     let mut graph = extract_task_graph(session.unit(), "encode_frame", &CostModel::default())?;
-    annotate_pe_hints(&mut graph, session.unit(), "encode_frame", &[("dct", PeClass::Dsp)]);
+    annotate_pe_hints(
+        &mut graph,
+        session.unit(),
+        "encode_frame",
+        &[("dct", PeClass::Dsp)],
+    );
     println!(
         "task graph: {} tasks, parallelism {:.2}",
         graph.tasks.len(),
@@ -120,6 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in first.source.lines().take(12) {
         println!("  | {line}");
     }
-    println!("  | ... ({} lines total for PE `{}`)", first.source.lines().count(), first.pe);
+    println!(
+        "  | ... ({} lines total for PE `{}`)",
+        first.source.lines().count(),
+        first.pe
+    );
     Ok(())
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the suite. CI runs this script verbatim
+# (.github/workflows/ci.yml); run it locally before pushing.
+#
+# The build is hermetic: no network access and no external crates, so every
+# step below works offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "verify: OK"

@@ -1,10 +1,11 @@
 //! # mpsoc-suite — reproduction of *"Programming MPSoC Platforms: Road Works Ahead!"* (DATE 2009)
 //!
-//! This umbrella crate re-exports the nine crates of the reproduction so
+//! This umbrella crate re-exports the crates of the reproduction so
 //! examples and downstream users can depend on a single package:
 //!
 //! | Crate | Paper section | Contents |
 //! |---|---|---|
+//! | [`obs`] | VII | metrics registry, event sinks, Chrome-trace export, PRNG |
 //! | [`platform`] | substrate | cycle-approximate MPSoC virtual platform |
 //! | [`minic`] | substrate | mini-C front end + interpreter oracle |
 //! | [`rtkernel`] | II | hybrid time/space scheduling, DVFS, locality, actors |
@@ -26,6 +27,7 @@ pub use mpsoc_cic as cic;
 pub use mpsoc_dataflow as dataflow;
 pub use mpsoc_maps as maps;
 pub use mpsoc_minic as minic;
+pub use mpsoc_obs as obs;
 pub use mpsoc_platform as platform;
 pub use mpsoc_recoder as recoder;
 pub use mpsoc_rtkernel as rtkernel;

@@ -28,8 +28,7 @@ fn maps_figure1_flow() {
     session
         .apply(|u| transforms::split_loop(u, "encode_frame", 0, 4))
         .unwrap();
-    let graph =
-        extract_task_graph(session.unit(), "encode_frame", &CostModel::default()).unwrap();
+    let graph = extract_task_graph(session.unit(), "encode_frame", &CostModel::default()).unwrap();
     assert_eq!(graph.tasks.len(), 4);
     assert!(graph.edges.is_empty(), "split blocks are independent");
 
@@ -180,7 +179,9 @@ fn mesh_and_bus_platforms_agree_functionally() {
             p.load_program(c, prog, 0).unwrap();
         }
         p.run_to_completion(100_000).unwrap();
-        let mem: Vec<i64> = (0..4).map(|c| p.debug_read(0x100 + c as u32).unwrap()).collect();
+        let mem: Vec<i64> = (0..4)
+            .map(|c| p.debug_read(0x100 + c as u32).unwrap())
+            .collect();
         (mem, p.now())
     };
     let (bus_mem, bus_t) = run(InterconnectConfig::Bus {
@@ -208,8 +209,7 @@ fn dvfs_midrun_boost() {
             .cache(None)
             .build()
             .unwrap();
-        let prog = assemble("movi r1, 400\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
-            .unwrap();
+        let prog = assemble("movi r1, 400\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt").unwrap();
         p.load_program(0, prog, 0).unwrap();
         let mut steps = 0u64;
         loop {
@@ -226,7 +226,10 @@ fn dvfs_midrun_boost() {
     };
     let base = run(false);
     let boosted = run(true);
-    assert!(boosted < base, "boost must shorten the run: {boosted} vs {base}");
+    assert!(
+        boosted < base,
+        "boost must shorten the run: {boosted} vs {base}"
+    );
     // But not by the full 4x: the first 100 steps ran at base clock.
     assert!(boosted.as_ps() * 3 > base.as_ps());
 }
@@ -248,15 +251,19 @@ fn locality_with_actor_ownership_transfer() {
     let mut sys = System::new();
     let consumer = sys.spawn(move |m: Message, _ctx: &mut _| {
         let r = mpsoc_suite::rtkernel::locality::RegionId::from_raw(m.data[0] as u64);
-        mm_c.borrow_mut().access(1, r).expect("ownership arrived first");
+        mm_c.borrow_mut()
+            .access(1, r)
+            .expect("ownership arrived first");
     });
     let mm_p = Rc::clone(&mm);
-    let producer = sys.spawn(move |m: Message, ctx: &mut mpsoc_suite::rtkernel::msg::Ctx| {
-        let r = mpsoc_suite::rtkernel::locality::RegionId::from_raw(m.data[0] as u64);
-        mm_p.borrow_mut().access(0, r).unwrap();
-        mm_p.borrow_mut().transfer(r, 1).unwrap();
-        ctx.send(consumer, m);
-    });
+    let producer = sys.spawn(
+        move |m: Message, ctx: &mut mpsoc_suite::rtkernel::msg::Ctx| {
+            let r = mpsoc_suite::rtkernel::locality::RegionId::from_raw(m.data[0] as u64);
+            mm_p.borrow_mut().access(0, r).unwrap();
+            mm_p.borrow_mut().transfer(r, 1).unwrap();
+            ctx.send(consumer, m);
+        },
+    );
     sys.post(producer, Message::new(0, vec![region.into_raw() as i64]))
         .unwrap();
     sys.run(100).unwrap();

@@ -1,8 +1,10 @@
 //! Property-based tests over the suite's core data structures and
-//! invariants, using proptest. Each property encodes something the
-//! documentation promises unconditionally.
+//! invariants. Each property encodes something the documentation promises
+//! unconditionally, checked over a few hundred deterministic random cases
+//! drawn from the suite's seeded [`XorShift64Star`] generator (so the whole
+//! test run is reproducible and needs no external crates).
 
-use proptest::prelude::*;
+use mpsoc_suite::obs::rng::XorShift64Star;
 
 use mpsoc_suite::dataflow::graph::{ActorKind, Graph};
 use mpsoc_suite::maps::arch::ArchModel;
@@ -21,42 +23,57 @@ use mpsoc_suite::rtkernel::task::{TaskSpec, Workload};
 // Platform substrate
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// cycles -> time -> cycles never gains cycles (rounding is upward in
-    /// time, downward back, so the roundtrip is >= identity).
-    #[test]
-    fn frequency_conversion_roundtrip(khz in 1u64..10_000_000, cy in 0u64..1_000_000) {
+/// cycles -> time -> cycles never gains cycles (rounding is upward in
+/// time, downward back, so the roundtrip is >= identity).
+#[test]
+fn frequency_conversion_roundtrip() {
+    let mut rng = XorShift64Star::new(0xf0_0001);
+    for _ in 0..512 {
+        let khz = rng.u64_in(1, 9_999_999);
+        let cy = rng.u64_in(0, 999_999);
         let f = Frequency::khz(khz);
         let t = f.cycles_to_time(Cycles(cy));
         let back = f.time_to_cycles(t);
-        prop_assert!(back.0 >= cy, "{khz} kHz, {cy} cy -> {back:?}");
+        assert!(back.0 >= cy, "{khz} kHz, {cy} cy -> {back:?}");
     }
+}
 
-    /// Time arithmetic is monotone and saturating.
-    #[test]
-    fn time_saturating(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
-        let ta = Time::from_ps(a);
-        let tb = Time::from_ps(b);
-        prop_assert!(ta + tb >= ta);
-        prop_assert!(ta.saturating_sub(tb) <= ta);
+/// Time arithmetic is monotone and saturating.
+#[test]
+fn time_saturating() {
+    let mut rng = XorShift64Star::new(0xf0_0002);
+    for _ in 0..512 {
+        let ta = Time::from_ps(rng.next_u64());
+        let tb = Time::from_ps(rng.next_u64());
+        assert!(ta + tb >= ta);
+        assert!(ta.saturating_sub(tb) <= ta);
     }
+}
 
-    /// Cache accounting: hits + misses equals accesses; hit rate in [0,1].
-    #[test]
-    fn cache_accounting(addrs in proptest::collection::vec(0u32..4096, 1..200)) {
+/// Cache accounting: hits + misses equals accesses; hit rate in [0,1].
+#[test]
+fn cache_accounting() {
+    let mut rng = XorShift64Star::new(0xf0_0003);
+    for _ in 0..64 {
+        let n = rng.usize_in(1, 199);
+        let addrs: Vec<u32> = (0..n).map(|_| rng.u64_in(0, 4095) as u32).collect();
         let mut c = Cache::new(16, 2, 4);
         for &a in &addrs {
             c.access(a);
         }
-        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
-        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+        assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        assert!((0.0..=1.0).contains(&c.hit_rate()));
     }
+}
 
-    /// A countdown loop of any length executes exactly 2n+2 instructions
-    /// and always terminates — the simulator neither loses nor duplicates
-    /// instruction events.
-    #[test]
-    fn countdown_retires_expected(n in 1i64..200) {
+/// A countdown loop of any length executes exactly 2n+2 instructions
+/// and always terminates — the simulator neither loses nor duplicates
+/// instruction events.
+#[test]
+fn countdown_retires_expected() {
+    let mut rng = XorShift64Star::new(0xf0_0004);
+    for _ in 0..24 {
+        let n = rng.i64_in(1, 199);
         let mut p = PlatformBuilder::new()
             .cores(1, Frequency::mhz(100))
             .shared_words(64)
@@ -69,32 +86,41 @@ proptest! {
         .unwrap();
         p.load_program(0, prog, 0).unwrap();
         p.run_to_completion(10_000_000).unwrap();
-        prop_assert_eq!(p.core(0).unwrap().retired(), (2 * n + 2) as u64);
+        assert_eq!(p.core(0).unwrap().retired(), (2 * n + 2) as u64);
     }
+}
 
-    /// The platform is deterministic: two identical builds produce the
-    /// same final time and memory for arbitrary small store programs.
-    #[test]
-    fn platform_determinism(values in proptest::collection::vec(-1000i64..1000, 1..12)) {
-        let build = |values: &[i64]| {
-            let mut src = String::new();
-            for (i, v) in values.iter().enumerate() {
-                src.push_str(&format!("movi r1, {v}\nmovi r2, {}\nst r1, r2, 0\n", 0x10 + i));
-            }
-            src.push_str("halt");
-            let mut p = PlatformBuilder::new()
-                .cores(1, Frequency::mhz(100))
-                .shared_words(256)
-                .build()
-                .unwrap();
-            p.load_program(0, assemble(&src).unwrap(), 0).unwrap();
-            p.run_to_completion(1_000_000).unwrap();
-            let mem: Vec<i64> = (0..values.len())
-                .map(|i| p.debug_read(0x10 + i as u32).unwrap())
-                .collect();
-            (p.now(), mem)
-        };
-        prop_assert_eq!(build(&values), build(&values));
+/// The platform is deterministic: two identical builds produce the
+/// same final time and memory for arbitrary small store programs.
+#[test]
+fn platform_determinism() {
+    let build = |values: &[i64]| {
+        let mut src = String::new();
+        for (i, v) in values.iter().enumerate() {
+            src.push_str(&format!(
+                "movi r1, {v}\nmovi r2, {}\nst r1, r2, 0\n",
+                0x10 + i
+            ));
+        }
+        src.push_str("halt");
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(256)
+            .build()
+            .unwrap();
+        p.load_program(0, assemble(&src).unwrap(), 0).unwrap();
+        p.run_to_completion(1_000_000).unwrap();
+        let mem: Vec<i64> = (0..values.len())
+            .map(|i| p.debug_read(0x10 + i as u32).unwrap())
+            .collect();
+        (p.now(), mem)
+    };
+    let mut rng = XorShift64Star::new(0xf0_0005);
+    for _ in 0..24 {
+        let n = rng.usize_in(1, 11);
+        let mut values = vec![0i64; n];
+        rng.fill_i64(&mut values, -1000, 999);
+        assert_eq!(build(&values), build(&values));
     }
 }
 
@@ -103,45 +129,59 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// A tiny generator of constant integer expressions as source text with
-/// their expected value.
-fn const_expr() -> impl Strategy<Value = (String, i64)> {
-    let leaf = (0i64..100).prop_map(|v| (v.to_string(), v));
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), inner, 0..4u8).prop_map(|((ls, lv), (rs, rv), op)| match op {
-            0 => (format!("({ls} + {rs})"), lv.wrapping_add(rv)),
-            1 => (format!("({ls} - {rs})"), lv.wrapping_sub(rv)),
-            2 => (format!("({ls} * {rs})"), lv.wrapping_mul(rv)),
-            _ => (format!("({ls} + {rs} * 2)"), lv.wrapping_add(rv.wrapping_mul(2))),
-        })
-    })
+/// their expected value (recursive, depth-bounded).
+fn const_expr(rng: &mut XorShift64Star, depth: usize) -> (String, i64) {
+    if depth == 0 || rng.chance_pct(30) {
+        let v = rng.i64_in(0, 99);
+        return (v.to_string(), v);
+    }
+    let (ls, lv) = const_expr(rng, depth - 1);
+    let (rs, rv) = const_expr(rng, depth - 1);
+    match rng.u64_in(0, 3) {
+        0 => (format!("({ls} + {rs})"), lv.wrapping_add(rv)),
+        1 => (format!("({ls} - {rs})"), lv.wrapping_sub(rv)),
+        2 => (format!("({ls} * {rs})"), lv.wrapping_mul(rv)),
+        _ => (
+            format!("({ls} + {rs} * 2)"),
+            lv.wrapping_add(rv.wrapping_mul(2)),
+        ),
+    }
 }
 
-proptest! {
-    /// const_eval, the interpreter, and the printer agree on every
-    /// generated constant expression.
-    #[test]
-    fn minic_semantics_agree((src, expected) in const_expr()) {
+/// const_eval, the interpreter, and the printer agree on every
+/// generated constant expression.
+#[test]
+fn minic_semantics_agree() {
+    let mut rng = XorShift64Star::new(0xf0_0006);
+    for _ in 0..128 {
+        let (src, expected) = const_expr(&mut rng, 3);
         let program = format!("int f(void) {{ return {src}; }}");
         let unit = mpsoc_suite::minic::parse(&program).unwrap();
         // const_eval on the AST.
         if let mpsoc_suite::minic::StmtKind::Return(Some(e)) = &unit.functions[0].body[0].kind {
-            prop_assert_eq!(e.const_eval(), Some(expected));
+            assert_eq!(e.const_eval(), Some(expected));
         } else {
-            prop_assert!(false, "expected return");
+            panic!("expected return");
         }
         // The interpreter.
         let result = Interp::new(&unit).run("f", &[]).unwrap();
-        prop_assert_eq!(result, Some(expected));
+        assert_eq!(result, Some(expected));
         // Print -> reparse -> interpret.
         let printed = mpsoc_suite::minic::print_unit(&unit);
         let reparsed = mpsoc_suite::minic::parse(&printed).unwrap();
         let result2 = Interp::new(&reparsed).run("f", &[]).unwrap();
-        prop_assert_eq!(result2, Some(expected));
+        assert_eq!(result2, Some(expected));
     }
+}
 
-    /// Print/parse is a fixpoint for array-filling loops of any shape.
-    #[test]
-    fn minic_print_parse_fixpoint(n in 1usize..64, mul in 1i64..50, add in 0i64..50) {
+/// Print/parse is a fixpoint for array-filling loops of any shape.
+#[test]
+fn minic_print_parse_fixpoint() {
+    let mut rng = XorShift64Star::new(0xf0_0007);
+    for _ in 0..64 {
+        let n = rng.usize_in(1, 63);
+        let mul = rng.i64_in(1, 49);
+        let add = rng.i64_in(0, 49);
         let program = format!(
             "void f(int out[]) {{ for (i = 0; i < {n}; i = i + 1) {{ out[i] = i * {mul} + {add}; }} }}"
         );
@@ -149,7 +189,7 @@ proptest! {
         let p1 = mpsoc_suite::minic::print_unit(&u1);
         let u2 = mpsoc_suite::minic::parse(&p1).unwrap();
         let p2 = mpsoc_suite::minic::print_unit(&u2);
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2);
     }
 }
 
@@ -157,20 +197,23 @@ proptest! {
 // Dataflow
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Repetition vectors balance every channel of random two-actor
-    /// multirate graphs.
-    #[test]
-    fn repetition_vector_balances(p in 1u32..12, c in 1u32..12) {
+/// Repetition vectors balance every channel of random two-actor
+/// multirate graphs.
+#[test]
+fn repetition_vector_balances() {
+    let mut rng = XorShift64Star::new(0xf0_0008);
+    for _ in 0..128 {
+        let p = rng.u64_in(1, 11) as u32;
+        let c = rng.u64_in(1, 11) as u32;
         let mut g = Graph::new();
         let a = g.add_actor("a", vec![1], ActorKind::Regular);
         let b = g.add_actor("b", vec![1], ActorKind::Regular);
         g.add_channel(a, b, vec![p], vec![c], 0).unwrap();
         let q = g.repetition_vector().unwrap();
-        prop_assert_eq!(q[0] * p as u64, q[1] * c as u64);
+        assert_eq!(q[0] * p as u64, q[1] * c as u64);
         // Minimality: gcd of the vector is 1.
         let g0 = gcd(q[0], q[1]);
-        prop_assert_eq!(g0, 1);
+        assert_eq!(g0, 1);
     }
 }
 
@@ -186,25 +229,30 @@ fn gcd(a: u64, b: u64) -> u64 {
 // Scheduling / mapping
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Amdahl with boost >= 1 never loses to plain Amdahl, and speedup is
-    /// bounded by the core count (for boost 1).
-    #[test]
-    fn amdahl_bounds(s in 0.0f64..1.0, n in 1usize..512) {
+/// Amdahl with boost >= 1 never loses to plain Amdahl, and speedup is
+/// bounded by the core count (for boost 1).
+#[test]
+fn amdahl_bounds() {
+    let mut rng = XorShift64Star::new(0xf0_0009);
+    for _ in 0..512 {
+        let s = rng.f64();
+        let n = rng.usize_in(1, 511);
         let plain = amdahl_speedup(s, n);
-        prop_assert!(plain <= n as f64 + 1e-9);
-        prop_assert!(boosted_amdahl_speedup(s, n, 1.5) >= plain - 1e-12);
+        assert!(plain <= n as f64 + 1e-9);
+        assert!(boosted_amdahl_speedup(s, n, 1.5) >= plain - 1e-12);
     }
+}
 
-    /// The scheduler never reports more outcomes than releases and never
-    /// exceeds full utilisation.
-    #[test]
-    fn sched_conservation(
-        work in 10u64..500,
-        period in 20u64..100,
-        jobs in 1usize..20,
-        cores in 1usize..8,
-    ) {
+/// The scheduler never reports more outcomes than releases and never
+/// exceeds full utilisation.
+#[test]
+fn sched_conservation() {
+    let mut rng = XorShift64Star::new(0xf0_000a);
+    for _ in 0..64 {
+        let work = rng.u64_in(10, 499);
+        let period = rng.u64_in(20, 99);
+        let jobs = rng.usize_in(1, 19);
+        let cores = rng.usize_in(1, 7);
         let mut w = Workload::new();
         w.push(TaskSpec::sequential("t", work, period).with_period(period, jobs));
         let cfg = SimConfig {
@@ -216,20 +264,22 @@ proptest! {
         };
         let r = simulate(&w, &cfg).unwrap();
         let t = &r.tasks[0];
-        prop_assert!(t.met + t.missed <= t.released + jobs);
-        prop_assert!(r.utilization(&cfg) <= 1.0 + 1e-9);
+        assert!(t.met + t.missed <= t.released + jobs);
+        assert!(r.utilization(&cfg) <= 1.0 + 1e-9);
     }
+}
 
-    /// List scheduling always produces dependence-respecting schedules on
-    /// random fork-join graphs, and the makespan never beats the critical
-    /// path.
-    #[test]
-    fn mapping_respects_dependences(
-        costs in proptest::collection::vec(1u64..100, 3..10),
-        pes in 1usize..5,
-    ) {
+/// List scheduling always produces dependence-respecting schedules on
+/// random fork-join graphs, and the makespan never beats the critical
+/// path.
+#[test]
+fn mapping_respects_dependences() {
+    let mut rng = XorShift64Star::new(0xf0_000b);
+    for _ in 0..64 {
+        let n = rng.usize_in(3, 9);
+        let costs: Vec<u64> = (0..n).map(|_| rng.u64_in(1, 99)).collect();
+        let pes = rng.usize_in(1, 4);
         // Fork-join: task 0 -> every middle task -> last task.
-        let n = costs.len();
         let tasks: Vec<Task> = costs
             .iter()
             .enumerate()
@@ -242,20 +292,28 @@ proptest! {
             .collect();
         let mut edges = Vec::new();
         for m in 1..n - 1 {
-            edges.push(TaskEdge { from: 0, to: m, volume: 1 });
-            edges.push(TaskEdge { from: m, to: n - 1, volume: 1 });
+            edges.push(TaskEdge {
+                from: 0,
+                to: m,
+                volume: 1,
+            });
+            edges.push(TaskEdge {
+                from: m,
+                to: n - 1,
+                volume: 1,
+            });
         }
         let graph = TaskGraph { tasks, edges };
         let arch = ArchModel::homogeneous(pes);
         let m = list_schedule(&graph, &arch).unwrap();
-        prop_assert!(m.makespan as u64 >= graph.critical_path());
+        assert!(m.makespan as u64 >= graph.critical_path());
         // Re-evaluating the assignment reproduces the same makespan.
         let again = evaluate(&graph, &arch, &m.assignment).unwrap();
-        prop_assert_eq!(again.makespan, m.makespan);
+        assert_eq!(again.makespan, m.makespan);
         // Start/end ordering respects edges.
         let slot = |t: usize| m.schedule.iter().find(|s| s.task == t).copied().unwrap();
         for e in &graph.edges {
-            prop_assert!(slot(e.to).start >= slot(e.from).end);
+            assert!(slot(e.to).start >= slot(e.from).end);
         }
     }
 }
@@ -270,34 +328,32 @@ use mpsoc_suite::recoder::transforms;
 /// Generates a random but transformable mini-C function of the shape the
 /// recoder walkthrough targets: constant-folded control, a pointer to an
 /// output cell, and data-parallel fill loops.
-fn recodeable_program() -> impl Strategy<Value = (String, usize)> {
-    (
-        1i64..64,        // loop bound
-        1i64..20,        // multiplier
-        0i64..20,        // offset
-        0u32..2,         // constant condition
-        2usize..5,       // split factor
-        0i64..8,         // pointer target index
-    )
-        .prop_map(|(n, mul, add, cond, parts, ptr_idx)| {
-            let src = format!(
-                "void f(int n, int out[]) {{\n\
-                 int *p = &out[{ptr_idx}];\n\
-                 *p = {mul};\n\
-                 if ({cond}) {{ out[8] = 1; }} else {{ out[8] = 2; }}\n\
-                 for (i = 0; i < {n}; i = i + 1) {{ out[9 + i] = i * {mul} + {add}; }}\n\
-                 }}"
-            );
-            (src, parts)
-        })
+fn recodeable_program(rng: &mut XorShift64Star) -> (String, usize) {
+    let n = rng.i64_in(1, 63);
+    let mul = rng.i64_in(1, 19);
+    let add = rng.i64_in(0, 19);
+    let cond = rng.u64_in(0, 1);
+    let parts = rng.usize_in(2, 4);
+    let ptr_idx = rng.i64_in(0, 7);
+    let src = format!(
+        "void f(int n, int out[]) {{\n\
+         int *p = &out[{ptr_idx}];\n\
+         *p = {mul};\n\
+         if ({cond}) {{ out[8] = 1; }} else {{ out[8] = 2; }}\n\
+         for (i = 0; i < {n}; i = i + 1) {{ out[9 + i] = i * {mul} + {add}; }}\n\
+         }}"
+    );
+    (src, parts)
 }
 
-proptest! {
-    /// Any chain of (pointer recoding, control pruning, loop splitting)
-    /// preserves the observable output buffer — the recoder's contract,
-    /// checked against the interpreter oracle on random programs.
-    #[test]
-    fn recoder_chain_preserves_semantics((src, parts) in recodeable_program()) {
+/// Any chain of (pointer recoding, control pruning, loop splitting)
+/// preserves the observable output buffer — the recoder's contract,
+/// checked against the interpreter oracle on random programs.
+#[test]
+fn recoder_chain_preserves_semantics() {
+    let mut rng = XorShift64Star::new(0xf0_000c);
+    for _ in 0..48 {
+        let (src, parts) = recodeable_program(&mut rng);
         let run = |unit: &mpsoc_suite::minic::Unit| {
             let mut it = Interp::new(unit);
             it.set_max_steps(5_000_000);
@@ -309,28 +365,38 @@ proptest! {
         let reference = run(&reference_unit);
 
         let mut session = Recoder::from_source(&src).unwrap();
-        session.apply(|u| transforms::recode_pointers(u, "f")).unwrap();
-        session.apply(|u| transforms::prune_control(u, "f")).unwrap();
+        session
+            .apply(|u| transforms::recode_pointers(u, "f"))
+            .unwrap();
+        session
+            .apply(|u| transforms::prune_control(u, "f"))
+            .unwrap();
         // Splitting may legitimately refuse tiny loops; only require
         // success when the trip count allows it.
         let _ = session.apply(|u| transforms::split_loop(u, "f", 0, parts));
-        prop_assert_eq!(run(session.unit()), reference);
+        assert_eq!(run(session.unit()), reference);
         // And the result is pointer-free regardless.
         let score = mpsoc_suite::minic::analysis::analyzability(
             session.unit(),
             &session.unit().functions[0],
         );
-        prop_assert_eq!(score.pointer_derefs, 0);
+        assert_eq!(score.pointer_derefs, 0);
     }
+}
 
-    /// Undo is an exact inverse for any applied transformation.
-    #[test]
-    fn recoder_undo_is_exact((src, _parts) in recodeable_program()) {
+/// Undo is an exact inverse for any applied transformation.
+#[test]
+fn recoder_undo_is_exact() {
+    let mut rng = XorShift64Star::new(0xf0_000d);
+    for _ in 0..48 {
+        let (src, _parts) = recodeable_program(&mut rng);
         let mut session = Recoder::from_source(&src).unwrap();
         let before = session.document().to_string();
-        session.apply(|u| transforms::recode_pointers(u, "f")).unwrap();
+        session
+            .apply(|u| transforms::recode_pointers(u, "f"))
+            .unwrap();
         session.undo().unwrap();
-        prop_assert_eq!(session.document(), &before);
+        assert_eq!(session.document(), &before);
     }
 }
 
@@ -341,18 +407,17 @@ proptest! {
 use mpsoc_suite::dataflow::buffer::{is_wait_free, minimal_capacities};
 use mpsoc_suite::dataflow::selftimed::{run_self_timed, SelfTimedConfig, WcetTimes};
 
-proptest! {
-    /// For random feasible three-stage pipelines, the computed minimal
-    /// capacities are wait-free and genuinely minimal per channel.
-    #[test]
-    fn buffer_sizing_sound_and_minimal(
-        w1 in 1u64..40,
-        w2 in 1u64..80,
-        w3 in 1u64..40,
-        frame in 1u32..5,
-    ) {
+/// For random feasible three-stage pipelines, the computed minimal
+/// capacities are wait-free and genuinely minimal per channel.
+#[test]
+fn buffer_sizing_sound_and_minimal() {
+    let mut rng = XorShift64Star::new(0xf0_000e);
+    for _ in 0..48 {
+        let w1 = rng.u64_in(1, 39);
+        let w2 = rng.u64_in(1, 79);
+        let w3 = rng.u64_in(1, 39);
+        let frame = rng.u64_in(1, 4) as u32;
         let period = 100u64;
-        prop_assume!(w2 <= period && w1 <= period && w3 <= period);
         let mut g = Graph::new();
         let a = g.add_actor("src", vec![w1], ActorKind::Source { period });
         let b = g.add_actor("mid", vec![w2], ActorKind::Regular);
@@ -360,31 +425,39 @@ proptest! {
         g.add_channel(a, b, vec![frame], vec![frame], 0).unwrap();
         g.add_channel(b, c, vec![frame], vec![frame], 0).unwrap();
         let caps = minimal_capacities(&g, 12).unwrap();
-        prop_assert!(is_wait_free(&g, &caps, 12).unwrap());
+        assert!(is_wait_free(&g, &caps, 12).unwrap());
         for ch in 0..caps.len() {
             if caps[ch] > 1 {
                 let mut smaller = caps.clone();
                 smaller[ch] -= 1;
-                prop_assert!(!is_wait_free(&g, &smaller, 12).unwrap());
+                assert!(!is_wait_free(&g, &smaller, 12).unwrap());
             }
         }
     }
+}
 
-    /// Self-timed execution conserves tokens: the sink consumes exactly
-    /// iterations × frame tokens, no matter the rates.
-    #[test]
-    fn self_timed_conserves_tokens(frame in 1u32..6, iters in 1u64..12) {
+/// Self-timed execution conserves tokens: the sink consumes exactly
+/// iterations × frame tokens, no matter the rates.
+#[test]
+fn self_timed_conserves_tokens() {
+    let mut rng = XorShift64Star::new(0xf0_000f);
+    for _ in 0..64 {
+        let frame = rng.u64_in(1, 5) as u32;
+        let iters = rng.u64_in(1, 11);
         let mut g = Graph::new();
         let a = g.add_actor("src", vec![5], ActorKind::Source { period: 1_000 });
         let b = g.add_actor("snk", vec![5], ActorKind::Sink { period: 1_000 });
         g.add_channel(a, b, vec![frame], vec![frame], 0).unwrap();
         let r = run_self_timed(
             &g,
-            &SelfTimedConfig { iterations: iters, ..Default::default() },
+            &SelfTimedConfig {
+                iterations: iters,
+                ..Default::default()
+            },
             &mut WcetTimes,
         )
         .unwrap();
         let sink_firings = r.firings.iter().filter(|f| f.actor.0 == 1).count() as u64;
-        prop_assert_eq!(sink_firings, iters);
+        assert_eq!(sink_firings, iters);
     }
 }
