@@ -1,4 +1,8 @@
 //! Regenerates every experiment of EXPERIMENTS.md in order.
+//!
+//! With `--smoke`, additionally runs the simulator fast-path benchmark in
+//! its seconds-scale smoke profile (writing `target/BENCH_simulator.json`)
+//! so CI exercises the whole suite end to end.
 use mpsoc_bench::experiments as e;
 
 fn main() {
@@ -13,4 +17,11 @@ fn main() {
     println!("{}", e::e9_heisenbug());
     println!("{}", e::e10_admission());
     println!("{}", e::e11_explore());
+    if std::env::args().any(|a| a == "--smoke") {
+        let report = mpsoc_bench::sim_fastpath::run(&mpsoc_bench::sim_fastpath::Config::smoke());
+        print!("{report}");
+        std::fs::write("target/BENCH_simulator.json", report.to_json())
+            .expect("writes benchmark report");
+        println!("wrote target/BENCH_simulator.json");
+    }
 }

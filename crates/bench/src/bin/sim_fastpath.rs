@@ -1,0 +1,28 @@
+//! Runs the simulator fast-path suite and writes `BENCH_simulator.json`.
+//!
+//! * `cargo run --release -p mpsoc-bench --bin sim_fastpath` — full
+//!   profile; writes `BENCH_simulator.json` at the workspace root (the
+//!   committed evidence file).
+//! * `... -- --smoke` — seconds-scale CI profile; writes
+//!   `target/BENCH_simulator.json` so a smoke run never clobbers the
+//!   committed full-profile numbers.
+
+use mpsoc_bench::sim_fastpath::{run, Config};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
+    let report = run(&cfg);
+    print!("{report}");
+    let path = if smoke {
+        "target/BENCH_simulator.json"
+    } else {
+        "BENCH_simulator.json"
+    };
+    std::fs::write(path, report.to_json()).expect("writes benchmark report");
+    println!("wrote {path}");
+}

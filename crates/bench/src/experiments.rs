@@ -710,10 +710,12 @@ pub struct E11Explore {
 
 /// Runs E11.
 pub fn e11_explore() -> E11Explore {
-    use mpsoc_cic::explore::explore;
+    use mpsoc_cic::explore::explore_parallel;
     let model = h264_cic_model().expect("model builds");
     let deadline = 1_600;
-    let e = explore(&model, deadline, 4, 4).expect("explores");
+    // The parallel sweep is bit-identical to the serial one for any thread
+    // count, so E11's published rows are unchanged.
+    let e = explore_parallel(&model, deadline, 4, 4, 4).expect("explores");
     let rows = e
         .candidates
         .iter()

@@ -11,3 +11,4 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod sim_fastpath;

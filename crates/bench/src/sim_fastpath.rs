@@ -1,0 +1,575 @@
+//! Simulator fast-path benchmark suite (`BENCH_simulator.json`).
+//!
+//! Measures what the event-calendar scheduler and the allocation-free hot
+//! loop buy over the original per-step linear scan, on two workloads that
+//! bracket the design space of Section II's virtual platforms:
+//!
+//! * **car-radio** — the control-dominated extreme: a dual-tuner (DAB+FM)
+//!   audio chain on 4 heterogeneous cores, exchanging samples through 36
+//!   inter-stage FIFOs under two hardware locks while 8 periodic
+//!   sample/status clocks interrupt them and two DMA engines stream
+//!   blocks — 48 peripherals total. Every step pays the actor-selection
+//!   cost over every actor, so this is where the calendar shines.
+//! * **jpeg** — the compute-dominated extreme: 4 cores running a DCT-like
+//!   multiply/accumulate kernel over shared memory with only a mailbox and
+//!   a DMA engine attached. Actor selection is cheap relative to the work;
+//!   this bounds the *worst-case* benefit honestly.
+//!
+//! Both schedulers execute bit-identical event sequences (asserted here and
+//! property-tested in `mpsoc-platform`); only wall-clock differs. The
+//! baseline driver deliberately reproduces the pre-calendar shape of
+//! `run_until`: one scan to find the next event time, a second scan inside
+//! `step()`, and a freshly allocated `StepEvent` per step.
+//!
+//! The suite also times [`mpsoc_maps::mapping::anneal_multi`] — the
+//! deterministic multi-start annealer — at 1/2/4 worker threads on the
+//! JPEG task graph, asserting the makespan is thread-count invariant while
+//! the wall-clock shrinks.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mpsoc_maps::arch::ArchModel;
+use mpsoc_maps::mapping::anneal_multi;
+use mpsoc_maps::taskgraph::extract_task_graph;
+use mpsoc_minic::cost::CostModel;
+use mpsoc_platform::isa::assemble;
+use mpsoc_platform::platform::{Platform, PlatformBuilder, SchedulerMode};
+use mpsoc_platform::{Frequency, Time};
+use mpsoc_recoder::recoder::Recoder;
+use mpsoc_recoder::transforms;
+
+/// Peripheral page base address helper (see `mpsoc_platform::mem`).
+fn page_base(page: usize) -> u32 {
+    0xF000_0000 + (page as u32) * 0x100
+}
+
+/// Suite configuration: one full profile (committed numbers) and one smoke
+/// profile (CI sanity, seconds not minutes).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Simulated time window per workload run.
+    pub sim_window: Time,
+    /// Wall-clock repeats per measurement (best-of is reported).
+    pub repeats: usize,
+    /// Annealer iterations per restart.
+    pub anneal_iters: u64,
+    /// Annealer restarts.
+    pub anneal_starts: usize,
+    /// Label recorded in the JSON (`"full"` / `"smoke"`).
+    pub mode: &'static str,
+}
+
+impl Config {
+    /// The committed-results profile.
+    pub fn full() -> Self {
+        Config {
+            sim_window: Time::from_ms(4),
+            repeats: 3,
+            anneal_iters: 300_000,
+            anneal_starts: 8,
+            mode: "full",
+        }
+    }
+
+    /// A seconds-scale profile for CI smoke runs.
+    pub fn smoke() -> Self {
+        Config {
+            sim_window: Time::from_us(50),
+            repeats: 1,
+            anneal_iters: 100,
+            anneal_starts: 4,
+            mode: "smoke",
+        }
+    }
+}
+
+/// Steps/sec of one workload under both schedulers.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name (`"car_radio"` / `"jpeg"`).
+    pub name: &'static str,
+    /// Steps executed inside the simulated window (identical for both).
+    pub steps: u64,
+    /// Best-of-N wall seconds for the linear-scan baseline driver.
+    pub baseline_secs: f64,
+    /// Best-of-N wall seconds for the calendar + recycling fast path.
+    pub fastpath_secs: f64,
+}
+
+impl WorkloadResult {
+    /// Baseline simulation throughput.
+    pub fn baseline_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.baseline_secs
+    }
+
+    /// Fast-path simulation throughput.
+    pub fn fastpath_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.fastpath_secs
+    }
+
+    /// Fast path over baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_secs / self.fastpath_secs
+    }
+}
+
+/// Wall time of the multi-start annealer at one thread count.
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-N wall seconds.
+    pub secs: f64,
+    /// Best makespan found (identical across thread counts).
+    pub makespan: u64,
+}
+
+/// Everything the suite measured; serialises to `BENCH_simulator.json`.
+#[derive(Clone, Debug)]
+pub struct SimFastpathReport {
+    /// Profile the numbers were taken with.
+    pub mode: &'static str,
+    /// Per-workload scheduler comparison.
+    pub workloads: Vec<WorkloadResult>,
+    /// Annealer wall times at 1/2/4 threads.
+    pub anneal: Vec<AnnealResult>,
+    /// Annealer iterations per restart / restart count used.
+    pub anneal_iters: u64,
+    /// Annealer restarts.
+    pub anneal_starts: usize,
+    /// CPUs the host reported when the numbers were taken. Thread-scaling
+    /// results are only meaningful relative to this.
+    pub host_cpus: usize,
+}
+
+impl SimFastpathReport {
+    /// Anneal speedup at `threads` relative to the single-thread run.
+    pub fn anneal_speedup(&self, threads: usize) -> Option<f64> {
+        let t1 = self.anneal.iter().find(|a| a.threads == 1)?;
+        let tn = self.anneal.iter().find(|a| a.threads == threads)?;
+        Some(t1.secs / tn.secs)
+    }
+
+    /// Hand-rolled JSON (the workspace builds offline, without serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"suite\": \"sim_fastpath\",");
+        let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(s, "  \"host_cpus\": {},", self.host_cpus);
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(s, "      \"steps\": {},", w.steps);
+            let _ = writeln!(s, "      \"baseline_secs\": {:.6},", w.baseline_secs);
+            let _ = writeln!(s, "      \"fastpath_secs\": {:.6},", w.fastpath_secs);
+            let _ = writeln!(
+                s,
+                "      \"baseline_steps_per_sec\": {:.0},",
+                w.baseline_steps_per_sec()
+            );
+            let _ = writeln!(
+                s,
+                "      \"fastpath_steps_per_sec\": {:.0},",
+                w.fastpath_steps_per_sec()
+            );
+            let _ = writeln!(s, "      \"speedup\": {:.2}", w.speedup());
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"anneal\": {\n");
+        let _ = writeln!(s, "    \"iters\": {},", self.anneal_iters);
+        let _ = writeln!(s, "    \"starts\": {},", self.anneal_starts);
+        if let Some(a) = self.anneal.first() {
+            let _ = writeln!(s, "    \"makespan\": {},", a.makespan);
+        }
+        s.push_str("    \"threads\": [\n");
+        for (i, a) in self.anneal.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      {{ \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1t\": {:.2} }}{}",
+                a.threads,
+                a.secs,
+                self.anneal_speedup(a.threads).unwrap_or(1.0),
+                if i + 1 < self.anneal.len() { "," } else { "" }
+            );
+        }
+        s.push_str("    ]\n  }\n}\n");
+        s
+    }
+}
+
+impl fmt::Display for SimFastpathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sim_fastpath ({} profile)", self.mode)?;
+        writeln!(
+            f,
+            "  {:<10} {:>10} {:>14} {:>14} {:>8}",
+            "workload", "steps", "scan steps/s", "cal steps/s", "speedup"
+        )?;
+        for w in &self.workloads {
+            writeln!(
+                f,
+                "  {:<10} {:>10} {:>14.0} {:>14.0} {:>7.2}x",
+                w.name,
+                w.steps,
+                w.baseline_steps_per_sec(),
+                w.fastpath_steps_per_sec(),
+                w.speedup()
+            )?;
+        }
+        writeln!(
+            f,
+            "  anneal ({} iters x {} starts, host has {} cpu(s)):",
+            self.anneal_iters, self.anneal_starts, self.host_cpus
+        )?;
+        for a in &self.anneal {
+            writeln!(
+                f,
+                "    {} thread(s): {:.3}s ({:.2}x vs 1t), makespan {}",
+                a.threads,
+                a.secs,
+                self.anneal_speedup(a.threads).unwrap_or(1.0),
+                a.makespan
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload construction
+// ---------------------------------------------------------------------------
+
+/// Builds the car-radio platform: a dual-tuner (DAB+FM) chain on 4
+/// heterogeneous cores with 8 sample/status clocks, 36 inter-stage FIFOs,
+/// two hardware locks, and two streaming DMA engines (48 peripherals).
+fn build_car_radio(mode: SchedulerMode) -> Platform {
+    let freqs = vec![
+        Frequency::mhz(100),
+        Frequency::mhz(100),
+        Frequency::mhz(200),
+        Frequency::mhz(50),
+    ];
+    let mut p = PlatformBuilder::new()
+        .cores_with_freqs(freqs)
+        .shared_words(4096)
+        .scheduler(mode)
+        .build()
+        .expect("car-radio platform builds");
+    let timers: Vec<usize> = (0..8).map(|i| p.add_timer(&format!("tick{i}"))).collect();
+    let mboxes: Vec<usize> = (0..36)
+        .map(|i| p.add_mailbox(&format!("fifo{i}"), 16))
+        .collect();
+    let sems = [
+        p.add_semaphore("agc_lock", 1),
+        p.add_semaphore("tuner_lock", 1),
+    ];
+    let dmas = [p.add_dma("sample_dma"), p.add_dma("audio_dma")];
+
+    for core in 0..4 {
+        // ISR at pc 0..2, main at pc 2; entry below must match.
+        let mut asm = String::from("isr: addi r6, r6, 1\n     rti\n");
+        // Clock prologue: each core owns two clocks (sample + status) with
+        // staggered periods so interrupts interleave across the chain.
+        let mut first = true;
+        for (timer, period) in [
+            (timers[core], 2_000 + 500 * core),
+            (timers[core + 4], 3_700 + 900 * core),
+        ] {
+            let label = if first { "main: " } else { "     " };
+            first = false;
+            let _ = writeln!(asm, "{label}movi r10, {:#x}", page_base(timer));
+            let _ = writeln!(asm, "     movi r1, {period}");
+            asm.push_str("     st r1, r10, 0\n"); // PERIOD (ns)
+            let _ = writeln!(asm, "     movi r1, {core}");
+            asm.push_str("     st r1, r10, 3\n"); // CORE
+            asm.push_str("     movi r1, 0\n     st r1, r10, 4\n"); // IRQ 0
+            asm.push_str("     movi r1, 1\n     st r1, r10, 1\n"); // CTRL enable
+        }
+        if core % 2 == 0 {
+            // Cores 0 and 2 each own a DMA engine: configure once, re-kick
+            // every iteration (starts are ignored while a transfer flies).
+            let (src, dst, len) = if core == 0 {
+                (256, 1024, 32)
+            } else {
+                (512, 1536, 48)
+            };
+            let _ = writeln!(asm, "     movi r14, {:#x}", page_base(dmas[core / 2]));
+            let _ = writeln!(asm, "     movi r1, {src}\n     st r1, r14, 0"); // SRC
+            let _ = writeln!(asm, "     movi r1, {dst}\n     st r1, r14, 1"); // DST
+            let _ = writeln!(asm, "     movi r1, {len}\n     st r1, r14, 2"); // LEN
+        }
+        // Sample-processing loop: feed two downstream FIFOs, drain both own
+        // inboxes, AGC under the hardware lock, shared-buffer traffic.
+        let own_a = page_base(mboxes[core]);
+        let own_b = page_base(mboxes[4 + core]);
+        let partner_a = page_base(mboxes[(core + 1) % 4]);
+        let partner_b = page_base(mboxes[4 + (core + 2) % 4]);
+        let _ = writeln!(asm, "     movi r11, {own_a:#x}");
+        let _ = writeln!(asm, "     movi r15, {own_b:#x}");
+        let _ = writeln!(asm, "     movi r12, {partner_a:#x}");
+        let _ = writeln!(asm, "     movi r10, {partner_b:#x}");
+        let _ = writeln!(asm, "     movi r13, {:#x}", page_base(sems[core / 2]));
+        let _ = writeln!(asm, "     movi r9, {}", core * 64);
+        asm.push_str("     movi r1, 0\n     movi r2, 100000000\n");
+        asm.push_str("loop: st r1, r12, 0\n"); // push sample downstream
+        asm.push_str("     st r1, r10, 0\n"); // push status downstream
+        asm.push_str("     ld r3, r11, 0\n"); // pop sample inbox
+        asm.push_str("     ld r5, r15, 0\n"); // pop status inbox
+        asm.push_str("     add r4, r4, r3\n");
+        asm.push_str("     add r4, r4, r5\n");
+        asm.push_str("     ld r5, r9, 16\n"); // shared read
+        asm.push_str("     st r4, r9, 32\n"); // shared write
+        asm.push_str("     ld r7, r13, 0\n"); // lock TRYACQ
+        asm.push_str("     st r7, r13, 1\n"); // lock RELEASE
+        if core % 2 == 0 {
+            asm.push_str("     movi r5, 1\n     st r5, r14, 3\n"); // DMA CTRL
+        }
+        asm.push_str("     addi r1, r1, 1\n     blt r1, r2, loop\n     halt\n");
+        let prog = assemble(&asm).expect("car-radio program assembles");
+        p.load_program(core, prog, 2).expect("program loads");
+        p.core_mut(core)
+            .expect("core exists")
+            .set_irq_vector(Some(0));
+    }
+    p
+}
+
+/// Builds the JPEG platform: 4 cores running a DCT-like MAC kernel, with
+/// only a handoff mailbox and a DMA engine attached.
+fn build_jpeg(mode: SchedulerMode) -> Platform {
+    let mut p = PlatformBuilder::new()
+        .cores(4, Frequency::mhz(100))
+        .shared_words(4096)
+        .scheduler(mode)
+        .build()
+        .expect("jpeg platform builds");
+    let mb = p.add_mailbox("blocks_done", 32);
+    let dma = p.add_dma("block_dma");
+
+    for core in 0..4 {
+        let mut asm = String::new();
+        // Each core owns one 64-word block of the frame buffer.
+        let _ = writeln!(asm, "     movi r10, {}", core * 64);
+        let _ = writeln!(asm, "     movi r11, {:#x}", page_base(mb));
+        if core == 0 {
+            let _ = writeln!(asm, "     movi r14, {:#x}", page_base(dma));
+            asm.push_str("     movi r1, 0\n     st r1, r14, 0\n");
+            asm.push_str("     movi r1, 2048\n     st r1, r14, 1\n");
+            asm.push_str("     movi r1, 64\n     st r1, r14, 2\n");
+        }
+        asm.push_str("     movi r1, 0\n     movi r2, 100000000\n     movi r9, 8\n");
+        // Inner loop: 8 MAC + shift rounds per block (a row of the 8x8 DCT).
+        asm.push_str("outer: movi r3, 0\n");
+        asm.push_str("inner: ld r5, r10, 0\n");
+        asm.push_str("     ld r6, r10, 1\n");
+        asm.push_str("     mul r7, r5, r6\n");
+        asm.push_str("     add r4, r4, r7\n");
+        asm.push_str("     shr r7, r7, r9\n");
+        asm.push_str("     st r7, r10, 2\n");
+        asm.push_str("     addi r3, r3, 1\n");
+        asm.push_str("     blt r3, r9, inner\n");
+        asm.push_str("     st r4, r11, 0\n"); // block-done handoff
+        if core == 0 {
+            asm.push_str("     movi r5, 1\n     st r5, r14, 3\n");
+        }
+        asm.push_str("     addi r1, r1, 1\n     blt r1, r2, outer\n     halt\n");
+        let prog = assemble(&asm).expect("jpeg program assembles");
+        p.load_program(core, prog, 0).expect("program loads");
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Drives the platform the way `run_until` worked before the calendar: one
+/// full scan to find the next event time, a second scan inside `step()`,
+/// and a heap-allocated `StepEvent` per step that is dropped immediately.
+fn drive_baseline(p: &mut Platform, deadline: Time) -> u64 {
+    let mut steps = 0u64;
+    while let Some(t) = p.next_event_time() {
+        if t >= deadline {
+            break;
+        }
+        let ev = p.step().expect("baseline step succeeds");
+        std::hint::black_box(&ev);
+        steps += 1;
+    }
+    steps
+}
+
+/// Drives the platform through the streaming fast path: one calendar
+/// decision per step, recycled event buffers, no per-step allocation.
+fn drive_fastpath(p: &mut Platform, deadline: Time) -> u64 {
+    p.run_until_with(deadline, None, |ev| {
+        std::hint::black_box(ev);
+    })
+    .expect("fastpath run succeeds")
+}
+
+/// Measures one workload under both drivers, best-of-`repeats`.
+fn measure_workload(
+    name: &'static str,
+    build: impl Fn(SchedulerMode) -> Platform,
+    cfg: &Config,
+) -> WorkloadResult {
+    let mut baseline_secs = f64::INFINITY;
+    let mut fastpath_secs = f64::INFINITY;
+    let mut baseline_steps = 0;
+    let mut fastpath_steps = 0;
+    for _ in 0..cfg.repeats {
+        let mut p = build(SchedulerMode::ScanReference);
+        let t0 = Instant::now();
+        baseline_steps = drive_baseline(&mut p, cfg.sim_window);
+        baseline_secs = baseline_secs.min(t0.elapsed().as_secs_f64());
+
+        let mut p = build(SchedulerMode::Calendar);
+        let t0 = Instant::now();
+        fastpath_steps = drive_fastpath(&mut p, cfg.sim_window);
+        fastpath_secs = fastpath_secs.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        baseline_steps, fastpath_steps,
+        "{name}: schedulers must execute identical step sequences"
+    );
+    WorkloadResult {
+        name,
+        steps: fastpath_steps,
+        baseline_secs,
+        fastpath_secs,
+    }
+}
+
+/// Times the deterministic multi-start annealer at 1/2/4 threads on the
+/// JPEG task graph (the E5 flow: one loop split exposes the parallelism).
+fn measure_anneal(cfg: &Config) -> Vec<AnnealResult> {
+    let src = mpsoc_apps::jpeg::jpeg_frame_minic_source(32);
+    let mut session = Recoder::from_source(&src).expect("jpeg source parses");
+    session
+        .apply(|u| transforms::split_loop(u, "encode_frame", 0, 8))
+        .expect("block loop splits");
+    let graph = extract_task_graph(session.unit(), "encode_frame", &CostModel::default())
+        .expect("task graph extracts");
+    let arch = ArchModel::homogeneous(4);
+
+    let mut out = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let mut secs = f64::INFINITY;
+        let mut makespan = 0;
+        for _ in 0..cfg.repeats {
+            let t0 = Instant::now();
+            let m = anneal_multi(
+                &graph,
+                &arch,
+                7,
+                cfg.anneal_iters,
+                cfg.anneal_starts,
+                threads,
+            )
+            .expect("anneal succeeds");
+            secs = secs.min(t0.elapsed().as_secs_f64());
+            makespan = m.makespan;
+        }
+        out.push(AnnealResult {
+            threads,
+            secs,
+            makespan,
+        });
+    }
+    let m0 = out[0].makespan;
+    assert!(
+        out.iter().all(|a| a.makespan == m0),
+        "anneal_multi must be thread-count invariant"
+    );
+    out
+}
+
+/// Runs the whole suite with `cfg`.
+pub fn run(cfg: &Config) -> SimFastpathReport {
+    let workloads = vec![
+        measure_workload("car_radio", build_car_radio, cfg),
+        measure_workload("jpeg", build_jpeg, cfg),
+    ];
+    let anneal = measure_anneal(cfg);
+    SimFastpathReport {
+        mode: cfg.mode,
+        workloads,
+        anneal,
+        anneal_iters: cfg.anneal_iters,
+        anneal_starts: cfg.anneal_starts,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual decomposition harness"]
+    fn cross_modes() {
+        let deadline = Time::from_ms(2);
+        for (name, build) in [
+            (
+                "car",
+                &build_car_radio as &dyn Fn(SchedulerMode) -> Platform,
+            ),
+            ("jpeg", &build_jpeg),
+        ] {
+            for (mode, mname) in [
+                (SchedulerMode::ScanReference, "scan"),
+                (SchedulerMode::Calendar, "cal"),
+            ] {
+                for (driver, dname) in [
+                    (
+                        &drive_baseline as &dyn Fn(&mut Platform, Time) -> u64,
+                        "base",
+                    ),
+                    (&drive_fastpath, "fast"),
+                ] {
+                    let mut best = f64::INFINITY;
+                    let mut steps = 0;
+                    for _ in 0..3 {
+                        let mut p = build(mode);
+                        let t0 = Instant::now();
+                        steps = driver(&mut p, deadline);
+                        best = best.min(t0.elapsed().as_secs_f64());
+                    }
+                    println!(
+                        "{name} {mname}+{dname}: {steps} steps, {:.0} steps/s",
+                        steps as f64 / best
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_profile_runs_and_serialises() {
+        let mut cfg = Config::smoke();
+        cfg.sim_window = Time::from_us(20);
+        cfg.anneal_iters = 20;
+        cfg.anneal_starts = 2;
+        let r = run(&cfg);
+        assert_eq!(r.workloads.len(), 2);
+        assert!(r.workloads.iter().all(|w| w.steps > 0));
+        let json = r.to_json();
+        assert!(json.contains("\"car_radio\""));
+        assert!(json.contains("\"jpeg\""));
+        assert!(json.contains("\"threads\": ["));
+    }
+}

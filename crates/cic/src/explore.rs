@@ -137,6 +137,84 @@ pub fn explore_observed(
     Ok(Exploration { candidates, best })
 }
 
+/// [`explore`] with the candidate sweep fanned out over at most `threads`
+/// scoped worker threads.
+///
+/// Candidate evaluation (auto-map + translate) is independent per
+/// architecture, so the sweep parallelises embarrassingly. Candidates keep
+/// their sweep indices, errors are reported in sweep order, and the winner
+/// is selected by the same fixed `(cost, est_cycles, index)` order as the
+/// serial sweep — the returned [`Exploration`] is **bit-identical to
+/// [`explore`]** for any `threads >= 1`.
+///
+/// # Errors
+///
+/// Same conditions as [`explore`], with ties in error reporting broken by
+/// sweep index.
+pub fn explore_parallel(
+    model: &CicModel,
+    deadline_cycles: u64,
+    max_cores: usize,
+    max_workers: usize,
+    threads: usize,
+) -> Result<Exploration> {
+    if max_cores == 0 || max_workers == 0 {
+        return Err(Error::Mapping("exploration bounds must be non-zero".into()));
+    }
+    let mut archs: Vec<ArchInfo> = (1..=max_cores).map(ArchInfo::smp_like).collect();
+    archs.extend((1..=max_workers).map(ArchInfo::cell_like));
+    let n = archs.len();
+    let threads = threads.clamp(1, n);
+    let per = n.div_ceil(threads);
+
+    let mut results: Vec<Option<Result<Candidate>>> = Vec::new();
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (arch_chunk, out_chunk) in archs.chunks(per).zip(results.chunks_mut(per)) {
+            scope.spawn(move || {
+                for (arch, out) in arch_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = Some(evaluate_candidate(model, arch, deadline_cycles));
+                }
+            });
+        }
+    });
+
+    // Index-ordered merge: the first failing candidate's error is the one
+    // the serial sweep would have hit first.
+    let mut candidates = Vec::with_capacity(n);
+    for r in results {
+        candidates.push(r.expect("every candidate ran")?);
+    }
+    let best = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.meets_deadline)
+        .min_by(|(_, a), (_, b)| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("costs are finite")
+                .then(a.est_cycles.cmp(&b.est_cycles))
+        })
+        .map(|(i, _)| i);
+    Ok(Exploration { candidates, best })
+}
+
+/// Maps and translates the model onto one candidate architecture.
+fn evaluate_candidate(
+    model: &CicModel,
+    arch: &ArchInfo,
+    deadline_cycles: u64,
+) -> Result<Candidate> {
+    let mapping = auto_map(model, arch)?;
+    let t = translate(model, arch, &mapping)?;
+    Ok(Candidate {
+        est_cycles: t.est_cycles,
+        cost: platform_cost(arch),
+        meets_deadline: t.est_cycles <= deadline_cycles,
+        arch: arch.clone(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +310,18 @@ mod tests {
     fn bounds_validated() {
         let m = model();
         assert!(explore(&m, 100, 0, 1).is_err());
+        assert!(explore_parallel(&m, 100, 1, 0, 2).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_count_invariant() {
+        let m = model();
+        for deadline in [10u64, 900, 1_500, 2_000] {
+            let serial = explore(&m, deadline, 4, 4).unwrap();
+            for threads in [1usize, 2, 3, 4, 8] {
+                let par = explore_parallel(&m, deadline, 4, 4, threads).unwrap();
+                assert_eq!(par, serial, "deadline {deadline}, {threads} threads");
+            }
+        }
     }
 }

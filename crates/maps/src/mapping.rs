@@ -245,6 +245,67 @@ pub fn anneal_observed(
     Ok(best)
 }
 
+/// Deterministic multi-start annealing, optionally parallel.
+///
+/// Runs `starts` independent [`anneal`] restarts. Restart `i` is seeded
+/// with the `i`-th split of a [`XorShift64Star`] seeded from `seed`
+/// (see [`XorShift64Star::split`]), so each restart's search trajectory is
+/// a pure function of `(seed, i)`. Restarts are distributed over at most
+/// `threads` scoped worker threads in contiguous chunks and merged by
+/// **fixed `(makespan, restart index)` order** — the earliest restart wins
+/// ties — so the returned mapping is bit-identical for any `threads >= 1`,
+/// including the serial reference `threads == 1`.
+///
+/// # Errors
+///
+/// Propagates the first (by restart index) validation error from
+/// [`evaluate`]; [`Error::Config`] if `starts` is zero.
+///
+/// [`XorShift64Star`]: mpsoc_obs::rng::XorShift64Star
+/// [`XorShift64Star::split`]: mpsoc_obs::rng::XorShift64Star::split
+pub fn anneal_multi(
+    graph: &TaskGraph,
+    arch: &ArchModel,
+    seed: u64,
+    iters: u64,
+    starts: usize,
+    threads: usize,
+) -> Result<Mapping> {
+    if starts == 0 {
+        return Err(Error::Config(
+            "anneal_multi needs at least one start".into(),
+        ));
+    }
+    let mut splitter = mpsoc_obs::rng::XorShift64Star::new(seed);
+    let seeds: Vec<u64> = (0..starts).map(|_| splitter.split().next_u64()).collect();
+    let threads = threads.clamp(1, starts);
+    let per = starts.div_ceil(threads);
+
+    let mut results: Vec<Option<Result<Mapping>>> = Vec::new();
+    results.resize_with(starts, || None);
+    std::thread::scope(|scope| {
+        for (seed_chunk, out_chunk) in seeds.chunks(per).zip(results.chunks_mut(per)) {
+            scope.spawn(move || {
+                for (s, out) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = Some(anneal(graph, arch, *s, iters));
+                }
+            });
+        }
+    });
+
+    // Deterministic merge: walk restarts in index order, keep the first
+    // mapping achieving the smallest makespan. Thread count only changed
+    // *where* each restart ran, never its result or its merge rank.
+    let mut best: Option<Mapping> = None;
+    for r in results {
+        let m = r.expect("every restart ran")?;
+        if best.as_ref().is_none_or(|b| m.makespan < b.makespan) {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("starts >= 1"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +404,38 @@ mod tests {
         let a = anneal(&g, &arch, 7, 300).unwrap();
         let b = anneal(&g, &arch, 7, 300).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anneal_multi_is_thread_count_invariant() {
+        let g = diamond([37, 91, 64, 22]);
+        let arch = ArchModel::homogeneous(3);
+        let serial = anneal_multi(&g, &arch, 7, 200, 6, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = anneal_multi(&g, &arch, 7, 200, 6, threads).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "threads={threads} must not change the result"
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_multi_never_worse_than_single_start() {
+        let g = diamond([37, 91, 64, 22]);
+        let arch = ArchModel::homogeneous(3);
+        // The multi-start best is the min over restarts, one of which is
+        // exactly the single-start run with the same first split seed.
+        let multi = anneal_multi(&g, &arch, 11, 200, 4, 2).unwrap();
+        let single = anneal_multi(&g, &arch, 11, 200, 1, 1).unwrap();
+        assert!(multi.makespan <= single.makespan);
+    }
+
+    #[test]
+    fn anneal_multi_validates_starts() {
+        let g = diamond([1, 1, 1, 1]);
+        let arch = ArchModel::homogeneous(2);
+        assert!(anneal_multi(&g, &arch, 1, 10, 0, 2).is_err());
     }
 
     #[test]

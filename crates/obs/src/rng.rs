@@ -105,6 +105,17 @@ impl XorShift64Star {
             *v = self.i64_in(lo, hi);
         }
     }
+
+    /// Splits off an independent child generator: draws one value and
+    /// reseeds a fresh generator from it.
+    ///
+    /// This is the suite's *seed splitter* for deterministic parallelism:
+    /// a parent seeded from the caller's seed hands each worker `i` the
+    /// `i`-th split, so the work a worker does depends only on
+    /// `(caller seed, worker index)` — never on thread count or timing.
+    pub fn split(&mut self) -> XorShift64Star {
+        XorShift64Star::new(self.next_u64())
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +171,18 @@ mod tests {
         let mut r = XorShift64Star::new(1);
         assert_eq!(r.u64_in(9, 9), 9);
         assert_eq!(r.i64_in(-4, -4), -4);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_reproducible() {
+        let mut parent_a = XorShift64Star::new(99);
+        let mut parent_b = XorShift64Star::new(99);
+        let mut c0 = parent_a.split();
+        let mut c1 = parent_a.split();
+        // Same parent seed, same split index -> same child stream.
+        assert_eq!(parent_b.split().next_u64(), c0.next_u64());
+        // Distinct split indices -> distinct streams.
+        assert_ne!(parent_b.split().next_u64(), c0.next_u64());
+        assert_ne!(c0.next_u64(), c1.next_u64());
     }
 }

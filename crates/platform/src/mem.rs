@@ -159,6 +159,12 @@ impl Ram {
     pub fn as_slice(&self) -> &[Word] {
         &self.words
     }
+
+    /// A mutable view of the whole RAM, for batched transfers (DMA) that
+    /// have already bounds-checked their range.
+    pub(crate) fn words_mut(&mut self) -> &mut [Word] {
+        &mut self.words
+    }
 }
 
 #[cfg(test)]

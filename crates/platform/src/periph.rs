@@ -127,6 +127,9 @@ fn bad_reg(name: &str, offset: u32) -> Error {
 #[derive(Debug, Clone)]
 pub struct Timer {
     name: String,
+    /// Cached `"<name>.tick"` — the signal is driven on every expiry, so
+    /// the name must not be re-formatted in the hot loop.
+    tick_sig: String,
     period_ns: u64,
     enabled: bool,
     count: u64,
@@ -152,8 +155,10 @@ pub mod timer_reg {
 impl Timer {
     /// Creates a disabled timer named `name` targeting core 0, IRQ 0.
     pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
         Timer {
-            name: name.into(),
+            tick_sig: format!("{name}.tick"),
+            name,
             period_ns: 1_000,
             enabled: false,
             count: 0,
@@ -228,8 +233,8 @@ impl Peripheral for Timer {
             irq: self.irq,
         });
         // Pulse the tick line so signal watchpoints can trigger on it.
-        let sig = format!("{}.tick", self.name);
-        ctx.signals.drive(&sig, ctx.now, self.count as Word);
+        ctx.signals
+            .drive(&self.tick_sig, ctx.now, self.count as Word);
         self.next_fire = Some(ctx.now + Time::from_ns(self.period_ns));
     }
 
@@ -265,6 +270,8 @@ impl Peripheral for Timer {
 #[derive(Debug, Clone)]
 pub struct Mailbox {
     name: String,
+    /// Cached `"<name>.avail"` — driven on every push/pop.
+    avail_sig: String,
     fifo: std::collections::VecDeque<Word>,
     capacity: usize,
     drops: u64,
@@ -296,8 +303,10 @@ impl Mailbox {
     /// Panics if `capacity` is zero.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "mailbox capacity must be non-zero");
+        let name = name.into();
         Mailbox {
-            name: name.into(),
+            avail_sig: format!("{name}.avail"),
+            name,
             fifo: std::collections::VecDeque::with_capacity(capacity),
             capacity,
             drops: 0,
@@ -316,8 +325,8 @@ impl Peripheral for Mailbox {
         Ok(match offset {
             mailbox_reg::DATA => {
                 let v = self.fifo.pop_front().unwrap_or(0);
-                let sig = format!("{}.avail", self.name);
-                ctx.signals.drive(&sig, ctx.now, self.fifo.len() as Word);
+                ctx.signals
+                    .drive(&self.avail_sig, ctx.now, self.fifo.len() as Word);
                 v
             }
             mailbox_reg::COUNT => self.fifo.len() as Word,
@@ -337,8 +346,8 @@ impl Peripheral for Mailbox {
                 } else {
                     let was_empty = self.fifo.is_empty();
                     self.fifo.push_back(value);
-                    let sig = format!("{}.avail", self.name);
-                    ctx.signals.drive(&sig, ctx.now, self.fifo.len() as Word);
+                    ctx.signals
+                        .drive(&self.avail_sig, ctx.now, self.fifo.len() as Word);
                     if was_empty {
                         if let Some(core) = self.notify_core {
                             ctx.effects.push(Effect::RaiseIrq {
@@ -403,6 +412,8 @@ impl Peripheral for Mailbox {
 #[derive(Debug, Clone)]
 pub struct Semaphore {
     name: String,
+    /// Cached `"<name>.held"` — driven on every acquire/release.
+    held_sig: String,
     count: u64,
     acquires: u64,
     contentions: u64,
@@ -423,8 +434,10 @@ pub mod semaphore_reg {
 impl Semaphore {
     /// Creates a semaphore with initial count `count`.
     pub fn new(name: impl Into<String>, count: u64) -> Self {
+        let name = name.into();
         Semaphore {
-            name: name.into(),
+            held_sig: format!("{name}.held"),
+            name,
             count,
             acquires: 0,
             contentions: 0,
@@ -448,8 +461,7 @@ impl Peripheral for Semaphore {
                 if self.count > 0 {
                     self.count -= 1;
                     self.acquires += 1;
-                    let sig = format!("{}.held", self.name);
-                    ctx.signals.drive(&sig, ctx.now, 1);
+                    ctx.signals.drive(&self.held_sig, ctx.now, 1);
                     1
                 } else {
                     self.contentions += 1;
@@ -465,8 +477,7 @@ impl Peripheral for Semaphore {
         match offset {
             semaphore_reg::RELEASE => {
                 self.count += 1;
-                let sig = format!("{}.held", self.name);
-                ctx.signals.drive(&sig, ctx.now, 0);
+                ctx.signals.drive(&self.held_sig, ctx.now, 0);
             }
             semaphore_reg::INIT => {
                 self.count = u64::try_from(value).map_err(|_| Error::BadRegisterValue {
@@ -514,6 +525,8 @@ impl Peripheral for Semaphore {
 #[derive(Debug, Clone)]
 pub struct Dma {
     name: String,
+    /// Cached `"<name>.busy"` — driven on every start/completion.
+    busy_sig: String,
     page: usize,
     src: u32,
     dst: u32,
@@ -545,8 +558,10 @@ pub mod dma_reg {
 impl Dma {
     /// Creates an idle DMA engine that will occupy peripheral page `page`.
     pub fn new(name: impl Into<String>, page: usize) -> Self {
+        let name = name.into();
         Dma {
-            name: name.into(),
+            busy_sig: format!("{name}.busy"),
+            name,
             page,
             src: 0,
             dst: 0,
@@ -564,8 +579,7 @@ impl Dma {
     pub fn complete(&mut self, now: Time, signals: &mut SignalBoard) -> Option<(usize, u32)> {
         self.busy = false;
         self.completed += 1;
-        let sig = format!("{}.busy", self.name);
-        signals.drive(&sig, now, 0);
+        signals.drive(&self.busy_sig, now, 0);
         self.core.map(|c| (c, self.irq))
     }
 
@@ -609,8 +623,7 @@ impl Peripheral for Dma {
             dma_reg::CTRL => {
                 if value & 1 != 0 && !self.busy && self.len > 0 {
                     self.busy = true;
-                    let sig = format!("{}.busy", self.name);
-                    ctx.signals.drive(&sig, ctx.now, 1);
+                    ctx.signals.drive(&self.busy_sig, ctx.now, 1);
                     ctx.effects.push(Effect::DmaCopy {
                         page: self.page,
                         src: self.src,

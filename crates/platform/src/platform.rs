@@ -25,6 +25,8 @@ use crate::signal::SignalBoard;
 use crate::time::{Cycles, Frequency, Time};
 use mpsoc_obs::event::{Event, EventSink};
 use mpsoc_obs::metrics::{Counter, MetricsRegistry};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Cached handles into a [`MetricsRegistry`] for the platform's hot-path
 /// counters, so the per-step cost of metrics is an atomic add, not a name
@@ -192,6 +194,98 @@ impl Default for InterconnectConfig {
     }
 }
 
+/// Which scheduler implementation picks the next actor each step.
+///
+/// Both produce bit-identical simulations — the linear scan is kept as the
+/// executable specification of the tie-break order (cores before
+/// peripherals before DMA, lower ids first) and serves as the oracle in the
+/// scheduler-equivalence tests and as the pre-optimization baseline in the
+/// `sim_fastpath` benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// O(log n) event calendar: a binary heap of ready times with lazy
+    /// invalidation, keyed by per-actor generation counters.
+    #[default]
+    Calendar,
+    /// The original O(cores + peripherals + DMA) scan over all actors.
+    ScanReference,
+}
+
+// Actor classes in calendar keys; their numeric order *is* the documented
+// tie-break order at equal times.
+const CLASS_CORE: u8 = 0;
+const CLASS_PERIPH: u8 = 1;
+const CLASS_DMA: u8 = 2;
+
+/// One heap entry: ordered by `(at, class, id)` so popping the minimum
+/// reproduces exactly the linear scan's "earliest time, cores before
+/// peripherals before DMA, lower ids first" decision. `gen` identifies the
+/// calendar generation that pushed the entry; entries from older
+/// generations are stale and skipped on pop (lazy invalidation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CalKey {
+    at: Time,
+    class: u8,
+    id: u64,
+    gen: u64,
+}
+
+/// The event calendar: a min-heap of ready times plus the bookkeeping for
+/// lazy invalidation.
+///
+/// Instead of removing entries when an actor's state changes (which a
+/// binary heap cannot do cheaply), the actor is marked *dirty*; before the
+/// next scheduling decision every dirty actor gets its generation counter
+/// bumped (invalidating all of its existing entries) and one fresh entry
+/// pushed. Stale entries surface at the heap top eventually and are popped
+/// without effect.
+#[derive(Debug, Default)]
+struct Calendar {
+    heap: BinaryHeap<Reverse<CalKey>>,
+    core_gen: Vec<u64>,
+    core_dirty: Vec<bool>,
+    dirty_cores: Vec<u32>,
+    periph_gen: Vec<u64>,
+    periph_dirty: Vec<bool>,
+    dirty_periphs: Vec<u32>,
+}
+
+impl Calendar {
+    fn new(num_cores: usize) -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            core_gen: vec![0; num_cores],
+            core_dirty: vec![false; num_cores],
+            dirty_cores: Vec::new(),
+            periph_gen: Vec::new(),
+            periph_dirty: Vec::new(),
+            dirty_periphs: Vec::new(),
+        }
+    }
+
+    /// Marks core `id`'s calendar entry as stale (re-examined before the
+    /// next scheduling decision).
+    fn mark_core(&mut self, id: usize) {
+        if !self.core_dirty[id] {
+            self.core_dirty[id] = true;
+            self.dirty_cores.push(id as u32);
+        }
+    }
+
+    /// Marks peripheral `page` stale, growing the per-page bookkeeping on
+    /// first sight of a new page.
+    fn mark_periph(&mut self, page: usize) {
+        if page >= self.periph_gen.len() {
+            self.periph_gen.resize(page + 1, 0);
+            self.periph_dirty.resize(page + 1, false);
+        }
+        if !self.periph_dirty[page] {
+            self.periph_dirty[page] = true;
+            self.dirty_periphs.push(page as u32);
+        }
+    }
+}
+
 /// Builder for a [`Platform`].
 ///
 /// # Examples
@@ -216,6 +310,7 @@ pub struct PlatformBuilder {
     interconnect: InterconnectConfig,
     enforce_locality: bool,
     local_latency_cycles: u64,
+    scheduler: SchedulerMode,
 }
 
 impl Default for PlatformBuilder {
@@ -228,6 +323,7 @@ impl Default for PlatformBuilder {
             interconnect: InterconnectConfig::default(),
             enforce_locality: false,
             local_latency_cycles: 2,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -284,6 +380,13 @@ impl PlatformBuilder {
     /// Cycles charged for a local-store access.
     pub fn local_latency_cycles(mut self, cycles: u64) -> Self {
         self.local_latency_cycles = cycles;
+        self
+    }
+
+    /// Selects the scheduler implementation (defaults to
+    /// [`SchedulerMode::Calendar`]; both modes simulate identically).
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
         self
     }
 
@@ -351,6 +454,11 @@ impl PlatformBuilder {
             shared_words: self.shared_words,
             steps: 0,
             metrics: None,
+            scheduler: self.scheduler,
+            calendar: Calendar::new(n),
+            dma_seq: 0,
+            access_pool: Vec::new(),
+            scratch_effects: Vec::new(),
         })
     }
 }
@@ -362,6 +470,11 @@ struct PendingDma {
     src: u32,
     dst: u32,
     len: u32,
+    /// Monotonic schedule order; doubles as the calendar id. Because
+    /// transfers enter `pending_dma` in `seq` order and are removed on
+    /// completion, ordering by `seq` equals the old ordering by vector
+    /// index.
+    seq: u64,
 }
 
 /// A complete simulated MPSoC.
@@ -387,6 +500,15 @@ pub struct Platform {
     shared_words: u32,
     steps: u64,
     metrics: Option<PlatformMetrics>,
+    scheduler: SchedulerMode,
+    calendar: Calendar,
+    /// Next DMA schedule sequence number (see [`PendingDma::seq`]).
+    dma_seq: u64,
+    /// Recycled `Access` buffers: [`recycle`](Platform::recycle) returns a
+    /// step's vector here; the next step reuses it instead of allocating.
+    access_pool: Vec<Vec<Access>>,
+    /// Recycled peripheral-effect buffer for the step/access hot paths.
+    scratch_effects: Vec<Effect>,
 }
 
 impl Platform {
@@ -434,6 +556,11 @@ impl Platform {
     ///
     /// [`Error::NoSuchCore`] if `id` is out of range.
     pub fn core_mut(&mut self, id: usize) -> Result<&mut Core> {
+        if id < self.cores.len() {
+            // The caller may change anything about the core (status, clock,
+            // ready time), so its calendar entry must be rebuilt.
+            self.calendar.mark_core(id);
+        }
         self.cores.get_mut(id).ok_or(Error::NoSuchCore(id))
     }
 
@@ -458,7 +585,9 @@ impl Platform {
     /// at [`crate::mem::periph_addr`]`(page, ..)`).
     pub fn add_peripheral(&mut self, p: Box<dyn Peripheral>) -> usize {
         self.periphs.push(p);
-        self.periphs.len() - 1
+        let page = self.periphs.len() - 1;
+        self.calendar.mark_periph(page);
+        page
     }
 
     /// Adds a [`Timer`] named `name`; returns its page.
@@ -555,13 +684,16 @@ impl Platform {
 
     /// Whether every core is halted or faulted and no events are pending.
     pub fn is_finished(&self) -> bool {
-        self.next_actor().is_none()
+        self.next_actor_scan().is_none()
     }
 
     // -- the scheduler -----------------------------------------------------
 
-    /// Returns the next thing to simulate, if any.
-    fn next_actor(&self) -> Option<(Time, Actor)> {
+    /// The linear-scan reference scheduler: the executable specification of
+    /// the tie-break order. `consider` uses a strict `<`, so at equal times
+    /// the first actor considered wins — cores before peripherals before
+    /// DMA, lower ids first. The calendar reproduces this order exactly.
+    fn next_actor_scan(&self) -> Option<(Time, Actor)> {
         let mut best: Option<(Time, Actor)> = None;
         let mut consider = |t: Time, a: Actor| {
             if best.is_none_or(|(bt, _)| t < bt) {
@@ -578,10 +710,173 @@ impl Platform {
                 consider(t, Actor::Periph(page));
             }
         }
-        for (i, d) in self.pending_dma.iter().enumerate() {
-            consider(d.finish, Actor::Dma(i));
+        for d in &self.pending_dma {
+            consider(d.finish, Actor::Dma(d.seq));
         }
         best
+    }
+
+    /// Rebuilds the calendar entries of every dirty actor: bump its
+    /// generation (invalidating old entries) and push one fresh entry if it
+    /// is currently schedulable.
+    fn calendar_refresh(&mut self) {
+        while let Some(id) = self.calendar.dirty_cores.pop() {
+            let id = id as usize;
+            self.calendar.core_dirty[id] = false;
+            self.calendar.core_gen[id] += 1;
+            let c = &self.cores[id];
+            if c.status() == CoreStatus::Running {
+                self.calendar.heap.push(Reverse(CalKey {
+                    at: c.next_ready(),
+                    class: CLASS_CORE,
+                    id: id as u64,
+                    gen: self.calendar.core_gen[id],
+                }));
+            }
+        }
+        while let Some(page) = self.calendar.dirty_periphs.pop() {
+            let page = page as usize;
+            self.calendar.periph_dirty[page] = false;
+            self.calendar.periph_gen[page] += 1;
+            if let Some(t) = self.periphs.get(page).and_then(|p| p.next_event()) {
+                self.calendar.heap.push(Reverse(CalKey {
+                    at: t,
+                    class: CLASS_PERIPH,
+                    id: page as u64,
+                    gen: self.calendar.periph_gen[page],
+                }));
+            }
+        }
+    }
+
+    /// Calendar-mode peek: refresh dirty actors, then pop stale heap
+    /// entries until the top is valid. A current-generation entry whose
+    /// actor state nonetheless drifted (which would mean a missed dirty
+    /// mark) is healed by re-marking and retrying, so the calendar can
+    /// never act on a wrong time.
+    fn calendar_peek(&mut self) -> Option<(Time, Actor)> {
+        loop {
+            self.calendar_refresh();
+            let &Reverse(k) = self.calendar.heap.peek()?;
+            match k.class {
+                CLASS_CORE => {
+                    let id = k.id as usize;
+                    if self.calendar.core_gen[id] == k.gen {
+                        let c = &self.cores[id];
+                        if c.status() == CoreStatus::Running && c.next_ready() == k.at {
+                            return Some((k.at, Actor::Core(id)));
+                        }
+                        self.calendar.heap.pop();
+                        self.calendar.mark_core(id);
+                        continue;
+                    }
+                }
+                CLASS_PERIPH => {
+                    let page = k.id as usize;
+                    if self.calendar.periph_gen[page] == k.gen {
+                        if self.periphs.get(page).and_then(|p| p.next_event()) == Some(k.at) {
+                            return Some((k.at, Actor::Periph(page)));
+                        }
+                        self.calendar.heap.pop();
+                        self.calendar.mark_periph(page);
+                        continue;
+                    }
+                }
+                _ => {
+                    // DMA completions are scheduled once with a fixed finish
+                    // time and removed only on execution, so any entry whose
+                    // transfer is still pending is valid.
+                    if self.pending_dma.iter().any(|d| d.seq == k.id) {
+                        return Some((k.at, Actor::Dma(k.id)));
+                    }
+                }
+            }
+            self.calendar.heap.pop();
+        }
+    }
+
+    /// One scheduling decision: what runs next, and when.
+    fn peek_decision(&mut self) -> Option<(Time, Actor)> {
+        match self.scheduler {
+            SchedulerMode::Calendar => self.calendar_peek(),
+            SchedulerMode::ScanReference => self.next_actor_scan(),
+        }
+    }
+
+    /// Retires the heap-top entry of the core that just executed: updates
+    /// it **in place** to the core's new ready time (one sift via
+    /// [`PeekMut`](std::collections::binary_heap::PeekMut) instead of a
+    /// pop + push + dirty-list round trip), or removes it if the core is no
+    /// longer runnable.
+    ///
+    /// Sound because the executed decision is still the heap top: entries
+    /// pushed *during* execution (DMA completions) carry `at >= now` and
+    /// the highest class, so they can never sort above it. If the core was
+    /// additionally dirtied mid-step (e.g. it raised an IRQ on itself
+    /// through a peripheral write), the next refresh bumps its generation
+    /// and pushes a fresh entry; the in-place one then goes stale and is
+    /// dropped lazily, exactly like any other invalidated entry.
+    fn retire_core_entry(&mut self, id: usize) {
+        if self.scheduler != SchedulerMode::Calendar {
+            return;
+        }
+        let Some(mut top) = self.calendar.heap.peek_mut() else {
+            return;
+        };
+        debug_assert!(
+            top.0.class == CLASS_CORE && top.0.id == id as u64,
+            "executed core entry must still be the heap top"
+        );
+        let c = &self.cores[id];
+        if c.status() == CoreStatus::Running {
+            top.0.at = c.next_ready();
+        } else {
+            std::collections::binary_heap::PeekMut::pop(top);
+        }
+    }
+
+    /// [`retire_core_entry`](Platform::retire_core_entry) for a peripheral
+    /// whose internal event just ran: reschedule the top entry at the
+    /// device's next event time, or remove it if none is pending.
+    fn retire_periph_entry(&mut self, page: usize) {
+        if self.scheduler != SchedulerMode::Calendar {
+            return;
+        }
+        let Some(mut top) = self.calendar.heap.peek_mut() else {
+            return;
+        };
+        debug_assert!(
+            top.0.class == CLASS_PERIPH && top.0.id == page as u64,
+            "executed peripheral entry must still be the heap top"
+        );
+        match self.periphs[page].next_event() {
+            Some(t) => top.0.at = t,
+            None => {
+                std::collections::binary_heap::PeekMut::pop(top);
+            }
+        }
+    }
+
+    /// Removes the heap-top entry of the DMA completion that is about to
+    /// execute (transfers are scheduled once and removed exactly here).
+    fn retire_dma_entry(&mut self, seq: u64) {
+        if self.scheduler != SchedulerMode::Calendar {
+            return;
+        }
+        let Some(top) = self.calendar.heap.peek_mut() else {
+            return;
+        };
+        debug_assert!(
+            top.0.class == CLASS_DMA && top.0.id == seq,
+            "executed DMA entry must still be the heap top"
+        );
+        std::collections::binary_heap::PeekMut::pop(top);
+    }
+
+    /// The time of the next pending event (the ready time of whatever
+    /// [`step`](Platform::step) would run), if any work remains.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.peek_decision().map(|(t, _)| t)
     }
 
     /// Advances the simulation by one atomic step (one instruction, one
@@ -608,18 +903,35 @@ impl Platform {
     /// exactly [`step`](Platform::step).
     pub fn step_observed(&mut self, mut sink: Option<&mut dyn EventSink>) -> Result<StepEvent> {
         self.steps += 1;
-        let Some((t, actor)) = self.next_actor() else {
+        let Some((t, actor)) = self.peek_decision() else {
             return Ok(StepEvent {
                 at: self.now,
                 kind: StepKind::Idle,
                 accesses: Vec::new(),
             });
         };
+        let ev = self.exec_actor(t, actor)?;
+        self.observe_step(&ev, mpsoc_obs::event::reborrow_sink(&mut sink));
+        Ok(ev)
+    }
+
+    /// Executes one already-scheduled decision (the actor/time pair just
+    /// returned by [`peek_decision`](Platform::peek_decision), whose
+    /// calendar entry is still the heap top; execution retires or
+    /// reschedules that entry in place).
+    fn exec_actor(&mut self, t: Time, actor: Actor) -> Result<StepEvent> {
         self.now = self.now.max(t);
-        let ev = match actor {
-            Actor::Core(id) => self.step_core(id)?,
+        match actor {
+            Actor::Core(id) => {
+                let r = self.step_core(id);
+                // Whatever happened — retired, halted, slept, faulted — the
+                // core's calendar entry is rescheduled in place (and on the
+                // fault path, before the error propagates).
+                self.retire_core_entry(id);
+                r
+            }
             Actor::Periph(page) => {
-                let mut effects = Vec::new();
+                let mut effects = std::mem::take(&mut self.scratch_effects);
                 {
                     let mut ctx = PeriphCtx {
                         now: self.now,
@@ -628,61 +940,71 @@ impl Platform {
                     };
                     self.periphs[page].on_event(&mut ctx);
                 }
-                let accesses = self.run_effects(effects)?;
+                let res = self.run_effects(&mut effects);
+                self.scratch_effects = effects;
+                self.retire_periph_entry(page);
+                res?;
                 if let Some(m) = &self.metrics {
                     m.periph_events.inc();
                 }
-                StepEvent {
+                Ok(StepEvent {
                     at: self.now,
                     kind: StepKind::PeriphEvent { page },
-                    accesses,
-                }
+                    accesses: Vec::new(),
+                })
             }
-            Actor::Dma(i) => {
+            Actor::Dma(seq) => {
+                self.retire_dma_entry(seq);
+                let i = self
+                    .pending_dma
+                    .iter()
+                    .position(|d| d.seq == seq)
+                    .expect("scheduled DMA completion exists");
                 let d = self.pending_dma.remove(i);
-                let mut accesses = Vec::new();
+                let mut accesses = self.take_accesses();
                 // Perform the functional copy now, emitting the access
-                // trail attributed to the DMA engine.
-                for w in 0..d.len {
-                    let v = self.plain_read(d.src + w)?;
-                    self.plain_write(d.dst + w, v)?;
-                    accesses.push(Access {
-                        originator: Originator::Dma(d.page),
-                        kind: AccessKind::Read,
-                        addr: d.src + w,
-                        value: v,
-                        at: d.finish,
-                    });
-                    accesses.push(Access {
-                        originator: Originator::Dma(d.page),
-                        kind: AccessKind::Write,
-                        addr: d.dst + w,
-                        value: v,
-                        at: d.finish,
-                    });
-                }
+                // trail attributed to the DMA engine. The whole range is
+                // decoded and bounds-checked once, not per word.
+                self.dma_copy(&d, &mut accesses)?;
                 // Tell the engine it is done; deliver its completion IRQ.
                 let mut irq_req = None;
                 if let Some(dma) = self.periphs.get_mut(d.page) {
                     irq_req = dma.transfer_done(self.now, &mut self.signals);
                 }
+                self.calendar.mark_periph(d.page);
                 if let Some((core, irq)) = irq_req {
                     if let Some(c) = self.cores.get_mut(core) {
                         c.post_irq(irq, self.now);
+                        self.calendar.mark_core(core);
                     }
                 }
                 if let Some(m) = &self.metrics {
                     m.dma_words.add(d.len as u64);
                 }
-                StepEvent {
+                Ok(StepEvent {
                     at: self.now,
                     kind: StepKind::DmaComplete { page: d.page },
                     accesses,
-                }
+                })
             }
-        };
-        self.observe_step(&ev, mpsoc_obs::event::reborrow_sink(&mut sink));
-        Ok(ev)
+        }
+    }
+
+    /// Pops a recycled `Access` buffer, or starts an empty one
+    /// (`Vec::new` does not allocate until first push).
+    fn take_accesses(&mut self) -> Vec<Access> {
+        self.access_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished step's buffers to the platform for reuse, making
+    /// steady-state stepping allocation-free. Entirely optional — dropping
+    /// the event instead is always correct, just slower.
+    pub fn recycle(&mut self, ev: StepEvent) {
+        let mut v = ev.accesses;
+        if self.access_pool.len() < 8 && v.capacity() > 0 {
+            v.clear();
+            self.access_pool.push(v);
+        }
     }
 
     /// Metrics + event fan-out for one completed step.
@@ -725,73 +1047,111 @@ impl Platform {
     }
 
     fn step_core(&mut self, id: usize) -> Result<StepEvent> {
-        // Interrupt delivery happens at fetch boundaries.
-        let irq_taken = self.cores[id].maybe_take_irq();
-        let pc = self.cores[id].pc();
-        let Some(instr) = self.cores[id].program().fetch(pc) else {
-            self.cores[id].set_status(CoreStatus::Faulted);
+        let start = self.now;
+        let mut accesses = self.take_accesses();
+
+        // Front end: one borrow of the core covers interrupt delivery,
+        // fetch (the program table holds pre-decoded instructions, so
+        // straight-line code never re-decodes), and the entire
+        // register-only instruction set — the fast path pays a single
+        // bounds-checked `cores[id]` index per step instead of one per
+        // register access.
+        let core = &mut self.cores[id];
+        let irq_taken = core.maybe_take_irq();
+        let pc = core.pc();
+        let Some(instr) = core.program().fetch(pc) else {
+            core.set_status(CoreStatus::Faulted);
             return Err(Error::PcOutOfRange { core: id, pc });
         };
 
-        let freq = self.cores[id].frequency();
-        let start = self.now;
+        let freq = core.frequency();
         let mut cycles = Cycles(instr.base_cycles());
         let mut wall_extra = Time::ZERO;
-        let mut accesses = Vec::new();
         let mut next_pc = pc.wrapping_add(1);
-
-        macro_rules! fault {
-            ($e:expr) => {{
-                self.cores[id].set_status(CoreStatus::Faulted);
-                return Err($e);
-            }};
-        }
+        let mut rti = false;
 
         match instr {
             Instr::Nop => {}
             Instr::Halt => {
-                self.cores[id].set_status(CoreStatus::Halted);
+                core.set_status(CoreStatus::Halted);
             }
             Instr::Wfi => {
-                self.cores[id].set_status(CoreStatus::Sleeping);
+                core.set_status(CoreStatus::Sleeping);
             }
             Instr::Rti => {
-                self.cores[id].return_from_irq();
-                next_pc = self.cores[id].pc();
+                core.return_from_irq();
+                next_pc = core.pc();
+                rti = true;
             }
-            Instr::Movi(d, imm) => self.cores[id].set_reg(d, imm),
+            Instr::Movi(d, imm) => core.set_reg(d, imm),
             Instr::Mov(d, s) => {
-                let v = self.cores[id].reg(s);
-                self.cores[id].set_reg(d, v);
+                let v = core.reg(s);
+                core.set_reg(d, v);
             }
-            Instr::Add(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_add(b)),
-            Instr::Sub(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_sub(b)),
-            Instr::Mul(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_mul(b)),
+            Instr::Add(d, s, t) => {
+                let v = core.reg(s).wrapping_add(core.reg(t));
+                core.set_reg(d, v);
+            }
+            Instr::Sub(d, s, t) => {
+                let v = core.reg(s).wrapping_sub(core.reg(t));
+                core.set_reg(d, v);
+            }
+            Instr::Mul(d, s, t) => {
+                let v = core.reg(s).wrapping_mul(core.reg(t));
+                core.set_reg(d, v);
+            }
             Instr::Div(d, s, t) => {
-                if self.cores[id].reg(t) == 0 {
-                    fault!(Error::DivideByZero { core: id, pc });
+                let b = core.reg(t);
+                if b == 0 {
+                    core.set_status(CoreStatus::Faulted);
+                    return Err(Error::DivideByZero { core: id, pc });
                 }
-                self.alu(id, d, s, t, |a, b| a.wrapping_div(b));
+                let v = core.reg(s).wrapping_div(b);
+                core.set_reg(d, v);
             }
             Instr::Rem(d, s, t) => {
-                if self.cores[id].reg(t) == 0 {
-                    fault!(Error::DivideByZero { core: id, pc });
+                let b = core.reg(t);
+                if b == 0 {
+                    core.set_status(CoreStatus::Faulted);
+                    return Err(Error::DivideByZero { core: id, pc });
                 }
-                self.alu(id, d, s, t, |a, b| a.wrapping_rem(b));
+                let v = core.reg(s).wrapping_rem(b);
+                core.set_reg(d, v);
             }
-            Instr::And(d, s, t) => self.alu(id, d, s, t, |a, b| a & b),
-            Instr::Or(d, s, t) => self.alu(id, d, s, t, |a, b| a | b),
-            Instr::Xor(d, s, t) => self.alu(id, d, s, t, |a, b| a ^ b),
-            Instr::Shl(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_shl(b as u32 & 63)),
-            Instr::Shr(d, s, t) => self.alu(id, d, s, t, |a, b| a.wrapping_shr(b as u32 & 63)),
-            Instr::Slt(d, s, t) => self.alu(id, d, s, t, |a, b| (a < b) as Word),
-            Instr::Seq(d, s, t) => self.alu(id, d, s, t, |a, b| (a == b) as Word),
+            Instr::And(d, s, t) => {
+                let v = core.reg(s) & core.reg(t);
+                core.set_reg(d, v);
+            }
+            Instr::Or(d, s, t) => {
+                let v = core.reg(s) | core.reg(t);
+                core.set_reg(d, v);
+            }
+            Instr::Xor(d, s, t) => {
+                let v = core.reg(s) ^ core.reg(t);
+                core.set_reg(d, v);
+            }
+            Instr::Shl(d, s, t) => {
+                let v = core.reg(s).wrapping_shl(core.reg(t) as u32 & 63);
+                core.set_reg(d, v);
+            }
+            Instr::Shr(d, s, t) => {
+                let v = core.reg(s).wrapping_shr(core.reg(t) as u32 & 63);
+                core.set_reg(d, v);
+            }
+            Instr::Slt(d, s, t) => {
+                let v = (core.reg(s) < core.reg(t)) as Word;
+                core.set_reg(d, v);
+            }
+            Instr::Seq(d, s, t) => {
+                let v = (core.reg(s) == core.reg(t)) as Word;
+                core.set_reg(d, v);
+            }
             Instr::Addi(d, s, imm) => {
-                let v = self.cores[id].reg(s).wrapping_add(imm);
-                self.cores[id].set_reg(d, v);
+                let v = core.reg(s).wrapping_add(imm);
+                core.set_reg(d, v);
             }
             Instr::Ld(d, base, off) => {
-                let addr = (self.cores[id].reg(base).wrapping_add(off)) as u32;
+                let addr = (core.reg(base).wrapping_add(off)) as u32;
                 match self.timed_read(id, addr, start) {
                     Ok((v, cy, wall)) => {
                         self.cores[id].set_reg(d, v);
@@ -805,12 +1165,15 @@ impl Platform {
                             at: start + wall,
                         });
                     }
-                    Err(e) => fault!(e),
+                    Err(e) => {
+                        self.cores[id].set_status(CoreStatus::Faulted);
+                        return Err(e);
+                    }
                 }
             }
             Instr::St(val, base, off) => {
-                let addr = (self.cores[id].reg(base).wrapping_add(off)) as u32;
-                let v = self.cores[id].reg(val);
+                let addr = (core.reg(base).wrapping_add(off)) as u32;
+                let v = core.reg(val);
                 match self.timed_write(id, addr, v, start) {
                     Ok((cy, wall)) => {
                         cycles += cy;
@@ -823,38 +1186,44 @@ impl Platform {
                             at: start + wall,
                         });
                     }
-                    Err(e) => fault!(e),
+                    Err(e) => {
+                        self.cores[id].set_status(CoreStatus::Faulted);
+                        return Err(e);
+                    }
                 }
             }
             Instr::Beq(a, b, t) => {
-                if self.cores[id].reg(a) == self.cores[id].reg(b) {
+                if core.reg(a) == core.reg(b) {
                     next_pc = t;
                 }
             }
             Instr::Bne(a, b, t) => {
-                if self.cores[id].reg(a) != self.cores[id].reg(b) {
+                if core.reg(a) != core.reg(b) {
                     next_pc = t;
                 }
             }
             Instr::Blt(a, b, t) => {
-                if self.cores[id].reg(a) < self.cores[id].reg(b) {
+                if core.reg(a) < core.reg(b) {
                     next_pc = t;
                 }
             }
             Instr::Jmp(t) => next_pc = t,
             Instr::Jal(t) => {
-                self.cores[id].set_reg(Reg::LINK, (pc + 1) as Word);
+                core.set_reg(Reg::LINK, (pc + 1) as Word);
                 next_pc = t;
             }
-            Instr::Jr(s) => next_pc = self.cores[id].reg(s) as u32,
+            Instr::Jr(s) => next_pc = core.reg(s) as u32,
         }
 
-        if !matches!(instr, Instr::Rti) {
-            self.cores[id].set_pc(next_pc);
+        // Back end: a fresh borrow, because the memory-access arms above
+        // had to release the first one to reach the platform.
+        let core = &mut self.cores[id];
+        if !rti {
+            core.set_pc(next_pc);
         }
-        self.cores[id].retire();
+        core.retire();
         let done = start + freq.cycles_to_time(cycles) + wall_extra;
-        self.cores[id].set_next_ready(done);
+        core.set_next_ready(done);
 
         Ok(StepEvent {
             at: done,
@@ -868,28 +1237,108 @@ impl Platform {
         })
     }
 
-    fn alu(&mut self, id: usize, d: Reg, s: Reg, t: Reg, f: impl Fn(Word, Word) -> Word) {
-        let v = f(self.cores[id].reg(s), self.cores[id].reg(t));
-        self.cores[id].set_reg(d, v);
+    /// Resolves a DMA range `[addr, addr + len)` to one RAM and a starting
+    /// offset, bounds-checking the entire range once. DMA is functional
+    /// (untimed, no locality enforcement — it is the sanctioned transfer
+    /// mechanism between stores), so this replaces a per-word
+    /// `decode` + `Ram` bounds check pair with a single upfront check.
+    fn resolve_dma_range(&self, addr: u32, len: u32) -> Result<(MemSel, usize)> {
+        let sel = match decode(addr, self.shared_words, self.cores.len())? {
+            Region::Shared(o) => (MemSel::Shared, o as usize),
+            Region::Local { owner, offset } => (MemSel::Local(owner), offset as usize),
+            Region::Periph { .. } => return Err(Error::UnmappedAddress { addr }),
+        };
+        let ram_len = match sel.0 {
+            MemSel::Shared => self.shared.len(),
+            MemSel::Local(owner) => self.locals[owner].len(),
+        } as usize;
+        if sel.1 + len as usize > ram_len {
+            // First word past the end of the backing RAM.
+            return Err(Error::UnmappedAddress {
+                addr: addr + (ram_len - sel.1) as u32,
+            });
+        }
+        Ok(sel)
     }
 
-    /// A functional (untimed) read used by DMA; faults like a core access
-    /// but without locality enforcement (DMA is the sanctioned transfer
-    /// mechanism between stores).
-    fn plain_read(&mut self, addr: u32) -> Result<Word> {
-        match decode(addr, self.shared_words, self.cores.len())? {
-            Region::Shared(o) => self.shared.read(o),
-            Region::Local { owner, offset } => self.locals[owner].read(offset),
-            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+    /// The functional copy of a completed DMA transfer, with the access
+    /// trail. Word-by-word in ascending address order — for overlapping
+    /// ranges in the same RAM this deliberately reproduces the
+    /// forward-propagation semantics of a word-at-a-time engine.
+    fn dma_copy(&mut self, d: &PendingDma, accesses: &mut Vec<Access>) -> Result<()> {
+        if d.len == 0 {
+            return Ok(());
         }
-    }
-
-    fn plain_write(&mut self, addr: u32, v: Word) -> Result<()> {
-        match decode(addr, self.shared_words, self.cores.len())? {
-            Region::Shared(o) => self.shared.write(o, v),
-            Region::Local { owner, offset } => self.locals[owner].write(offset, v),
-            Region::Periph { .. } => Err(Error::UnmappedAddress { addr }),
+        let len = d.len as usize;
+        let (src_sel, so) = self.resolve_dma_range(d.src, d.len)?;
+        let (dst_sel, doff) = self.resolve_dma_range(d.dst, d.len)?;
+        accesses.reserve(2 * len);
+        let mut push = |i: usize, v: Word| {
+            accesses.push(Access {
+                originator: Originator::Dma(d.page),
+                kind: AccessKind::Read,
+                addr: d.src + i as u32,
+                value: v,
+                at: d.finish,
+            });
+            accesses.push(Access {
+                originator: Originator::Dma(d.page),
+                kind: AccessKind::Write,
+                addr: d.dst + i as u32,
+                value: v,
+                at: d.finish,
+            });
+        };
+        match (src_sel, dst_sel) {
+            (MemSel::Shared, MemSel::Shared) => {
+                let w = self.shared.words_mut();
+                for i in 0..len {
+                    let v = w[so + i];
+                    w[doff + i] = v;
+                    push(i, v);
+                }
+            }
+            (MemSel::Local(a), MemSel::Local(b)) if a == b => {
+                let w = self.locals[a].words_mut();
+                for i in 0..len {
+                    let v = w[so + i];
+                    w[doff + i] = v;
+                    push(i, v);
+                }
+            }
+            (MemSel::Shared, MemSel::Local(b)) => {
+                let s = self.shared.as_slice();
+                let dw = self.locals[b].words_mut();
+                for i in 0..len {
+                    let v = s[so + i];
+                    dw[doff + i] = v;
+                    push(i, v);
+                }
+            }
+            (MemSel::Local(a), MemSel::Shared) => {
+                let s = self.locals[a].as_slice();
+                let dw = self.shared.words_mut();
+                for i in 0..len {
+                    let v = s[so + i];
+                    dw[doff + i] = v;
+                    push(i, v);
+                }
+            }
+            (MemSel::Local(a), MemSel::Local(b)) => {
+                let (lo, hi) = self.locals.split_at_mut(a.max(b));
+                let (s, dw) = if a < b {
+                    (lo[a].as_slice(), hi[0].words_mut())
+                } else {
+                    (hi[0].as_slice(), lo[b].words_mut())
+                };
+                for i in 0..len {
+                    let v = s[so + i];
+                    dw[doff + i] = v;
+                    push(i, v);
+                }
+            }
         }
+        Ok(())
     }
 
     /// Timed load: returns `(value, extra_cycles, extra_wall_time)`.
@@ -921,21 +1370,29 @@ impl Platform {
                     m.noc_transfers.inc();
                 }
                 let done = self.interconnect.transfer(core, mem_node, start);
-                let mut effects = Vec::new();
+                let mut effects = std::mem::take(&mut self.scratch_effects);
                 let v = {
-                    let p = self
-                        .periphs
-                        .get_mut(page)
-                        .ok_or(Error::UnmappedAddress { addr })?;
+                    let p = match self.periphs.get_mut(page) {
+                        Some(p) => p,
+                        None => {
+                            self.scratch_effects = effects;
+                            return Err(Error::UnmappedAddress { addr });
+                        }
+                    };
                     let mut ctx = PeriphCtx {
                         now: done,
                         signals: &mut self.signals,
                         effects: &mut effects,
                     };
-                    p.read(offset, &mut ctx)?
+                    p.read(offset, &mut ctx)
                 };
-                self.run_effects(effects)?;
-                Ok((v, Cycles::ZERO, done.saturating_sub(start)))
+                let res = v.and_then(|v| self.run_effects(&mut effects).map(|()| v));
+                effects.clear(); // discard any effects of a faulted access
+                self.scratch_effects = effects;
+                // Register reads can re-arm the peripheral (e.g. a mailbox
+                // pop changing its readiness) — rebuild its entry.
+                self.calendar.mark_periph(page);
+                Ok((res?, Cycles::ZERO, done.saturating_sub(start)))
             }
         }
     }
@@ -974,20 +1431,29 @@ impl Platform {
                     m.noc_transfers.inc();
                 }
                 let done = self.interconnect.transfer(core, mem_node, start);
-                let mut effects = Vec::new();
-                {
-                    let p = self
-                        .periphs
-                        .get_mut(page)
-                        .ok_or(Error::UnmappedAddress { addr })?;
+                let mut effects = std::mem::take(&mut self.scratch_effects);
+                let wrote = {
+                    let p = match self.periphs.get_mut(page) {
+                        Some(p) => p,
+                        None => {
+                            self.scratch_effects = effects;
+                            return Err(Error::UnmappedAddress { addr });
+                        }
+                    };
                     let mut ctx = PeriphCtx {
                         now: done,
                         signals: &mut self.signals,
                         effects: &mut effects,
                     };
-                    p.write(offset, v, &mut ctx)?;
-                }
-                self.run_effects(effects)?;
+                    p.write(offset, v, &mut ctx)
+                };
+                let res = wrote.and_then(|()| self.run_effects(&mut effects));
+                effects.clear(); // discard any effects of a faulted access
+                self.scratch_effects = effects;
+                // Register writes arm timers, start DMA, etc. — rebuild the
+                // peripheral's calendar entry.
+                self.calendar.mark_periph(page);
+                res?;
                 Ok((Cycles::ZERO, done.saturating_sub(start)))
             }
         }
@@ -1018,13 +1484,15 @@ impl Platform {
         }
     }
 
-    fn run_effects(&mut self, effects: Vec<Effect>) -> Result<Vec<Access>> {
-        let accesses = Vec::new();
-        for e in effects {
+    /// Applies (and drains) queued peripheral effects. The buffer is the
+    /// caller's loan from `scratch_effects`, returned empty.
+    fn run_effects(&mut self, effects: &mut Vec<Effect>) -> Result<()> {
+        for e in effects.drain(..) {
             match e {
                 Effect::RaiseIrq { core, irq } => {
                     if let Some(c) = self.cores.get_mut(core) {
                         c.post_irq(irq, self.now);
+                        self.calendar.mark_core(core);
                     }
                 }
                 Effect::DmaCopy {
@@ -1043,17 +1511,30 @@ impl Platform {
                     if let Some(m) = &self.metrics {
                         m.noc_transfers.add(len as u64);
                     }
+                    let seq = self.dma_seq;
+                    self.dma_seq += 1;
                     self.pending_dma.push(PendingDma {
                         finish: t,
                         page,
                         src,
                         dst,
                         len,
+                        seq,
                     });
+                    if self.scheduler == SchedulerMode::Calendar {
+                        // Scheduled once with a fixed finish time; no
+                        // generation needed (removed only on execution).
+                        self.calendar.heap.push(Reverse(CalKey {
+                            at: t,
+                            class: CLASS_DMA,
+                            id: seq,
+                            gen: 0,
+                        }));
+                    }
                 }
             }
         }
-        Ok(accesses)
+        Ok(())
     }
 
     // -- run helpers --------------------------------------------------------
@@ -1081,16 +1562,49 @@ impl Platform {
         mut sink: Option<&mut dyn EventSink>,
     ) -> Result<Vec<StepEvent>> {
         let mut events = Vec::new();
-        loop {
-            match self.next_actor() {
-                Some((t, _)) if t < deadline => {
-                    events.push(self.step_observed(mpsoc_obs::event::reborrow_sink(&mut sink))?);
-                }
-                _ => break,
+        // One scheduler decision per step: the peek that checks the
+        // deadline is the same decision the step executes.
+        while let Some((t, actor)) = self.peek_decision() {
+            if t >= deadline {
+                break;
             }
+            self.steps += 1;
+            let ev = self.exec_actor(t, actor)?;
+            self.observe_step(&ev, mpsoc_obs::event::reborrow_sink(&mut sink));
+            events.push(ev);
         }
         self.now = self.now.max(deadline);
         Ok(events)
+    }
+
+    /// Streaming variant of [`run_until`](Platform::run_until): `visit` is
+    /// called with each step's event, whose buffers are then recycled
+    /// internally — the steady-state loop performs no allocation at all.
+    /// Returns the number of steps executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault.
+    pub fn run_until_with(
+        &mut self,
+        deadline: Time,
+        mut sink: Option<&mut dyn EventSink>,
+        mut visit: impl FnMut(&StepEvent),
+    ) -> Result<u64> {
+        let mut n = 0;
+        while let Some((t, actor)) = self.peek_decision() {
+            if t >= deadline {
+                break;
+            }
+            self.steps += 1;
+            let ev = self.exec_actor(t, actor)?;
+            self.observe_step(&ev, mpsoc_obs::event::reborrow_sink(&mut sink));
+            visit(&ev);
+            self.recycle(ev);
+            n += 1;
+        }
+        self.now = self.now.max(deadline);
+        Ok(n)
     }
 
     /// Steps until every core has halted (or `max_steps` is exceeded).
@@ -1120,6 +1634,8 @@ impl Platform {
             if ev.is_idle() {
                 return Ok(n);
             }
+            // The events are not returned, so their buffers can be reused.
+            self.recycle(ev);
         }
         Err(Error::Config(format!(
             "program did not finish within {max_steps} steps"
@@ -1131,7 +1647,16 @@ impl Platform {
 enum Actor {
     Core(usize),
     Periph(usize),
-    Dma(usize),
+    /// A pending DMA completion, identified by its schedule sequence number
+    /// (see [`PendingDma::seq`]).
+    Dma(u64),
+}
+
+/// Which RAM a DMA range resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemSel {
+    Shared,
+    Local(usize),
 }
 
 #[cfg(test)]

@@ -168,6 +168,12 @@ impl fmt::Display for Cycles {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Frequency {
     khz: u64,
+    /// Exact picoseconds per cycle when `1e9 / khz` divides evenly, else 0.
+    /// Lets [`cycles_to_time`](Frequency::cycles_to_time) — called once per
+    /// simulated instruction — use one `u64` multiply instead of a `u128`
+    /// ceiling division for the common round frequencies (1 MHz … 10 GHz
+    /// in power-of-ten steps, and most realistic clock rates in between).
+    ps_per_cycle: u64,
 }
 
 impl Frequency {
@@ -179,7 +185,12 @@ impl Frequency {
     /// core, not by a zero frequency.
     pub fn khz(khz: u64) -> Self {
         assert!(khz > 0, "frequency must be non-zero");
-        Frequency { khz }
+        let ps_per_cycle = if 1_000_000_000 % khz == 0 {
+            1_000_000_000 / khz
+        } else {
+            0
+        };
+        Frequency { khz, ps_per_cycle }
     }
 
     /// Creates a frequency from megahertz.
@@ -215,6 +226,12 @@ impl Frequency {
     pub fn cycles_to_time(self, c: Cycles) -> Time {
         if c.0 == 0 {
             return Time::ZERO;
+        }
+        // Fast path: the period is a whole number of picoseconds, so the
+        // ceiling division below is exact multiplication (saturating, to
+        // match the `min(u64::MAX)` clamp of the slow path).
+        if self.ps_per_cycle != 0 {
+            return Time::from_ps(c.0.saturating_mul(self.ps_per_cycle));
         }
         // ps = cycles * 1e9 / khz, computed in u128 to avoid overflow.
         let ps = (c.0 as u128 * 1_000_000_000u128).div_ceil(self.khz as u128);
@@ -284,6 +301,19 @@ mod tests {
         assert_eq!(f.cycles_to_time(Cycles(3)), Time::from_ps(9_009_010));
         // Zero cycles take zero time regardless of frequency.
         assert_eq!(f.cycles_to_time(Cycles(0)), Time::ZERO);
+    }
+
+    #[test]
+    fn cycles_to_time_fast_and_slow_paths_agree() {
+        // Round frequencies take the exact-multiply fast path; odd ones the
+        // u128 ceiling division. Both must give the same picosecond counts.
+        for khz in [100_000u64, 333, 1_000_000, 7, 999_983] {
+            let f = Frequency::khz(khz);
+            for c in [1u64, 3, 1_000, 123_456_789] {
+                let expect = (c as u128 * 1_000_000_000u128).div_ceil(khz as u128);
+                assert_eq!(f.cycles_to_time(Cycles(c)).as_ps() as u128, expect);
+            }
+        }
     }
 
     #[test]

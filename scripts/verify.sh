@@ -22,4 +22,7 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== bench smoke (sim_fastpath) =="
+cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
+
 echo "verify: OK"
