@@ -1,0 +1,13 @@
+//! Regenerates extension experiment E12 (see EXPERIMENTS.md) and writes the
+//! fault-coverage artifact `target/E12_faults.json`.
+fn main() {
+    let r = mpsoc_bench::experiments::e12_faults();
+    print!("{r}");
+    assert!(
+        r.thread_invariant,
+        "E12 verdict table must be bit-identical at 1/2/4 threads"
+    );
+    std::fs::create_dir_all("target").expect("target dir exists");
+    std::fs::write("target/E12_faults.json", r.to_json()).expect("writes fault-coverage report");
+    println!("wrote target/E12_faults.json");
+}

@@ -17,6 +17,10 @@ fn main() {
     println!("{}", e::e9_heisenbug());
     println!("{}", e::e10_admission());
     println!("{}", e::e11_explore());
+    let e12 = e::e12_faults();
+    println!("{e12}");
+    std::fs::create_dir_all("target").expect("target dir exists");
+    std::fs::write("target/E12_faults.json", e12.to_json()).expect("writes fault-coverage report");
     if std::env::args().any(|a| a == "--smoke") {
         let report = mpsoc_bench::sim_fastpath::run(&mpsoc_bench::sim_fastpath::Config::smoke());
         print!("{report}");

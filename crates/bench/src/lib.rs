@@ -1,6 +1,6 @@
 //! # mpsoc-bench — the experiment harness of the reproduction
 //!
-//! One function (and one binary) per experiment E1–E9 of `EXPERIMENTS.md`,
+//! One function (and one binary) per experiment E1–E12 of `EXPERIMENTS.md`,
 //! plus microbenchmarks of the underlying kernels built on the std-only
 //! [`microbench`] harness (a Criterion-compatible shim, so the workspace
 //! builds offline). Run everything with

@@ -152,6 +152,13 @@ impl SimFastpathReport {
         Some(t1.secs / tn.secs)
     }
 
+    /// Whether thread-scaling rows carry a speedup claim. On a single-CPU
+    /// host the worker threads time-slice one core, so the only honest
+    /// claim is determinism (identical makespan), not speedup.
+    pub fn claims_scaling(&self) -> bool {
+        self.host_cpus > 1
+    }
+
     /// Hand-rolled JSON (the workspace builds offline, without serde).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -194,16 +201,37 @@ impl SimFastpathReport {
         if let Some(a) = self.anneal.first() {
             let _ = writeln!(s, "    \"makespan\": {},", a.makespan);
         }
+        let _ = writeln!(
+            s,
+            "    \"scaling\": \"{}\",",
+            if self.claims_scaling() {
+                "wall-clock"
+            } else {
+                "determinism-only"
+            }
+        );
         s.push_str("    \"threads\": [\n");
         for (i, a) in self.anneal.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "      {{ \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1t\": {:.2} }}{}",
-                a.threads,
-                a.secs,
-                self.anneal_speedup(a.threads).unwrap_or(1.0),
-                if i + 1 < self.anneal.len() { "," } else { "" }
-            );
+            if self.claims_scaling() {
+                let _ = writeln!(
+                    s,
+                    "      {{ \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_1t\": {:.2} }}{}",
+                    a.threads,
+                    a.secs,
+                    self.anneal_speedup(a.threads).unwrap_or(1.0),
+                    if i + 1 < self.anneal.len() { "," } else { "" }
+                );
+            } else {
+                // One host CPU: the makespan row still proves determinism,
+                // but a speedup number would be noise — omit it.
+                let _ = writeln!(
+                    s,
+                    "      {{ \"threads\": {}, \"secs\": {:.6}, \"determinism_only\": true }}{}",
+                    a.threads,
+                    a.secs,
+                    if i + 1 < self.anneal.len() { "," } else { "" }
+                );
+            }
         }
         s.push_str("    ]\n  }\n}\n");
         s
@@ -235,14 +263,22 @@ impl fmt::Display for SimFastpathReport {
             self.anneal_iters, self.anneal_starts, self.host_cpus
         )?;
         for a in &self.anneal {
-            writeln!(
-                f,
-                "    {} thread(s): {:.3}s ({:.2}x vs 1t), makespan {}",
-                a.threads,
-                a.secs,
-                self.anneal_speedup(a.threads).unwrap_or(1.0),
-                a.makespan
-            )?;
+            if self.claims_scaling() {
+                writeln!(
+                    f,
+                    "    {} thread(s): {:.3}s ({:.2}x vs 1t), makespan {}",
+                    a.threads,
+                    a.secs,
+                    self.anneal_speedup(a.threads).unwrap_or(1.0),
+                    a.makespan
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "    {} thread(s): {:.3}s (determinism-only; 1 host cpu), makespan {}",
+                    a.threads, a.secs, a.makespan
+                )?;
+            }
         }
         Ok(())
     }
@@ -255,7 +291,8 @@ impl fmt::Display for SimFastpathReport {
 /// Builds the car-radio platform: a dual-tuner (DAB+FM) chain on 4
 /// heterogeneous cores with 8 sample/status clocks, 36 inter-stage FIFOs,
 /// two hardware locks, and two streaming DMA engines (48 peripherals).
-fn build_car_radio(mode: SchedulerMode) -> Platform {
+/// Public so E12's fault-injection campaign can reuse the same platform.
+pub fn build_car_radio(mode: SchedulerMode) -> Platform {
     let freqs = vec![
         Frequency::mhz(100),
         Frequency::mhz(100),
@@ -348,8 +385,9 @@ fn build_car_radio(mode: SchedulerMode) -> Platform {
 }
 
 /// Builds the JPEG platform: 4 cores running a DCT-like MAC kernel, with
-/// only a handoff mailbox and a DMA engine attached.
-fn build_jpeg(mode: SchedulerMode) -> Platform {
+/// only a handoff mailbox and a DMA engine attached. Public so E12 and the
+/// snapshot round-trip tests can reuse the same workloads.
+pub fn build_jpeg(mode: SchedulerMode) -> Platform {
     let mut p = PlatformBuilder::new()
         .cores(4, Frequency::mhz(100))
         .shared_words(4096)
@@ -556,6 +594,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn single_cpu_hosts_report_determinism_only() {
+        let base = AnnealResult {
+            threads: 1,
+            secs: 0.5,
+            makespan: 100,
+        };
+        let mut r = SimFastpathReport {
+            mode: "smoke",
+            workloads: vec![],
+            anneal: vec![
+                base.clone(),
+                AnnealResult {
+                    threads: 4,
+                    secs: 0.5,
+                    makespan: 100,
+                },
+            ],
+            anneal_iters: 1,
+            anneal_starts: 1,
+            host_cpus: 1,
+        };
+        assert!(!r.claims_scaling());
+        let json = r.to_json();
+        assert!(json.contains("\"scaling\": \"determinism-only\""));
+        assert!(json.contains("\"determinism_only\": true"));
+        assert!(!json.contains("speedup_vs_1t"));
+        assert!(r.to_string().contains("determinism-only; 1 host cpu"));
+
+        r.host_cpus = 8;
+        assert!(r.claims_scaling());
+        let json = r.to_json();
+        assert!(json.contains("\"scaling\": \"wall-clock\""));
+        assert!(json.contains("speedup_vs_1t"));
     }
 
     #[test]

@@ -39,9 +39,9 @@
 //! assert!(json.contains("\"ph\":\"B\""));
 //! ```
 //!
-//! Instrumented code paths take an [`ObsCtx`](event::ObsCtx): a pair of
-//! optional borrows (event sink + metrics registry). Passing
-//! [`ObsCtx::none`](event::ObsCtx::none) makes every hook a predictable
+//! Instrumented code paths take an [`ObsCtx`]: a pair
+//! of optional borrows (event sink + metrics registry). Passing
+//! [`ObsCtx::none`] makes every hook a predictable
 //! branch on `None` — uninstrumented runs pay nothing beyond that.
 
 #![warn(missing_docs)]

@@ -148,6 +148,51 @@ impl Cache {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for CacheSet {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        self.ways.save(w);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(CacheSet {
+            ways: Vec::<Option<(u32, u64)>>::load(r)?,
+        })
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for Cache {
+    // The LRU `tick` and per-way use stamps are serialized too: replacement
+    // decisions after restore must match an uncheckpointed run exactly.
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        self.sets.save(w);
+        w.put_u32(self.line_words);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.tick);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let sets = Vec::<CacheSet>::load(r)?;
+        if sets.is_empty() || !sets.len().is_power_of_two() {
+            return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                "cache set count {} is not a non-zero power of two",
+                sets.len()
+            )));
+        }
+        let line_words = r.get_u32()?;
+        if line_words == 0 || !line_words.is_power_of_two() {
+            return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                "cache line_words {line_words} is not a non-zero power of two"
+            )));
+        }
+        Ok(Cache {
+            sets,
+            line_words,
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            tick: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

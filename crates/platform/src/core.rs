@@ -229,6 +229,70 @@ impl Core {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for CoreStatus {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u8(match self {
+            CoreStatus::Running => 0,
+            CoreStatus::Halted => 1,
+            CoreStatus::Sleeping => 2,
+            CoreStatus::DebugHalted => 3,
+            CoreStatus::Faulted => 4,
+        });
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(CoreStatus::Running),
+            1 => Ok(CoreStatus::Halted),
+            2 => Ok(CoreStatus::Sleeping),
+            3 => Ok(CoreStatus::DebugHalted),
+            4 => Ok(CoreStatus::Faulted),
+            tag => Err(mpsoc_snapshot::SnapError::BadTag {
+                what: "core status",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for Core {
+    // Everything architectural round-trips, including `saved_pc` (the IRQ
+    // return address) and `pre_debug` (intrusive-halt restore status):
+    // a checkpoint taken inside an ISR or during a debug halt must resume
+    // exactly.
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_usize(self.id);
+        self.regs.save(w);
+        w.put_u32(self.pc);
+        self.status.save(w);
+        self.freq.save(w);
+        self.program.save(w);
+        w.put_u32(self.irq_pending);
+        w.put_bool(self.irq_enabled);
+        self.irq_vector.save(w);
+        w.put_u32(self.saved_pc);
+        w.put_u64(self.retired);
+        self.next_ready.save(w);
+        self.pre_debug.save(w);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(Core {
+            id: r.get_usize()?,
+            regs: <[Word; Reg::COUNT]>::load(r)?,
+            pc: r.get_u32()?,
+            status: CoreStatus::load(r)?,
+            freq: Frequency::load(r)?,
+            program: Program::load(r)?,
+            irq_pending: r.get_u32()?,
+            irq_enabled: r.get_bool()?,
+            irq_vector: Option::<u32>::load(r)?,
+            saved_pc: r.get_u32()?,
+            retired: r.get_u64()?,
+            next_ready: Time::load(r)?,
+            pre_debug: Option::<CoreStatus>::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

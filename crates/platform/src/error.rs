@@ -68,6 +68,9 @@ pub enum Error {
         /// The rejected value.
         value: Word,
     },
+    /// A platform checkpoint could not be captured or restored (corrupt
+    /// image, version mismatch, or a peripheral without snapshot support).
+    Snapshot(String),
 }
 
 impl fmt::Display for Error {
@@ -101,6 +104,7 @@ impl fmt::Display for Error {
                 f,
                 "peripheral `{peripheral}` register {offset:#x} rejected value {value}"
             ),
+            Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

@@ -33,6 +33,70 @@ pub trait Interconnect: std::fmt::Debug {
     /// Accumulated queueing delay (waiting for busy resources), summed over
     /// all transfers.
     fn total_contention(&self) -> Time;
+
+    /// Serializes the interconnect — configuration *and* in-flight
+    /// occupancy state (busy-until times) — prefixed with a type tag so
+    /// [`load_interconnect`] can rebuild the trait object.
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer);
+}
+
+/// Type tag for a serialized [`Bus`].
+const SNAP_TAG_BUS: u8 = 0;
+/// Type tag for a serialized [`Mesh`].
+const SNAP_TAG_MESH: u8 = 1;
+
+/// Rebuilds a boxed interconnect from the tagged encoding produced by
+/// [`Interconnect::snap_save`].
+///
+/// # Errors
+///
+/// Returns [`mpsoc_snapshot::SnapError`] on an unknown tag or malformed
+/// payload.
+pub fn load_interconnect(
+    r: &mut mpsoc_snapshot::Reader<'_>,
+) -> mpsoc_snapshot::SnapResult<Box<dyn Interconnect>> {
+    use mpsoc_snapshot::Snapshot as _;
+    match r.get_u8()? {
+        SNAP_TAG_BUS => Ok(Box::new(Bus {
+            latency: Time::load(r)?,
+            occupancy: Time::load(r)?,
+            busy_until: Time::load(r)?,
+            transfers: r.get_u64()?,
+            contention: Time::load(r)?,
+        })),
+        SNAP_TAG_MESH => {
+            let w = r.get_usize()?;
+            let h = r.get_usize()?;
+            if w == 0 || h == 0 {
+                return Err(mpsoc_snapshot::SnapError::Malformed(
+                    "mesh dimensions must be non-zero".into(),
+                ));
+            }
+            let hop_latency = Time::load(r)?;
+            let link_occupancy = Time::load(r)?;
+            let links = Vec::<Time>::load(r)?;
+            if links.len() != w * h * 4 {
+                return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                    "mesh link table has {} entries, expected {}",
+                    links.len(),
+                    w * h * 4
+                )));
+            }
+            Ok(Box::new(Mesh {
+                w,
+                h,
+                hop_latency,
+                link_occupancy,
+                links,
+                transfers: r.get_u64()?,
+                contention: Time::load(r)?,
+            }))
+        }
+        tag => Err(mpsoc_snapshot::SnapError::BadTag {
+            what: "interconnect",
+            tag: u64::from(tag),
+        }),
+    }
 }
 
 /// A single shared bus with one arbiter.
@@ -78,6 +142,16 @@ impl Interconnect for Bus {
 
     fn total_contention(&self) -> Time {
         self.contention
+    }
+
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer) {
+        use mpsoc_snapshot::Snapshot as _;
+        w.put_u8(SNAP_TAG_BUS);
+        self.latency.save(w);
+        self.occupancy.save(w);
+        self.busy_until.save(w);
+        w.put_u64(self.transfers);
+        self.contention.save(w);
     }
 }
 
@@ -183,6 +257,18 @@ impl Interconnect for Mesh {
 
     fn total_contention(&self) -> Time {
         self.contention
+    }
+
+    fn snap_save(&self, wr: &mut mpsoc_snapshot::Writer) {
+        use mpsoc_snapshot::Snapshot as _;
+        wr.put_u8(SNAP_TAG_MESH);
+        wr.put_usize(self.w);
+        wr.put_usize(self.h);
+        self.hop_latency.save(wr);
+        self.link_occupancy.save(wr);
+        self.links.save(wr);
+        wr.put_u64(self.transfers);
+        self.contention.save(wr);
     }
 }
 

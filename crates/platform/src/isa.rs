@@ -197,6 +197,161 @@ impl Program {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for Reg {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u8(self.0);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let idx = r.get_u8()?;
+        if (idx as usize) < Reg::COUNT {
+            Ok(Reg(idx))
+        } else {
+            Err(mpsoc_snapshot::SnapError::BadTag {
+                what: "register index",
+                tag: u64::from(idx),
+            })
+        }
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for Instr {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        // Opcode byte, then operands in declaration order. Opcodes are part
+        // of the versioned image format: renumbering requires a version bump.
+        match *self {
+            Instr::Nop => w.put_u8(0),
+            Instr::Halt => w.put_u8(1),
+            Instr::Movi(d, v) => {
+                w.put_u8(2);
+                d.save(w);
+                w.put_i64(v);
+            }
+            Instr::Mov(d, s) => {
+                w.put_u8(3);
+                d.save(w);
+                s.save(w);
+            }
+            Instr::Add(d, s, t) => save3(w, 4, d, s, t),
+            Instr::Addi(d, s, v) => {
+                w.put_u8(5);
+                d.save(w);
+                s.save(w);
+                w.put_i64(v);
+            }
+            Instr::Sub(d, s, t) => save3(w, 6, d, s, t),
+            Instr::Mul(d, s, t) => save3(w, 7, d, s, t),
+            Instr::Div(d, s, t) => save3(w, 8, d, s, t),
+            Instr::Rem(d, s, t) => save3(w, 9, d, s, t),
+            Instr::And(d, s, t) => save3(w, 10, d, s, t),
+            Instr::Or(d, s, t) => save3(w, 11, d, s, t),
+            Instr::Xor(d, s, t) => save3(w, 12, d, s, t),
+            Instr::Shl(d, s, t) => save3(w, 13, d, s, t),
+            Instr::Shr(d, s, t) => save3(w, 14, d, s, t),
+            Instr::Slt(d, s, t) => save3(w, 15, d, s, t),
+            Instr::Seq(d, s, t) => save3(w, 16, d, s, t),
+            Instr::Ld(d, a, off) => {
+                w.put_u8(17);
+                d.save(w);
+                a.save(w);
+                w.put_i64(off);
+            }
+            Instr::St(v, a, off) => {
+                w.put_u8(18);
+                v.save(w);
+                a.save(w);
+                w.put_i64(off);
+            }
+            Instr::Beq(a, b, t) => save_branch(w, 19, a, b, t),
+            Instr::Bne(a, b, t) => save_branch(w, 20, a, b, t),
+            Instr::Blt(a, b, t) => save_branch(w, 21, a, b, t),
+            Instr::Jmp(t) => {
+                w.put_u8(22);
+                w.put_u32(t);
+            }
+            Instr::Jal(t) => {
+                w.put_u8(23);
+                w.put_u32(t);
+            }
+            Instr::Jr(s) => {
+                w.put_u8(24);
+                s.save(w);
+            }
+            Instr::Wfi => w.put_u8(25),
+            Instr::Rti => w.put_u8(26),
+        }
+    }
+
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let op = r.get_u8()?;
+        let i = match op {
+            0 => Instr::Nop,
+            1 => Instr::Halt,
+            2 => Instr::Movi(Reg::load(r)?, r.get_i64()?),
+            3 => Instr::Mov(Reg::load(r)?, Reg::load(r)?),
+            4 => Instr::Add(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            5 => Instr::Addi(Reg::load(r)?, Reg::load(r)?, r.get_i64()?),
+            6 => Instr::Sub(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            7 => Instr::Mul(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            8 => Instr::Div(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            9 => Instr::Rem(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            10 => Instr::And(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            11 => Instr::Or(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            12 => Instr::Xor(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            13 => Instr::Shl(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            14 => Instr::Shr(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            15 => Instr::Slt(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            16 => Instr::Seq(Reg::load(r)?, Reg::load(r)?, Reg::load(r)?),
+            17 => Instr::Ld(Reg::load(r)?, Reg::load(r)?, r.get_i64()?),
+            18 => Instr::St(Reg::load(r)?, Reg::load(r)?, r.get_i64()?),
+            19 => Instr::Beq(Reg::load(r)?, Reg::load(r)?, r.get_u32()?),
+            20 => Instr::Bne(Reg::load(r)?, Reg::load(r)?, r.get_u32()?),
+            21 => Instr::Blt(Reg::load(r)?, Reg::load(r)?, r.get_u32()?),
+            22 => Instr::Jmp(r.get_u32()?),
+            23 => Instr::Jal(r.get_u32()?),
+            24 => Instr::Jr(Reg::load(r)?),
+            25 => Instr::Wfi,
+            26 => Instr::Rti,
+            tag => {
+                return Err(mpsoc_snapshot::SnapError::BadTag {
+                    what: "instruction opcode",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        Ok(i)
+    }
+}
+
+fn save3(w: &mut mpsoc_snapshot::Writer, op: u8, d: Reg, s: Reg, t: Reg) {
+    use mpsoc_snapshot::Snapshot as _;
+    w.put_u8(op);
+    d.save(w);
+    s.save(w);
+    t.save(w);
+}
+
+fn save_branch(w: &mut mpsoc_snapshot::Writer, op: u8, a: Reg, b: Reg, target: u32) {
+    use mpsoc_snapshot::Snapshot as _;
+    w.put_u8(op);
+    a.save(w);
+    b.save(w);
+    w.put_u32(target);
+}
+
+impl mpsoc_snapshot::Snapshot for Program {
+    // Labels are serialized via the sorted symbol table so the encoding is
+    // independent of `HashMap` iteration order (determinism requirement).
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        self.instrs.save(w);
+        self.labels_snapshot().save(w);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let instrs = Vec::<Instr>::load(r)?;
+        let labels: HashMap<String, u32> = Vec::<(String, u32)>::load(r)?.into_iter().collect();
+        Ok(Program { instrs, labels })
+    }
+}
+
 /// Assembles textual assembly into a [`Program`].
 ///
 /// Syntax, one instruction per line:

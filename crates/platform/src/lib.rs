@@ -22,6 +22,10 @@
 //! * **Deterministic discrete-event simulation** ([`platform`]): the same
 //!   configuration and software always produce the same interleaving, the
 //!   property that lets a virtual platform reproduce Heisenbugs.
+//! * **Checkpoint/restore and fault injection** ([`snapshot`]): the whole
+//!   platform serializes to a versioned binary image and resumes
+//!   bit-identically — the substrate for time-travel debugging and
+//!   deterministic fault-injection campaigns.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@ pub mod mem;
 pub mod periph;
 pub mod platform;
 pub mod signal;
+pub mod snapshot;
 pub mod time;
 
 pub use crate::core::{Core, CoreStatus};

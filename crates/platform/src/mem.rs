@@ -167,6 +167,17 @@ impl Ram {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for Ram {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        self.words.save(w);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(Ram {
+            words: Vec::<Word>::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -99,6 +99,69 @@ pub trait Peripheral: std::fmt::Debug {
     fn transfer_done(&mut self, _now: Time, _signals: &mut SignalBoard) -> Option<(usize, u32)> {
         None
     }
+
+    /// Stable type tag identifying this peripheral in checkpoint images,
+    /// or `None` if the device cannot be checkpointed. The built-in
+    /// devices all return a tag; custom peripherals opt in by returning
+    /// one registered with the platform's image loader.
+    fn snap_kind(&self) -> Option<u8> {
+        None
+    }
+
+    /// Serializes the device's complete internal state (not just the
+    /// register view) for checkpointing. Only called when
+    /// [`snap_kind`](Peripheral::snap_kind) is `Some`; the default writes
+    /// nothing.
+    fn snap_save(&self, _w: &mut mpsoc_snapshot::Writer) {}
+
+    /// Restores state previously written by
+    /// [`snap_save`](Peripheral::snap_save).
+    ///
+    /// # Errors
+    ///
+    /// The default errors with [`mpsoc_snapshot::SnapError::Unsupported`];
+    /// devices with a [`snap_kind`](Peripheral::snap_kind) must override it.
+    fn snap_restore(
+        &mut self,
+        _r: &mut mpsoc_snapshot::Reader<'_>,
+    ) -> mpsoc_snapshot::SnapResult<()> {
+        Err(mpsoc_snapshot::SnapError::Unsupported(format!(
+            "peripheral `{}` has no snapshot support",
+            self.name()
+        )))
+    }
+
+    /// Fault-injection hook: wedges the device into a stuck-at state (a
+    /// stuck timer stops firing, a stuck mailbox drops pushes, a stuck
+    /// semaphore never grants, a stuck DMA ignores start commands).
+    /// Returns `true` if the device supports being stuck; the default is a
+    /// no-op returning `false`.
+    fn fault_stick(&mut self) -> bool {
+        false
+    }
+}
+
+/// Checkpoint type tag of [`Timer`].
+pub(crate) const SNAP_KIND_TIMER: u8 = 1;
+/// Checkpoint type tag of [`Mailbox`].
+pub(crate) const SNAP_KIND_MAILBOX: u8 = 2;
+/// Checkpoint type tag of [`Semaphore`].
+pub(crate) const SNAP_KIND_SEMAPHORE: u8 = 3;
+/// Checkpoint type tag of [`Dma`].
+pub(crate) const SNAP_KIND_DMA: u8 = 4;
+
+/// Rebuilds an empty peripheral of checkpoint kind `kind` named `name` on
+/// page `page`; its state is then filled by
+/// [`Peripheral::snap_restore`]. Returns `None` for unknown kinds.
+pub(crate) fn periph_from_kind(kind: u8, name: &str, page: usize) -> Option<Box<dyn Peripheral>> {
+    match kind {
+        SNAP_KIND_TIMER => Some(Box::new(Timer::new(name))),
+        // Placeholder capacity; snap_restore overwrites it.
+        SNAP_KIND_MAILBOX => Some(Box::new(Mailbox::new(name, 1))),
+        SNAP_KIND_SEMAPHORE => Some(Box::new(Semaphore::new(name, 0))),
+        SNAP_KIND_DMA => Some(Box::new(Dma::new(name, page))),
+        _ => None,
+    }
 }
 
 fn bad_reg(name: &str, offset: u32) -> Error {
@@ -136,6 +199,8 @@ pub struct Timer {
     core: usize,
     irq: u32,
     next_fire: Option<Time>,
+    /// Fault-injection state: a stuck timer ignores writes and never fires.
+    stuck: bool,
 }
 
 /// Register offsets of [`Timer`].
@@ -165,6 +230,7 @@ impl Timer {
             core: 0,
             irq: 0,
             next_fire: None,
+            stuck: false,
         }
     }
 }
@@ -186,6 +252,10 @@ impl Peripheral for Timer {
     }
 
     fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        if self.stuck {
+            // A wedged device acknowledges the bus cycle but latches nothing.
+            return Ok(());
+        }
         let nonneg = |v: Word| -> Result<u64> {
             u64::try_from(v).map_err(|_| Error::BadRegisterValue {
                 peripheral: self.name.clone(),
@@ -227,6 +297,10 @@ impl Peripheral for Timer {
     }
 
     fn on_event(&mut self, ctx: &mut PeriphCtx<'_>) {
+        if self.stuck {
+            self.next_fire = None;
+            return;
+        }
         self.count += 1;
         ctx.effects.push(Effect::RaiseIrq {
             core: self.core,
@@ -246,6 +320,42 @@ impl Peripheral for Timer {
             (timer_reg::CORE, self.core as Word),
             (timer_reg::IRQ, self.irq as Word),
         ]
+    }
+
+    fn snap_kind(&self) -> Option<u8> {
+        Some(SNAP_KIND_TIMER)
+    }
+
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer) {
+        use mpsoc_snapshot::Snapshot as _;
+        w.put_u64(self.period_ns);
+        w.put_bool(self.enabled);
+        w.put_u64(self.count);
+        w.put_usize(self.core);
+        w.put_u32(self.irq);
+        self.next_fire.save(w);
+        w.put_bool(self.stuck);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mpsoc_snapshot::Reader<'_>,
+    ) -> mpsoc_snapshot::SnapResult<()> {
+        use mpsoc_snapshot::Snapshot as _;
+        self.period_ns = r.get_u64()?;
+        self.enabled = r.get_bool()?;
+        self.count = r.get_u64()?;
+        self.core = r.get_usize()?;
+        self.irq = r.get_u32()?;
+        self.next_fire = Option::<Time>::load(r)?;
+        self.stuck = r.get_bool()?;
+        Ok(())
+    }
+
+    fn fault_stick(&mut self) -> bool {
+        self.stuck = true;
+        self.next_fire = None;
+        true
     }
 }
 
@@ -277,6 +387,8 @@ pub struct Mailbox {
     drops: u64,
     notify_core: Option<usize>,
     irq: u32,
+    /// Fault-injection state: a stuck mailbox silently drops every push.
+    stuck: bool,
 }
 
 /// Register offsets of [`Mailbox`].
@@ -312,6 +424,7 @@ impl Mailbox {
             drops: 0,
             notify_core: None,
             irq: 1,
+            stuck: false,
         }
     }
 }
@@ -341,7 +454,7 @@ impl Peripheral for Mailbox {
     fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
         match offset {
             mailbox_reg::DATA => {
-                if self.fifo.len() >= self.capacity {
+                if self.stuck || self.fifo.len() >= self.capacity {
                     self.drops += 1;
                 } else {
                     let was_empty = self.fifo.is_empty();
@@ -391,6 +504,49 @@ impl Peripheral for Mailbox {
             (mailbox_reg::IRQ, self.irq as Word),
         ]
     }
+
+    fn snap_kind(&self) -> Option<u8> {
+        Some(SNAP_KIND_MAILBOX)
+    }
+
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer) {
+        use mpsoc_snapshot::Snapshot as _;
+        let queued: Vec<Word> = self.fifo.iter().copied().collect();
+        queued.save(w);
+        w.put_usize(self.capacity);
+        w.put_u64(self.drops);
+        self.notify_core.save(w);
+        w.put_u32(self.irq);
+        w.put_bool(self.stuck);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mpsoc_snapshot::Reader<'_>,
+    ) -> mpsoc_snapshot::SnapResult<()> {
+        use mpsoc_snapshot::Snapshot as _;
+        let queued = Vec::<Word>::load(r)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 || queued.len() > capacity {
+            return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                "mailbox `{}`: {} queued words exceed capacity {capacity}",
+                self.name,
+                queued.len()
+            )));
+        }
+        self.fifo = queued.into();
+        self.capacity = capacity;
+        self.drops = r.get_u64()?;
+        self.notify_core = Option::<usize>::load(r)?;
+        self.irq = r.get_u32()?;
+        self.stuck = r.get_bool()?;
+        Ok(())
+    }
+
+    fn fault_stick(&mut self) -> bool {
+        self.stuck = true;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -417,6 +573,8 @@ pub struct Semaphore {
     count: u64,
     acquires: u64,
     contentions: u64,
+    /// Fault-injection state: a stuck semaphore never grants or releases.
+    stuck: bool,
 }
 
 /// Register offsets of [`Semaphore`].
@@ -441,6 +599,7 @@ impl Semaphore {
             count,
             acquires: 0,
             contentions: 0,
+            stuck: false,
         }
     }
 
@@ -458,7 +617,7 @@ impl Peripheral for Semaphore {
     fn read(&mut self, offset: u32, ctx: &mut PeriphCtx<'_>) -> Result<Word> {
         Ok(match offset {
             semaphore_reg::TRYACQ => {
-                if self.count > 0 {
+                if !self.stuck && self.count > 0 {
                     self.count -= 1;
                     self.acquires += 1;
                     ctx.signals.drive(&self.held_sig, ctx.now, 1);
@@ -474,6 +633,9 @@ impl Peripheral for Semaphore {
     }
 
     fn write(&mut self, offset: u32, value: Word, ctx: &mut PeriphCtx<'_>) -> Result<()> {
+        if self.stuck {
+            return Ok(());
+        }
         match offset {
             semaphore_reg::RELEASE => {
                 self.count += 1;
@@ -499,6 +661,33 @@ impl Peripheral for Semaphore {
 
     fn snapshot(&self) -> Vec<(u32, Word)> {
         vec![(semaphore_reg::VALUE, self.count as Word)]
+    }
+
+    fn snap_kind(&self) -> Option<u8> {
+        Some(SNAP_KIND_SEMAPHORE)
+    }
+
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u64(self.count);
+        w.put_u64(self.acquires);
+        w.put_u64(self.contentions);
+        w.put_bool(self.stuck);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mpsoc_snapshot::Reader<'_>,
+    ) -> mpsoc_snapshot::SnapResult<()> {
+        self.count = r.get_u64()?;
+        self.acquires = r.get_u64()?;
+        self.contentions = r.get_u64()?;
+        self.stuck = r.get_bool()?;
+        Ok(())
+    }
+
+    fn fault_stick(&mut self) -> bool {
+        self.stuck = true;
+        true
     }
 }
 
@@ -535,6 +724,8 @@ pub struct Dma {
     core: Option<usize>,
     irq: u32,
     completed: u64,
+    /// Fault-injection state: a stuck DMA ignores start commands.
+    stuck: bool,
 }
 
 /// Register offsets of [`Dma`].
@@ -570,6 +761,7 @@ impl Dma {
             core: None,
             irq: 2,
             completed: 0,
+            stuck: false,
         }
     }
 
@@ -621,7 +813,7 @@ impl Peripheral for Dma {
             dma_reg::CORE => self.core = usize::try_from(value).ok(),
             dma_reg::IRQ => self.irq = addr(value)?,
             dma_reg::CTRL => {
-                if value & 1 != 0 && !self.busy && self.len > 0 {
+                if value & 1 != 0 && !self.busy && !self.stuck && self.len > 0 {
                     self.busy = true;
                     ctx.signals.drive(&self.busy_sig, ctx.now, 1);
                     ctx.effects.push(Effect::DmaCopy {
@@ -656,6 +848,43 @@ impl Peripheral for Dma {
             (dma_reg::CORE, self.core.map_or(-1, |c| c as Word)),
             (dma_reg::IRQ, self.irq as Word),
         ]
+    }
+
+    fn snap_kind(&self) -> Option<u8> {
+        Some(SNAP_KIND_DMA)
+    }
+
+    fn snap_save(&self, w: &mut mpsoc_snapshot::Writer) {
+        use mpsoc_snapshot::Snapshot as _;
+        w.put_u32(self.src);
+        w.put_u32(self.dst);
+        w.put_u32(self.len);
+        w.put_bool(self.busy);
+        self.core.save(w);
+        w.put_u32(self.irq);
+        w.put_u64(self.completed);
+        w.put_bool(self.stuck);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut mpsoc_snapshot::Reader<'_>,
+    ) -> mpsoc_snapshot::SnapResult<()> {
+        use mpsoc_snapshot::Snapshot as _;
+        self.src = r.get_u32()?;
+        self.dst = r.get_u32()?;
+        self.len = r.get_u32()?;
+        self.busy = r.get_bool()?;
+        self.core = Option::<usize>::load(r)?;
+        self.irq = r.get_u32()?;
+        self.completed = r.get_u64()?;
+        self.stuck = r.get_bool()?;
+        Ok(())
+    }
+
+    fn fault_stick(&mut self) -> bool {
+        self.stuck = true;
+        true
     }
 }
 

@@ -464,17 +464,17 @@ impl PlatformBuilder {
 }
 
 #[derive(Debug)]
-struct PendingDma {
-    finish: Time,
-    page: usize,
-    src: u32,
-    dst: u32,
-    len: u32,
+pub(crate) struct PendingDma {
+    pub(crate) finish: Time,
+    pub(crate) page: usize,
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) len: u32,
     /// Monotonic schedule order; doubles as the calendar id. Because
     /// transfers enter `pending_dma` in `seq` order and are removed on
     /// completion, ordering by `seq` equals the old ordering by vector
     /// index.
-    seq: u64,
+    pub(crate) seq: u64,
 }
 
 /// A complete simulated MPSoC.
@@ -485,25 +485,27 @@ struct PendingDma {
 /// state).
 #[derive(Debug)]
 pub struct Platform {
-    now: Time,
-    cores: Vec<Core>,
-    shared: Ram,
-    locals: Vec<Ram>,
-    caches: Vec<Option<Cache>>,
-    cache_hit_cycles: u64,
-    interconnect: Box<dyn Interconnect>,
-    periphs: Vec<Box<dyn Peripheral>>,
-    signals: SignalBoard,
-    pending_dma: Vec<PendingDma>,
-    enforce_locality: bool,
-    local_latency_cycles: u64,
-    shared_words: u32,
-    steps: u64,
+    // Fields are `pub(crate)` so the sibling `snapshot` module can capture
+    // and restore whole-platform state without widening the public API.
+    pub(crate) now: Time,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) shared: Ram,
+    pub(crate) locals: Vec<Ram>,
+    pub(crate) caches: Vec<Option<Cache>>,
+    pub(crate) cache_hit_cycles: u64,
+    pub(crate) interconnect: Box<dyn Interconnect>,
+    pub(crate) periphs: Vec<Box<dyn Peripheral>>,
+    pub(crate) signals: SignalBoard,
+    pub(crate) pending_dma: Vec<PendingDma>,
+    pub(crate) enforce_locality: bool,
+    pub(crate) local_latency_cycles: u64,
+    pub(crate) shared_words: u32,
+    pub(crate) steps: u64,
     metrics: Option<PlatformMetrics>,
-    scheduler: SchedulerMode,
+    pub(crate) scheduler: SchedulerMode,
     calendar: Calendar,
     /// Next DMA schedule sequence number (see [`PendingDma::seq`]).
-    dma_seq: u64,
+    pub(crate) dma_seq: u64,
     /// Recycled `Access` buffers: [`recycle`](Platform::recycle) returns a
     /// step's vector here; the next step reuses it instead of allocating.
     access_pool: Vec<Vec<Access>>,
@@ -685,6 +687,40 @@ impl Platform {
     /// Whether every core is halted or faulted and no events are pending.
     pub fn is_finished(&self) -> bool {
         self.next_actor_scan().is_none()
+    }
+
+    /// Discards the entire event calendar and rebuilds it from the current
+    /// actor state: every core and peripheral page is marked dirty (the next
+    /// refresh re-examines it) and every in-flight DMA completion is
+    /// re-pushed at its original finish time. Used by the `snapshot` module
+    /// after a restore, because the calendar is derived state that is never
+    /// serialized.
+    pub(crate) fn rebuild_calendar(&mut self) {
+        self.calendar = Calendar::new(self.cores.len());
+        for id in 0..self.cores.len() {
+            self.calendar.mark_core(id);
+        }
+        for page in 0..self.periphs.len() {
+            self.calendar.mark_periph(page);
+        }
+        if self.scheduler == SchedulerMode::Calendar {
+            for d in &self.pending_dma {
+                // Same invariant as `run_effects`: scheduled once with a
+                // fixed finish time, generation 0, removed only on execution.
+                self.calendar.heap.push(Reverse(CalKey {
+                    at: d.finish,
+                    class: CLASS_DMA,
+                    id: d.seq,
+                    gen: 0,
+                }));
+            }
+        }
+    }
+
+    /// Marks peripheral `page`'s calendar entry stale. Fault injection uses
+    /// this after mutating a device behind the scheduler's back.
+    pub(crate) fn calendar_mark_periph(&mut self, page: usize) {
+        self.calendar.mark_periph(page);
     }
 
     // -- the scheduler -----------------------------------------------------

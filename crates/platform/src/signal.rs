@@ -98,6 +98,53 @@ impl SignalBoard {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for SignalChange {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        self.at.save(w);
+        w.put_i64(self.value);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(SignalChange {
+            at: Time::load(r)?,
+            value: r.get_i64()?,
+        })
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for Signal {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_i64(self.value);
+        self.history.save(w);
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(Signal {
+            value: r.get_i64()?,
+            history: Vec::<SignalChange>::load(r)?,
+        })
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for SignalBoard {
+    // BTreeMap iteration is name-ordered, so the encoding is a
+    // deterministic function of board contents.
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u64(self.signals.len() as u64);
+        for (name, sig) in &self.signals {
+            w.put_str(name);
+            sig.save(w);
+        }
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let n = r.get_len(1)?;
+        let mut signals = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            signals.insert(name, Signal::load(r)?);
+        }
+        Ok(SignalBoard { signals })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

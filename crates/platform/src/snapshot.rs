@@ -1,0 +1,539 @@
+//! Whole-platform checkpoint/restore and fault injection.
+//!
+//! Section VII's virtual-platform arguments rest on the simulator being a
+//! closed, deterministic state machine: *"the simulated platform can be
+//! stopped synchronously as a whole"*. This module makes that stop durable —
+//! [`Platform::capture`] serializes every bit of simulated state (cores,
+//! memories, caches, interconnect occupancy, peripheral registers, in-flight
+//! DMA) into a versioned binary image, and [`Platform::restore_image`] /
+//! [`Platform::from_image`] resume from it such that the continuation is
+//! bit-identical to a run that never checkpointed.
+//!
+//! Two debugging workflows build on this invariant:
+//!
+//! * **Time travel** (`mpsoc-vpdebug`): periodic auto-checkpoints plus
+//!   deterministic re-execution give `step-back` and `reverse-continue`
+//!   without ever simulating backwards.
+//! * **Fault-injection campaigns** (`mpsoc-vpdebug`): snapshot at a fault
+//!   site, perturb one bit ([`Platform::inject_reg_flip`] and friends), run
+//!   to a verdict, roll back, repeat — thousands of deterministic what-if
+//!   runs from one image.
+//!
+//! What is deliberately **not** serialized: attached metrics handles (host
+//! observability, not simulated state), recycled scratch buffers, and the
+//! event calendar (derived state, rebuilt from actor state on restore).
+
+use crate::cache::Cache;
+use crate::core::Core;
+use crate::error::{Error, Result};
+use crate::interconnect::{load_interconnect, Interconnect};
+use crate::isa::Reg;
+use crate::mem::Ram;
+use crate::periph::{periph_from_kind, Peripheral};
+use crate::platform::{PendingDma, Platform, SchedulerMode};
+use crate::signal::SignalBoard;
+use crate::time::Time;
+use mpsoc_snapshot::{fnv1a64, fnv1a64_with, Image, Reader, SnapResult, Snapshot, Writer};
+
+/// Magic number of a platform checkpoint image (`b"MPSS"`, little-endian).
+pub const PLATFORM_IMAGE_MAGIC: u32 = u32::from_le_bytes(*b"MPSS");
+
+/// Current platform checkpoint format version. Bump on any layout change —
+/// images are rejected, never reinterpreted, across versions.
+pub const PLATFORM_IMAGE_VERSION: u16 = 1;
+
+/// Maps a low-level snapshot decode error into a platform [`Error`].
+fn snap_err(e: mpsoc_snapshot::SnapError) -> Error {
+    Error::Snapshot(e.to_string())
+}
+
+fn save_scheduler(mode: SchedulerMode, w: &mut Writer) {
+    w.put_u8(match mode {
+        SchedulerMode::Calendar => 0,
+        SchedulerMode::ScanReference => 1,
+    });
+}
+
+fn load_scheduler(r: &mut Reader<'_>) -> SnapResult<SchedulerMode> {
+    match r.get_u8()? {
+        0 => Ok(SchedulerMode::Calendar),
+        1 => Ok(SchedulerMode::ScanReference),
+        tag => Err(mpsoc_snapshot::SnapError::BadTag {
+            what: "scheduler mode",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn save_pending_dma(d: &PendingDma, w: &mut Writer) {
+    d.finish.save(w);
+    w.put_usize(d.page);
+    w.put_u32(d.src);
+    w.put_u32(d.dst);
+    w.put_u32(d.len);
+    w.put_u64(d.seq);
+}
+
+fn load_pending_dma(r: &mut Reader<'_>) -> SnapResult<PendingDma> {
+    Ok(PendingDma {
+        finish: Time::load(r)?,
+        page: r.get_usize()?,
+        src: r.get_u32()?,
+        dst: r.get_u32()?,
+        len: r.get_u32()?,
+        seq: r.get_u64()?,
+    })
+}
+
+/// Every decoded component of a platform image, validated and ready to be
+/// committed into a [`Platform`]. Decoding into this intermediate first
+/// keeps [`Platform::restore_image`] atomic: a corrupt image leaves the
+/// platform untouched.
+struct DecodedImage {
+    scheduler: SchedulerMode,
+    enforce_locality: bool,
+    local_latency_cycles: u64,
+    cache_hit_cycles: u64,
+    shared_words: u32,
+    now: Time,
+    steps: u64,
+    dma_seq: u64,
+    cores: Vec<Core>,
+    shared: Ram,
+    locals: Vec<Ram>,
+    caches: Vec<Option<Cache>>,
+    interconnect: Box<dyn Interconnect>,
+    signals: SignalBoard,
+    pending_dma: Vec<PendingDma>,
+    periphs: Vec<Box<dyn Peripheral>>,
+}
+
+fn decode_image(payload: &[u8]) -> SnapResult<DecodedImage> {
+    let mut r = Reader::new(payload);
+    let scheduler = load_scheduler(&mut r)?;
+    let enforce_locality = r.get_bool()?;
+    let local_latency_cycles = r.get_u64()?;
+    let cache_hit_cycles = r.get_u64()?;
+    let shared_words = r.get_u32()?;
+    let now = Time::load(&mut r)?;
+    let steps = r.get_u64()?;
+    let dma_seq = r.get_u64()?;
+    let cores = Vec::<Core>::load(&mut r)?;
+    let shared = <Ram as Snapshot>::load(&mut r)?;
+    let locals = Vec::<Ram>::load(&mut r)?;
+    let caches = Vec::<Option<Cache>>::load(&mut r)?;
+    let interconnect = load_interconnect(&mut r)?;
+    let signals = SignalBoard::load(&mut r)?;
+    let n_dma = r.get_len(8)?;
+    let mut pending_dma = Vec::with_capacity(n_dma);
+    for _ in 0..n_dma {
+        pending_dma.push(load_pending_dma(&mut r)?);
+    }
+    let n_periph = r.get_len(2)?;
+    let mut periphs: Vec<Box<dyn Peripheral>> = Vec::with_capacity(n_periph);
+    for page in 0..n_periph {
+        let kind = r.get_u8()?;
+        let name = r.get_str()?;
+        let mut p =
+            periph_from_kind(kind, &name, page).ok_or(mpsoc_snapshot::SnapError::BadTag {
+                what: "peripheral kind",
+                tag: u64::from(kind),
+            })?;
+        p.snap_restore(&mut r)?;
+        periphs.push(p);
+    }
+    r.finish()?;
+
+    // Cross-field consistency: the simulator indexes locals and caches by
+    // core id and trusts `shared_words` for address decoding.
+    if cores.is_empty() {
+        return Err(mpsoc_snapshot::SnapError::Malformed(
+            "image holds zero cores".into(),
+        ));
+    }
+    if locals.len() != cores.len() || caches.len() != cores.len() {
+        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+            "image holds {} cores but {} local stores / {} caches",
+            cores.len(),
+            locals.len(),
+            caches.len()
+        )));
+    }
+    if shared.len() != shared_words {
+        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+            "shared RAM holds {} words but config says {shared_words}",
+            shared.len()
+        )));
+    }
+    Ok(DecodedImage {
+        scheduler,
+        enforce_locality,
+        local_latency_cycles,
+        cache_hit_cycles,
+        shared_words,
+        now,
+        steps,
+        dma_seq,
+        cores,
+        shared,
+        locals,
+        caches,
+        interconnect,
+        signals,
+        pending_dma,
+        periphs,
+    })
+}
+
+impl Platform {
+    /// Serializes the complete simulated state into a self-describing,
+    /// checksummed binary image.
+    ///
+    /// The round-trip invariant is the whole point: for any platform `p`,
+    /// `Platform::from_image(&p.capture()?)` continues **bit-identically**
+    /// to `p` — same [`StepEvent`](crate::platform::StepEvent) stream, same
+    /// final memory contents — under either scheduler mode.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] if a registered peripheral does not support
+    /// checkpointing ([`Peripheral::snap_kind`] returned `None`).
+    pub fn capture(&self) -> Result<Vec<u8>> {
+        let mut w = Writer::new();
+        save_scheduler(self.scheduler, &mut w);
+        w.put_bool(self.enforce_locality);
+        w.put_u64(self.local_latency_cycles);
+        w.put_u64(self.cache_hit_cycles);
+        w.put_u32(self.shared_words);
+        self.now.save(&mut w);
+        w.put_u64(self.steps);
+        w.put_u64(self.dma_seq);
+        self.cores.save(&mut w);
+        self.shared.save(&mut w);
+        self.locals.save(&mut w);
+        self.caches.save(&mut w);
+        self.interconnect.snap_save(&mut w);
+        self.signals.save(&mut w);
+        w.put_usize(self.pending_dma.len());
+        for d in &self.pending_dma {
+            save_pending_dma(d, &mut w);
+        }
+        w.put_usize(self.periphs.len());
+        for p in &self.periphs {
+            let kind = p.snap_kind().ok_or_else(|| {
+                Error::Snapshot(format!(
+                    "peripheral `{}` does not support checkpointing",
+                    p.name()
+                ))
+            })?;
+            w.put_u8(kind);
+            w.put_str(p.name());
+            p.snap_save(&mut w);
+        }
+        Ok(Image::seal(
+            PLATFORM_IMAGE_MAGIC,
+            PLATFORM_IMAGE_VERSION,
+            &w.into_bytes(),
+        ))
+    }
+
+    /// Restores this platform in place from an image produced by
+    /// [`capture`](Platform::capture).
+    ///
+    /// Every piece of simulated state is replaced by the image's; the
+    /// platform's prior configuration is irrelevant. Host-side attachments
+    /// survive: an attached metrics registry keeps counting (counters are
+    /// observability, not simulated state, so restoring does **not** rewind
+    /// them). The event calendar is rebuilt from the restored actor state.
+    ///
+    /// Decoding is atomic — on error the platform is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] for a corrupt, truncated, or version-mismatched
+    /// image, or one referencing an unknown peripheral kind.
+    pub fn restore_image(&mut self, image: &[u8]) -> Result<()> {
+        let payload =
+            Image::open(image, PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION).map_err(snap_err)?;
+        let d = decode_image(payload).map_err(snap_err)?;
+        self.scheduler = d.scheduler;
+        self.enforce_locality = d.enforce_locality;
+        self.local_latency_cycles = d.local_latency_cycles;
+        self.cache_hit_cycles = d.cache_hit_cycles;
+        self.shared_words = d.shared_words;
+        self.now = d.now;
+        self.steps = d.steps;
+        self.dma_seq = d.dma_seq;
+        self.cores = d.cores;
+        self.shared = d.shared;
+        self.locals = d.locals;
+        self.caches = d.caches;
+        self.interconnect = d.interconnect;
+        self.signals = d.signals;
+        self.pending_dma = d.pending_dma;
+        self.periphs = d.periphs;
+        self.rebuild_calendar();
+        Ok(())
+    }
+
+    /// Builds a brand-new platform from a checkpoint image — the basis for
+    /// parallel fault-injection campaigns, where every worker thread
+    /// rehydrates its own private platform from one shared image.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] as for [`restore_image`](Platform::restore_image).
+    pub fn from_image(image: &[u8]) -> Result<Platform> {
+        use crate::platform::PlatformBuilder;
+        use crate::time::Frequency;
+        // Minimal throwaway scaffold; restore_image replaces every field.
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(1))
+            .shared_words(1)
+            .local_words(0)
+            .cache(None)
+            .build()?;
+        p.restore_image(image)?;
+        Ok(p)
+    }
+
+    /// FNV-1a checksum over the architectural state (time, step count, core
+    /// registers/PCs/programs, and all memories). Two platforms that report
+    /// the same checksum after the same number of steps are, for divergence
+    /// detection purposes, in the same state.
+    pub fn state_checksum(&self) -> u64 {
+        let mut w = Writer::new();
+        self.now.save(&mut w);
+        w.put_u64(self.steps);
+        self.cores.save(&mut w);
+        self.shared.save(&mut w);
+        self.locals.save(&mut w);
+        fnv1a64(&w.into_bytes())
+    }
+
+    /// FNV-1a checksum of the `words`-long memory region at word address
+    /// `addr` — the fault-campaign oracle for "did the workload's output
+    /// change". Reads bypass timing and caches, like
+    /// [`debug_read`](Platform::debug_read).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] if the region leaves mapped RAM.
+    pub fn region_checksum(&self, addr: u32, words: u32) -> Result<u64> {
+        let mut h = fnv1a64(&[]);
+        for i in 0..words {
+            let v = self.debug_read(addr + i)?;
+            h = fnv1a64_with(h, &v.to_le_bytes());
+        }
+        Ok(h)
+    }
+
+    // -- fault injection ----------------------------------------------------
+
+    /// Flips bit `bit & 63` of register `reg % 16` on core `core` — a
+    /// single-event upset in the register file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchCore`] if `core` is out of range.
+    pub fn inject_reg_flip(&mut self, core: usize, reg: u8, bit: u32) -> Result<()> {
+        let r = Reg::new(reg % Reg::COUNT as u8);
+        let c = self.core_mut(core)?;
+        let v = c.reg(r);
+        c.set_reg(r, v ^ (1 << (bit & 63)));
+        Ok(())
+    }
+
+    /// Flips bit `bit & 63` of the word at address `addr` — a memory
+    /// single-event upset, bypassing timing and caches.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] outside RAM windows.
+    pub fn inject_mem_flip(&mut self, addr: u32, bit: u32) -> Result<()> {
+        let v = self.debug_read(addr)?;
+        self.debug_write(addr, v ^ (1 << (bit & 63)))
+    }
+
+    /// Sticks peripheral `page`: the device stops reacting (a stuck timer
+    /// never fires, a stuck mailbox drops pushes, a stuck semaphore never
+    /// grants, a stuck DMA ignores start commands). Returns whether the
+    /// device actually supports the fault.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if the page is unoccupied.
+    pub fn inject_periph_stick(&mut self, page: usize) -> Result<bool> {
+        let stuck = self
+            .periphs
+            .get_mut(page)
+            .ok_or_else(|| Error::NotFound(format!("peripheral page {page}")))?
+            .fault_stick();
+        self.calendar_mark_periph(page);
+        Ok(stuck)
+    }
+
+    /// Whether the DMA engine at `page` currently has a transfer in
+    /// flight — fault campaigns use this to pick a fault site where
+    /// dropped-flit and wire-corruption faults have a target.
+    pub fn dma_in_flight(&self, page: usize) -> bool {
+        self.pending_dma.iter().any(|d| d.page == page && d.len > 0)
+    }
+
+    /// Drops one word from the tail of an in-flight DMA transfer owned by
+    /// peripheral `page` (the NoC loses a flit: the destination's last word
+    /// is never written). Returns `false` if that page has no in-flight
+    /// transfer to shorten. The completion time is unchanged, so scheduling
+    /// stays valid.
+    pub fn inject_dma_drop_flit(&mut self, page: usize) -> bool {
+        if let Some(d) = self
+            .pending_dma
+            .iter_mut()
+            .find(|d| d.page == page && d.len > 0)
+        {
+            d.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips bit `bit & 63` of word `word` (modulo the transfer length) in
+    /// the *source* region of an in-flight DMA transfer owned by peripheral
+    /// `page` — corruption on the wire, observed at the destination when the
+    /// transfer completes. Returns `false` if that page has no in-flight
+    /// transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] if the source region is unmapped (the
+    /// transfer would itself fault on completion).
+    pub fn inject_dma_corrupt_word(&mut self, page: usize, word: u32, bit: u32) -> Result<bool> {
+        let Some((src, len)) = self
+            .pending_dma
+            .iter()
+            .find(|d| d.page == page && d.len > 0)
+            .map(|d| (d.src, d.len))
+        else {
+            return Ok(false);
+        };
+        self.inject_mem_flip(src + word % len, bit)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::isa::assemble;
+    use crate::platform::{Platform, PlatformBuilder, SchedulerMode, StepEvent};
+    use crate::time::Frequency;
+
+    fn counter_platform(mode: SchedulerMode) -> Platform {
+        let mut p = PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(1024)
+            .local_words(64)
+            .scheduler(mode)
+            .build()
+            .unwrap();
+        let prog = |n: i64| {
+            assemble(&format!(
+                "movi r5, {n}\nloop: addi r5, r5, -1\nbne r5, r0, loop\n\
+                 movi r1, 0x40\nst r5, r1, 0\nhalt"
+            ))
+            .unwrap()
+        };
+        p.load_program(0, prog(30), 0).unwrap();
+        p.load_program(1, prog(17), 0).unwrap();
+        p
+    }
+
+    fn drain(p: &mut Platform) -> Vec<StepEvent> {
+        let mut evs = Vec::new();
+        loop {
+            let ev = p.step().unwrap();
+            if ev.is_idle() {
+                break;
+            }
+            evs.push(ev);
+        }
+        evs
+    }
+
+    #[test]
+    fn capture_restore_continues_bit_identically() {
+        for mode in [SchedulerMode::Calendar, SchedulerMode::ScanReference] {
+            let mut reference = counter_platform(mode);
+            let mut snapped = counter_platform(mode);
+            for _ in 0..25 {
+                reference.step().unwrap();
+                snapped.step().unwrap();
+            }
+            let image = snapped.capture().unwrap();
+            let mut restored = Platform::from_image(&image).unwrap();
+            assert_eq!(restored.state_checksum(), reference.state_checksum());
+            assert_eq!(drain(&mut restored), drain(&mut reference));
+            assert_eq!(restored.now(), reference.now());
+        }
+    }
+
+    #[test]
+    fn restore_into_differently_shaped_platform() {
+        let mut donor = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..10 {
+            donor.step().unwrap();
+        }
+        let image = donor.capture().unwrap();
+        // A 1-core, tiny-memory victim takes on the donor's full shape.
+        let mut victim = PlatformBuilder::new()
+            .cores(1, Frequency::ghz(1))
+            .shared_words(16)
+            .cache(None)
+            .build()
+            .unwrap();
+        victim.restore_image(&image).unwrap();
+        assert_eq!(victim.num_cores(), 2);
+        assert_eq!(victim.state_checksum(), donor.state_checksum());
+        assert_eq!(drain(&mut victim), drain(&mut donor));
+    }
+
+    #[test]
+    fn corrupt_image_is_rejected_atomically() {
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..5 {
+            p.step().unwrap();
+        }
+        let before = p.state_checksum();
+        let mut image = p.capture().unwrap();
+        let last = image.len() - 1;
+        image[last] ^= 0xA5;
+        assert!(p.restore_image(&image).is_err());
+        assert_eq!(p.state_checksum(), before, "failed restore must not mutate");
+        assert!(Platform::from_image(&image[..30]).is_err());
+    }
+
+    #[test]
+    fn fault_hooks_perturb_state() {
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..8 {
+            p.step().unwrap();
+        }
+        let clean = p.state_checksum();
+        p.inject_reg_flip(0, 5, 0).unwrap();
+        assert_ne!(p.state_checksum(), clean);
+        p.inject_reg_flip(0, 5, 0).unwrap(); // flip back
+        assert_eq!(p.state_checksum(), clean);
+        p.inject_mem_flip(0x40, 63).unwrap();
+        assert_ne!(p.state_checksum(), clean);
+    }
+
+    #[test]
+    fn region_checksum_sees_single_bit_changes() {
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        p.load_shared(0x100, &[1, 2, 3, 4]).unwrap();
+        let a = p.region_checksum(0x100, 4).unwrap();
+        p.inject_mem_flip(0x102, 7).unwrap();
+        let b = p.region_checksum(0x100, 4).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -253,6 +253,32 @@ impl Default for Frequency {
     }
 }
 
+impl mpsoc_snapshot::Snapshot for Time {
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u64(self.as_ps());
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        Ok(Time::from_ps(r.get_u64()?))
+    }
+}
+
+impl mpsoc_snapshot::Snapshot for Frequency {
+    // Only the kilohertz count is stored; `ps_per_cycle` is a derived
+    // cache recomputed by `Frequency::khz`.
+    fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        w.put_u64(self.as_khz());
+    }
+    fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
+        let khz = r.get_u64()?;
+        if khz == 0 {
+            return Err(mpsoc_snapshot::SnapError::Malformed(
+                "zero frequency".into(),
+            ));
+        }
+        Ok(Frequency::khz(khz))
+    }
+}
+
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.khz >= 1_000_000 {

@@ -1,0 +1,536 @@
+//! Deterministic fault-injection campaigns over checkpoint images.
+//!
+//! A campaign answers Section VII's "what would the system do if this bit
+//! flipped?" at scale: take one whole-platform checkpoint at the fault
+//! site, then for every fault in a generated list rehydrate a private
+//! platform from the image ([`Platform::from_image`]), inject the fault,
+//! run to a verdict, and classify the outcome. Rollback is free — the next
+//! trial just rehydrates the image again.
+//!
+//! Everything is deterministic by construction:
+//!
+//! * the fault list comes from a seeded [`XorShift64Star`]
+//!   ([`generate_faults`]);
+//! * every trial runs in its own platform from the same image;
+//! * the parallel sweep partitions the fault list into contiguous chunks,
+//!   one scoped thread each, and merges results **in chunk order** — so the
+//!   verdict table is bit-identical at any thread count.
+//!
+//! Verdicts follow the standard fault-injection taxonomy: a fault is
+//! [`Detected`](Verdict::Detected) when the workload's own checking code
+//! flags it, a [`Crash`](Verdict::Crash) when the platform traps,
+//! [`SilentCorruption`](Verdict::SilentCorruption) when the output region
+//! differs from the golden run without detection, and
+//! [`Masked`](Verdict::Masked) when the fault had no observable effect.
+
+use mpsoc_obs::metrics::MetricsRegistry;
+use mpsoc_obs::rng::XorShift64Star;
+use mpsoc_platform::Platform;
+
+use crate::error::{Error, Result};
+
+/// One parameterized fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Single-event upset in a register file.
+    RegFlip {
+        /// Target core.
+        core: usize,
+        /// Register index (taken modulo 16).
+        reg: u8,
+        /// Bit to flip (taken modulo 64).
+        bit: u32,
+    },
+    /// Single-event upset in RAM.
+    MemFlip {
+        /// Word address.
+        addr: u32,
+        /// Bit to flip (taken modulo 64).
+        bit: u32,
+    },
+    /// The NoC loses one flit of an in-flight DMA transfer.
+    DroppedFlit {
+        /// DMA peripheral page.
+        page: usize,
+    },
+    /// A peripheral gets stuck and stops reacting.
+    StuckPeriph {
+        /// Peripheral page.
+        page: usize,
+    },
+    /// One word of an in-flight DMA transfer is corrupted on the wire.
+    DmaCorrupt {
+        /// DMA peripheral page.
+        page: usize,
+        /// Word index within the transfer (taken modulo its length).
+        word: u32,
+        /// Bit to flip (taken modulo 64).
+        bit: u32,
+    },
+}
+
+/// A fault with its campaign-stable identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Stable id (index in generation order).
+    pub id: u32,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+/// Outcome classification of one trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The workload's own checking code flagged the fault.
+    Detected,
+    /// No observable effect: output matches the golden run.
+    Masked,
+    /// Output differs from the golden run and nothing noticed.
+    SilentCorruption,
+    /// The platform trapped (unmapped access, division by zero, …).
+    Crash,
+}
+
+impl Verdict {
+    /// Stable lower-case name, used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Detected => "detected",
+            Verdict::Masked => "masked",
+            Verdict::SilentCorruption => "silent_corruption",
+            Verdict::Crash => "crash",
+        }
+    }
+}
+
+/// The result of one fault trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// Classification.
+    pub verdict: Verdict,
+    /// Steps executed after injection (≤ the campaign budget).
+    pub steps: u64,
+    /// Whether the fault found a target (e.g. `DroppedFlit` with no DMA in
+    /// flight leaves the platform untouched and is reported un-applied).
+    pub applied: bool,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Step budget per trial (and for the golden run).
+    pub budget_steps: u64,
+    /// Word address of the workload's output region.
+    pub output_addr: u32,
+    /// Length of the output region in words.
+    pub output_words: u32,
+    /// Word address the workload writes non-zero when its own checking
+    /// detects an error.
+    pub detect_addr: u32,
+    /// Worker threads for the sweep (clamped to at least 1). The verdict
+    /// table is identical for every value.
+    pub threads: usize,
+}
+
+/// A full campaign result: per-fault outcomes in fault-list order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// One outcome per fault, in the order the faults were supplied.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Golden (fault-free) checksum of the output region.
+    pub golden_checksum: u64,
+    /// Step budget that was applied per trial.
+    pub budget_steps: u64,
+}
+
+impl CampaignReport {
+    /// Number of outcomes with the given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.outcomes.iter().filter(|o| o.verdict == v).count()
+    }
+
+    /// Fraction of *effective* faults (applied and not masked) that were
+    /// detected — the campaign's headline fault-coverage number. Returns
+    /// 1.0 when no fault had any effect.
+    pub fn coverage(&self) -> f64 {
+        let effective = self
+            .outcomes
+            .iter()
+            .filter(|o| o.applied && o.verdict != Verdict::Masked)
+            .count();
+        if effective == 0 {
+            return 1.0;
+        }
+        self.count(Verdict::Detected) as f64 / effective as f64
+    }
+
+    /// Deterministic text rendering of the verdict table — one line per
+    /// fault. Equal strings ⇔ bit-identical campaigns, which is exactly how
+    /// the thread-count determinism tests compare runs.
+    pub fn verdict_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "{:>5} {:<17} applied={} steps={} {:?}",
+                o.spec.id,
+                o.verdict.as_str(),
+                o.applied as u8,
+                o.steps,
+                o.spec.kind
+            );
+        }
+        s
+    }
+}
+
+/// The space [`generate_faults`] draws from.
+#[derive(Clone, Debug)]
+pub struct FaultSpace {
+    /// Number of cores eligible for register flips.
+    pub cores: usize,
+    /// Peripheral pages eligible for stuck-at faults.
+    pub periph_pages: Vec<usize>,
+    /// DMA pages eligible for dropped-flit / wire-corruption faults.
+    pub dma_pages: Vec<usize>,
+    /// Lowest word address eligible for memory flips.
+    pub mem_lo: u32,
+    /// Highest word address eligible for memory flips (inclusive).
+    pub mem_hi: u32,
+}
+
+/// Generates `n` faults from `space`, deterministically from `seed`: the
+/// same arguments always yield the same list on every host.
+pub fn generate_faults(seed: u64, n: usize, space: &FaultSpace) -> Vec<FaultSpec> {
+    let mut rng = XorShift64Star::new(seed);
+    let mut faults = Vec::with_capacity(n);
+    for id in 0..n {
+        let kind = loop {
+            match rng.u64_in(0, 4) {
+                0 if space.cores > 0 => {
+                    break FaultKind::RegFlip {
+                        core: rng.usize_in(0, space.cores - 1),
+                        reg: rng.u64_in(0, 15) as u8,
+                        bit: rng.u64_in(0, 63) as u32,
+                    }
+                }
+                1 if space.mem_lo <= space.mem_hi => {
+                    break FaultKind::MemFlip {
+                        addr: rng.u64_in(space.mem_lo as u64, space.mem_hi as u64) as u32,
+                        bit: rng.u64_in(0, 63) as u32,
+                    }
+                }
+                2 if !space.dma_pages.is_empty() => {
+                    break FaultKind::DroppedFlit {
+                        page: space.dma_pages[rng.usize_in(0, space.dma_pages.len() - 1)],
+                    }
+                }
+                3 if !space.periph_pages.is_empty() => {
+                    break FaultKind::StuckPeriph {
+                        page: space.periph_pages[rng.usize_in(0, space.periph_pages.len() - 1)],
+                    }
+                }
+                4 if !space.dma_pages.is_empty() => {
+                    break FaultKind::DmaCorrupt {
+                        page: space.dma_pages[rng.usize_in(0, space.dma_pages.len() - 1)],
+                        word: rng.u64_in(0, 255) as u32,
+                        bit: rng.u64_in(0, 63) as u32,
+                    }
+                }
+                _ => {} // that fault class has no targets; redraw
+            }
+        };
+        faults.push(FaultSpec {
+            id: id as u32,
+            kind,
+        });
+    }
+    faults
+}
+
+/// Injects `kind` into `p`; returns whether it found a target.
+fn apply_fault(p: &mut Platform, kind: FaultKind) -> mpsoc_platform::Result<bool> {
+    match kind {
+        FaultKind::RegFlip { core, reg, bit } => p.inject_reg_flip(core, reg, bit).map(|()| true),
+        FaultKind::MemFlip { addr, bit } => p.inject_mem_flip(addr, bit).map(|()| true),
+        FaultKind::DroppedFlit { page } => Ok(p.inject_dma_drop_flit(page)),
+        FaultKind::StuckPeriph { page } => p.inject_periph_stick(page),
+        FaultKind::DmaCorrupt { page, word, bit } => p.inject_dma_corrupt_word(page, word, bit),
+    }
+}
+
+/// Runs `p` for up to `budget` steps or until idle; `Ok(false)` means the
+/// platform trapped (a crash verdict), with the step count either way.
+fn run_budget(p: &mut Platform, budget: u64) -> (u64, bool) {
+    let mut steps = 0;
+    while steps < budget {
+        match p.step() {
+            Ok(ev) => {
+                if ev.is_idle() {
+                    break;
+                }
+                p.recycle(ev);
+                steps += 1;
+            }
+            Err(_) => return (steps, false),
+        }
+    }
+    (steps, true)
+}
+
+/// One trial: rehydrate, inject, run, classify.
+fn run_trial(
+    image: &[u8],
+    spec: FaultSpec,
+    cfg: CampaignConfig,
+    golden: u64,
+) -> Result<FaultOutcome> {
+    let mut p = Platform::from_image(image).map_err(Error::from)?;
+    let applied = apply_fault(&mut p, spec.kind).map_err(Error::from)?;
+    let (steps, clean) = run_budget(&mut p, cfg.budget_steps);
+    let verdict = if !clean {
+        Verdict::Crash
+    } else if p.debug_read(cfg.detect_addr).unwrap_or(0) != 0 {
+        Verdict::Detected
+    } else if p
+        .region_checksum(cfg.output_addr, cfg.output_words)
+        .map_err(Error::from)?
+        != golden
+    {
+        Verdict::SilentCorruption
+    } else {
+        Verdict::Masked
+    };
+    Ok(FaultOutcome {
+        spec,
+        verdict,
+        steps,
+        applied,
+    })
+}
+
+/// Runs a full campaign: golden run first, then every fault in `faults`
+/// (optionally across scoped worker threads), merging outcomes in
+/// fault-list order. With `metrics`, bumps `campaign.*` counters
+/// (`trials`, `detected`, `masked`, `silent_corruption`, `crash`).
+///
+/// # Errors
+///
+/// [`Error::Platform`] if the image is corrupt, a fault targets a
+/// non-existent component, or the golden (fault-free) run itself crashes or
+/// self-detects — the campaign is only meaningful over a healthy baseline.
+pub fn run_campaign(
+    image: &[u8],
+    faults: &[FaultSpec],
+    cfg: CampaignConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<CampaignReport> {
+    let mut golden_p = Platform::from_image(image).map_err(Error::from)?;
+    let (_, clean) = run_budget(&mut golden_p, cfg.budget_steps);
+    if !clean {
+        return Err(Error::Platform("golden run crashed".into()));
+    }
+    if golden_p.debug_read(cfg.detect_addr).unwrap_or(0) != 0 {
+        return Err(Error::Platform(
+            "golden run self-detected an error; baseline is unhealthy".into(),
+        ));
+    }
+    let golden = golden_p
+        .region_checksum(cfg.output_addr, cfg.output_words)
+        .map_err(Error::from)?;
+
+    let threads = cfg.threads.max(1);
+    let outcomes: Vec<FaultOutcome> = if threads == 1 || faults.len() < 2 {
+        faults
+            .iter()
+            .map(|f| run_trial(image, *f, cfg, golden))
+            .collect::<Result<_>>()?
+    } else {
+        // The `anneal_multi` idiom: contiguous chunks, one scoped thread
+        // each, merged in chunk order — identical results at any width.
+        let chunk = faults.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|ch| {
+                    s.spawn(move || {
+                        ch.iter()
+                            .map(|f| run_trial(image, *f, cfg, golden))
+                            .collect::<Result<Vec<_>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect::<Result<Vec<Vec<_>>>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+
+    let report = CampaignReport {
+        outcomes,
+        golden_checksum: golden,
+        budget_steps: cfg.budget_steps,
+    };
+    if let Some(m) = metrics {
+        m.counter("campaign.trials")
+            .add(report.outcomes.len() as u64);
+        m.counter("campaign.detected")
+            .add(report.count(Verdict::Detected) as u64);
+        m.counter("campaign.masked")
+            .add(report.count(Verdict::Masked) as u64);
+        m.counter("campaign.silent_corruption")
+            .add(report.count(Verdict::SilentCorruption) as u64);
+        m.counter("campaign.crash")
+            .add(report.count(Verdict::Crash) as u64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_platform::isa::assemble;
+    use mpsoc_platform::platform::PlatformBuilder;
+    use mpsoc_platform::Frequency;
+
+    /// A workload with built-in redundancy: computes a sum twice, compares,
+    /// and writes a detect flag on mismatch. Output at 0x200, detect at
+    /// 0x210.
+    fn fault_site_image() -> Vec<u8> {
+        let mut p = PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(2048)
+            .cache(None)
+            .build()
+            .unwrap();
+        let prog = assemble(
+            "movi r1, 0\nmovi r2, 0\nmovi r3, 25\n\
+             loop: addi r1, r1, 3\naddi r2, r2, 3\naddi r3, r3, -1\n\
+             bne r3, r0, loop\n\
+             movi r4, 0x200\nst r1, r4, 0\n\
+             movi r5, 0x210\nseq r6, r1, r2\nmovi r7, 1\n\
+             sub r6, r7, r6\nst r6, r5, 0\nhalt",
+        )
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        // Advance into the loop so register faults land mid-computation.
+        for _ in 0..10 {
+            p.step().unwrap();
+        }
+        p.capture().unwrap()
+    }
+
+    fn config(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            budget_steps: 2_000,
+            output_addr: 0x200,
+            output_words: 1,
+            detect_addr: 0x210,
+            threads,
+        }
+    }
+
+    #[test]
+    fn campaign_classifies_hand_picked_faults() {
+        let image = fault_site_image();
+        let faults = [
+            // r1 bit flip: duplicate-compute mismatch -> detected.
+            FaultSpec {
+                id: 0,
+                kind: FaultKind::RegFlip {
+                    core: 0,
+                    reg: 1,
+                    bit: 2,
+                },
+            },
+            // Untouched memory word: masked.
+            FaultSpec {
+                id: 1,
+                kind: FaultKind::MemFlip {
+                    addr: 0x300,
+                    bit: 0,
+                },
+            },
+            // Corrupt the output cell after both copies agree? No — flip a
+            // bit in the *output address register* r4 path is complex;
+            // instead corrupt r2 and r1 identically is impossible per
+            // trial, so use the pc-adjacent r3 loop counter: diverging trip
+            // counts break both sums equally -> still detected or crash.
+            FaultSpec {
+                id: 2,
+                kind: FaultKind::RegFlip {
+                    core: 0,
+                    reg: 3,
+                    bit: 40,
+                },
+            },
+        ];
+        let report = run_campaign(&image, &faults, config(1), None).unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.outcomes[0].verdict, Verdict::Detected);
+        assert_eq!(report.outcomes[1].verdict, Verdict::Masked);
+        assert!(report.outcomes.iter().all(|o| o.applied));
+    }
+
+    #[test]
+    fn verdict_table_is_thread_count_invariant() {
+        let image = fault_site_image();
+        let space = FaultSpace {
+            cores: 1,
+            periph_pages: vec![],
+            dma_pages: vec![],
+            mem_lo: 0x200,
+            mem_hi: 0x280,
+            // (register flips and memory flips only on this platform)
+        };
+        let faults = generate_faults(0xC0FFEE, 24, &space);
+        let t1 = run_campaign(&image, &faults, config(1), None).unwrap();
+        let t2 = run_campaign(&image, &faults, config(2), None).unwrap();
+        let t4 = run_campaign(&image, &faults, config(4), None).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t4);
+        assert_eq!(t1.verdict_table(), t4.verdict_table());
+    }
+
+    #[test]
+    fn generated_faults_are_deterministic() {
+        let space = FaultSpace {
+            cores: 4,
+            periph_pages: vec![0, 1],
+            dma_pages: vec![2],
+            mem_lo: 0,
+            mem_hi: 1023,
+        };
+        assert_eq!(
+            generate_faults(42, 50, &space),
+            generate_faults(42, 50, &space)
+        );
+        assert_ne!(
+            generate_faults(42, 50, &space),
+            generate_faults(43, 50, &space)
+        );
+    }
+
+    #[test]
+    fn campaign_counters_feed_obs() {
+        let image = fault_site_image();
+        let faults = [FaultSpec {
+            id: 0,
+            kind: FaultKind::MemFlip {
+                addr: 0x300,
+                bit: 1,
+            },
+        }];
+        let registry = MetricsRegistry::new();
+        run_campaign(&image, &faults, config(1), Some(&registry)).unwrap();
+        assert_eq!(registry.counter("campaign.trials").get(), 1);
+        assert_eq!(registry.counter("campaign.masked").get(), 1);
+    }
+}

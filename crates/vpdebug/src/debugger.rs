@@ -112,11 +112,14 @@ pub enum Stop {
 /// A source-level debugger for the simulated MPSoC.
 #[derive(Debug)]
 pub struct Debugger {
-    platform: Platform,
-    breakpoints: Vec<Breakpoint>,
-    watchpoints: Vec<Watchpoint>,
-    trace: TraceBuffer,
-    prev_signals: std::collections::BTreeMap<String, Word>,
+    pub(crate) platform: Platform,
+    pub(crate) breakpoints: Vec<Breakpoint>,
+    pub(crate) watchpoints: Vec<Watchpoint>,
+    pub(crate) trace: TraceBuffer,
+    pub(crate) prev_signals: std::collections::BTreeMap<String, Word>,
+    /// Auto-checkpoint state for time travel; `None` until
+    /// [`enable_time_travel`](Debugger::enable_time_travel).
+    pub(crate) time_travel: Option<crate::timetravel::TimeTravel>,
 }
 
 impl Debugger {
@@ -128,6 +131,7 @@ impl Debugger {
             watchpoints: Vec::new(),
             trace: TraceBuffer::new(4096),
             prev_signals: std::collections::BTreeMap::new(),
+            time_travel: None,
         }
     }
 
@@ -222,12 +226,24 @@ impl Debugger {
     /// Executes one platform step, evaluating stop conditions.
     ///
     /// Returns `Ok(None)` to continue, `Ok(Some(stop))` when a condition
-    /// hit.
+    /// hit. When time travel is enabled, a due auto-checkpoint is captured
+    /// *before* the step executes, so every checkpoint sits exactly at a
+    /// step boundary.
     ///
     /// # Errors
     ///
     /// Never — platform faults are converted into [`Stop::Fault`].
     pub fn step(&mut self) -> Result<Option<Stop>> {
+        self.auto_checkpoint()?;
+        self.step_evaluated()
+    }
+
+    /// One platform step with full stop-condition evaluation but **without**
+    /// the auto-checkpoint hook — the replay primitive of time travel
+    /// (replay must reproduce the original run's evaluation order exactly,
+    /// including the early returns that skip the signal-edge bookkeeping,
+    /// without re-capturing checkpoints that already exist).
+    pub(crate) fn step_evaluated(&mut self) -> Result<Option<Stop>> {
         let event = match self.platform.step() {
             Ok(e) => e,
             Err(e) => return Ok(Some(Stop::Fault(e.to_string()))),

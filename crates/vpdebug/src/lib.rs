@@ -19,6 +19,12 @@
 //! * [`heisenbug`] — the reproducible demonstration that intrusive
 //!   debugging makes a shared-memory race vanish while virtual-platform
 //!   suspension reproduces it bit-exactly (experiment E9).
+//! * [`timetravel`] — periodic whole-platform checkpoints plus
+//!   deterministic forward replay give `step-back` and `reverse-continue`
+//!   without ever simulating backwards.
+//! * [`campaign`] — deterministic fault-injection campaigns over a
+//!   checkpoint image: inject, run to a verdict, roll back, sweep in
+//!   parallel with bit-identical results at any thread count.
 //!
 //! ## Quickstart
 //!
@@ -40,14 +46,21 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod debugger;
 pub mod error;
 pub mod heisenbug;
 pub mod script;
+pub mod timetravel;
 pub mod trace;
 
+pub use crate::campaign::{
+    generate_faults, run_campaign, CampaignConfig, CampaignReport, FaultKind, FaultOutcome,
+    FaultSpace, FaultSpec, Verdict,
+};
 pub use crate::debugger::{Breakpoint, Debugger, OriginFilter, Stop, Watchpoint};
 pub use crate::error::{Error, Result};
 pub use crate::heisenbug::{build_race_platform, run_race, DebugMode, RaceReport};
 pub use crate::script::{ScriptEngine, Violation};
+pub use crate::timetravel::TimeTravel;
 pub use crate::trace::{TraceBuffer, TraceEntry};

@@ -1,0 +1,368 @@
+//! Time-travel debugging: periodic checkpoints + deterministic replay.
+//!
+//! Nothing ever simulates backwards. The platform is a deterministic state
+//! machine, so "go back one step" decomposes into two forward operations:
+//! restore the nearest checkpoint at or before the target step, then
+//! re-execute forward to land exactly on it. Section VII's non-intrusiveness
+//! carries over — the simulated software cannot observe that its past was
+//! re-executed, because the re-execution is bit-identical to the original.
+//!
+//! The debugger captures a whole-platform image
+//! ([`Platform::capture`](mpsoc_platform::Platform::capture)) every
+//! `interval` steps, alongside the host-side debugger state that must rewind
+//! with it (the trace buffer and the signal-edge bookkeeping). A bounded
+//! checkpoint ring caps memory; when it overflows, the oldest checkpoint is
+//! evicted and the rewind horizon moves forward accordingly.
+
+use mpsoc_platform::isa::Word;
+use std::collections::BTreeMap;
+
+use crate::debugger::{Debugger, Stop};
+use crate::error::{Error, Result};
+use crate::trace::TraceBuffer;
+
+/// One auto-checkpoint: the platform image plus the debugger-side state
+/// that must travel with it.
+#[derive(Clone, Debug)]
+pub(crate) struct Checkpoint {
+    /// Platform step count at capture time (the checkpoint sits *before*
+    /// the step with this index executes).
+    pub(crate) step: u64,
+    /// Serialized platform image.
+    pub(crate) image: Vec<u8>,
+    /// Trace buffer as of the checkpoint.
+    pub(crate) trace: TraceBuffer,
+    /// Signal-edge bookkeeping as of the checkpoint.
+    pub(crate) prev_signals: BTreeMap<String, Word>,
+}
+
+/// Auto-checkpoint configuration and storage, owned by a [`Debugger`] once
+/// [`Debugger::enable_time_travel`] is called.
+#[derive(Debug)]
+pub struct TimeTravel {
+    /// Steps between auto-checkpoints.
+    pub(crate) interval: u64,
+    /// Maximum retained checkpoints (oldest evicted first).
+    pub(crate) max: usize,
+    /// Checkpoints, sorted ascending by step.
+    pub(crate) checkpoints: Vec<Checkpoint>,
+}
+
+impl Debugger {
+    /// Enables time travel: from now on an auto-checkpoint is captured
+    /// every `interval` steps (at most `max_checkpoints` retained, oldest
+    /// evicted first), and a baseline checkpoint is captured immediately.
+    /// Both parameters are clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] if the platform cannot be captured (a registered
+    /// peripheral without snapshot support).
+    pub fn enable_time_travel(&mut self, interval: u64, max_checkpoints: usize) -> Result<()> {
+        self.time_travel = Some(TimeTravel {
+            interval: interval.max(1),
+            max: max_checkpoints.max(1),
+            checkpoints: Vec::new(),
+        });
+        self.take_checkpoint()
+    }
+
+    /// Disables time travel and drops every checkpoint.
+    pub fn disable_time_travel(&mut self) {
+        self.time_travel = None;
+    }
+
+    /// The step indices of the currently retained checkpoints (ascending).
+    /// Empty when time travel is disabled.
+    pub fn checkpoint_steps(&self) -> Vec<u64> {
+        self.time_travel
+            .as_ref()
+            .map(|tt| tt.checkpoints.iter().map(|c| c.step).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops every retained checkpoint except a fresh one at the current
+    /// step. Call this after mutating platform state by hand (e.g. fault
+    /// injection through [`platform_mut`](Debugger::platform_mut)) —
+    /// checkpoints ahead of such a mutation describe a future that will no
+    /// longer happen.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] if the platform cannot be captured.
+    pub fn rebase_checkpoints(&mut self) -> Result<()> {
+        if let Some(tt) = &mut self.time_travel {
+            tt.checkpoints.clear();
+            self.take_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Captures a checkpoint now if one is due (called by
+    /// [`step`](Debugger::step) before executing). Due means: time travel
+    /// is on, no checkpoint exists at the current step already (replay must
+    /// not duplicate), and the nearest checkpoint at or below the current
+    /// step is at least `interval` steps old.
+    pub(crate) fn auto_checkpoint(&mut self) -> Result<()> {
+        let Some(tt) = &self.time_travel else {
+            return Ok(());
+        };
+        let cur = self.platform.steps();
+        if tt.checkpoints.iter().any(|c| c.step == cur) {
+            return Ok(());
+        }
+        let due = match tt.checkpoints.iter().rev().find(|c| c.step <= cur) {
+            Some(c) => cur >= c.step + tt.interval,
+            None => true,
+        };
+        if due {
+            self.take_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Captures a checkpoint at the current step, keeping the list sorted
+    /// and bounded.
+    fn take_checkpoint(&mut self) -> Result<()> {
+        let image = self.platform.capture().map_err(Error::from)?;
+        let cp = Checkpoint {
+            step: self.platform.steps(),
+            image,
+            trace: self.trace.clone(),
+            prev_signals: self.prev_signals.clone(),
+        };
+        let tt = self
+            .time_travel
+            .as_mut()
+            .expect("take_checkpoint requires time travel enabled");
+        let pos = tt.checkpoints.partition_point(|c| c.step < cp.step);
+        tt.checkpoints.insert(pos, cp);
+        if tt.checkpoints.len() > tt.max {
+            tt.checkpoints.remove(0);
+        }
+        Ok(())
+    }
+
+    /// Travels to the state exactly after `target` platform steps: restores
+    /// the nearest checkpoint at or before `target`, then deterministically
+    /// re-executes forward. Returns `false` (platform untouched) when time
+    /// travel is off or every retained checkpoint lies beyond `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for an unrestorable image (never expected for
+    /// images the debugger captured itself).
+    pub fn rewind_to_step(&mut self, target: u64) -> Result<bool> {
+        let Some(tt) = &self.time_travel else {
+            return Ok(false);
+        };
+        let pos = tt.checkpoints.partition_point(|c| c.step <= target);
+        if pos == 0 {
+            return Ok(false);
+        }
+        let cp = &tt.checkpoints[pos - 1];
+        let image = cp.image.clone();
+        let trace = cp.trace.clone();
+        let prev_signals = cp.prev_signals.clone();
+        self.platform.restore_image(&image).map_err(Error::from)?;
+        self.trace = trace;
+        self.prev_signals = prev_signals;
+        while self.platform.steps() < target {
+            let _ = self.step_evaluated()?;
+        }
+        Ok(true)
+    }
+
+    /// Moves one step into the past: after this the platform is in the
+    /// exact state it had before the most recent [`step`](Debugger::step) —
+    /// registers, memories, peripheral state, trace, and simulated time all
+    /// rewound. Returns `false` if already at step 0 or the rewind horizon
+    /// has moved past the previous step.
+    ///
+    /// # Errors
+    ///
+    /// As [`rewind_to_step`](Debugger::rewind_to_step).
+    pub fn step_back(&mut self) -> Result<bool> {
+        let cur = self.platform.steps();
+        if cur == 0 {
+            return Ok(false);
+        }
+        self.rewind_to_step(cur - 1)
+    }
+
+    /// Runs *backwards* until the previous stop condition: finds the last
+    /// breakpoint/watchpoint/fault hit strictly before the current step and
+    /// lands on it. Returns `Ok(None)` — with the platform back in its
+    /// starting state — when no earlier stop exists within the rewind
+    /// horizon.
+    ///
+    /// Implemented as two deterministic forward passes: replay from the
+    /// earliest checkpoint noting the last stop before the current step,
+    /// then rewind onto it.
+    ///
+    /// # Errors
+    ///
+    /// As [`rewind_to_step`](Debugger::rewind_to_step).
+    pub fn reverse_continue(&mut self) -> Result<Option<Stop>> {
+        let cur = self.platform.steps();
+        let Some(tt) = &self.time_travel else {
+            return Ok(None);
+        };
+        let Some(first) = tt.checkpoints.first() else {
+            return Ok(None);
+        };
+        if first.step >= cur {
+            return Ok(None);
+        }
+        let first_step = first.step;
+        if !self.rewind_to_step(first_step)? {
+            return Ok(None);
+        }
+        let mut last: Option<(u64, Stop)> = None;
+        while self.platform.steps() < cur {
+            let stop = self.step_evaluated()?;
+            let at = self.platform.steps();
+            if at >= cur {
+                break; // the stop at `cur` is where the user already stands
+            }
+            match stop {
+                Some(Stop::Finished) | Some(Stop::Budget) | None => {}
+                Some(s) => last = Some((at, s)),
+            }
+        }
+        match last {
+            Some((at, s)) => {
+                self.rewind_to_step(at)?;
+                Ok(Some(s))
+            }
+            None => {
+                // Pass 1 already replayed back to `cur`; the state is
+                // bit-identical to where we started.
+                while self.platform.steps() < cur {
+                    let _ = self.step_evaluated()?;
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::debugger::{Debugger, Stop, Watchpoint};
+    use mpsoc_platform::isa::assemble;
+    use mpsoc_platform::platform::{AccessKind, PlatformBuilder};
+    use mpsoc_platform::Frequency;
+
+    fn debugger() -> Debugger {
+        let mut p = PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(1024)
+            .cache(None)
+            .build()
+            .unwrap();
+        let prog = assemble(
+            "movi r1, 0\nmovi r3, 40\nloop: addi r1, r1, 1\n\
+             movi r2, 0x80\nst r1, r2, 0\nblt r1, r3, loop\nhalt",
+        )
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        Debugger::new(p)
+    }
+
+    #[test]
+    fn step_back_lands_on_exact_prior_state() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(7, 64).unwrap();
+        // Forward reference: record the state checksum after every step.
+        let mut checksums = vec![dbg.platform().state_checksum()];
+        for _ in 0..30 {
+            dbg.step().unwrap();
+            checksums.push(dbg.platform().state_checksum());
+        }
+        // Walk backwards, comparing against the forward recording.
+        for back in 1..=10 {
+            assert!(dbg.step_back().unwrap(), "step_back #{back}");
+            let steps = dbg.platform().steps() as usize;
+            assert_eq!(steps, 30 - back);
+            assert_eq!(
+                dbg.platform().state_checksum(),
+                checksums[steps],
+                "state after rewinding to step {steps} must match forward run"
+            );
+        }
+        // And forward again: the future re-executes identically.
+        for _ in 0..10 {
+            dbg.step().unwrap();
+        }
+        assert_eq!(dbg.platform().state_checksum(), checksums[30]);
+    }
+
+    #[test]
+    fn step_back_at_origin_refuses() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(5, 8).unwrap();
+        assert!(!dbg.step_back().unwrap());
+    }
+
+    #[test]
+    fn reverse_continue_finds_previous_watchpoint() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(5, 64).unwrap();
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 0x80,
+            hi: 0x80,
+            kind: Some(AccessKind::Write),
+            origin: crate::debugger::OriginFilter::Any,
+        });
+        // Run to the third watchpoint hit.
+        let mut hits = Vec::new();
+        for _ in 0..3 {
+            match dbg.run(10_000).unwrap() {
+                Stop::Watchpoint { access, .. } => {
+                    hits.push((dbg.platform().steps(), access.unwrap().value));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // reverse-continue: back onto hit #2, then hit #1.
+        let stop = dbg.reverse_continue().unwrap().expect("previous stop");
+        assert!(matches!(stop, Stop::Watchpoint { .. }));
+        assert_eq!(dbg.platform().steps(), hits[1].0);
+        assert_eq!(dbg.read_mem(0x80).unwrap(), hits[1].1);
+        let stop = dbg.reverse_continue().unwrap().expect("previous stop");
+        assert!(matches!(stop, Stop::Watchpoint { .. }));
+        assert_eq!(dbg.platform().steps(), hits[0].0);
+        assert_eq!(dbg.read_mem(0x80).unwrap(), hits[0].1);
+        // No stop before the first hit: state must be preserved.
+        let before = dbg.platform().state_checksum();
+        assert!(dbg.reverse_continue().unwrap().is_none());
+        assert_eq!(dbg.platform().state_checksum(), before);
+    }
+
+    #[test]
+    fn checkpoint_ring_is_bounded() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(3, 4).unwrap();
+        for _ in 0..40 {
+            dbg.step().unwrap();
+        }
+        let steps = dbg.checkpoint_steps();
+        assert!(steps.len() <= 4, "retained {steps:?}");
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rebase_drops_stale_future() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(4, 32).unwrap();
+        for _ in 0..20 {
+            dbg.step().unwrap();
+        }
+        assert!(dbg.rewind_to_step(10).unwrap());
+        // Perturb history: the old forward checkpoints are now lies.
+        dbg.platform_mut().inject_reg_flip(0, 1, 3).unwrap();
+        dbg.rebase_checkpoints().unwrap();
+        assert_eq!(dbg.checkpoint_steps(), vec![10]);
+    }
+}

@@ -7,6 +7,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tracked files intact =="
+# A deleted-but-uncommitted tracked file builds fine locally (stale
+# target/) yet breaks a fresh checkout; fail fast instead.
+deleted=$(git status --porcelain | grep -E '^( D|D )' || true)
+if [ -n "$deleted" ]; then
+  echo "error: tracked files are deleted but not committed:" >&2
+  echo "$deleted" >&2
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -22,7 +32,13 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== bench smoke (sim_fastpath) =="
 cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
+
+echo "== fault-injection campaign (E12) =="
+cargo run --release -q -p mpsoc-bench --bin e12
 
 echo "verify: OK"

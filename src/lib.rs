@@ -13,7 +13,8 @@
 //! | [`maps`] | IV | partitioning, mapping, MVP, code generation, OSIP |
 //! | [`cic`] | V | Common Intermediate Code + retargetable translator |
 //! | [`recoder`] | VI | designer-controlled source recoding |
-//! | [`vpdebug`] | VII | virtual-platform debugger + Heisenbug harness |
+//! | [`snapshot`] | VII | versioned binary checkpoint images for capture/restore |
+//! | [`vpdebug`] | VII | virtual-platform debugger, time travel, fault campaigns |
 //! | [`apps`] | workloads | JPEG-like, H.264-like, car-radio, generators |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -31,4 +32,5 @@ pub use mpsoc_obs as obs;
 pub use mpsoc_platform as platform;
 pub use mpsoc_recoder as recoder;
 pub use mpsoc_rtkernel as rtkernel;
+pub use mpsoc_snapshot as snapshot;
 pub use mpsoc_vpdebug as vpdebug;
