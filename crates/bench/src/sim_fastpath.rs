@@ -25,6 +25,14 @@
 //! deterministic multi-start annealer — at 1/2/4 worker threads on the
 //! JPEG task graph, asserting the makespan is thread-count invariant while
 //! the wall-clock shrinks.
+//!
+//! Two checkpointing rows complete the picture (the delta-checkpoint fast
+//! path): per workload, the size and capture rate of a **full** image
+//! versus a **delta** image taken after the run dirtied a handful of pages
+//! — asserting deltas stay small and fast — and a fault-injection campaign
+//! ([`mpsoc_vpdebug::campaign`]) timed with full-image rollback versus
+//! [`run_campaign_delta`]'s O(dirty-state) base resets, asserting both
+//! runners produce bit-identical verdict tables.
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -39,6 +47,9 @@ use mpsoc_platform::platform::{Platform, PlatformBuilder, SchedulerMode};
 use mpsoc_platform::{Frequency, Time};
 use mpsoc_recoder::recoder::Recoder;
 use mpsoc_recoder::transforms;
+use mpsoc_vpdebug::campaign::{
+    generate_faults, run_campaign, run_campaign_delta, CampaignConfig, FaultSpace,
+};
 
 /// Peripheral page base address helper (see `mpsoc_platform::mem`).
 fn page_base(page: usize) -> u32 {
@@ -57,6 +68,12 @@ pub struct Config {
     pub anneal_iters: u64,
     /// Annealer restarts.
     pub anneal_starts: usize,
+    /// Captures per timing loop in the snapshot rows.
+    pub snapshot_captures: usize,
+    /// Faults in the campaign-rollback comparison.
+    pub campaign_faults: usize,
+    /// Step budget per campaign trial.
+    pub campaign_budget_steps: u64,
     /// Label recorded in the JSON (`"full"` / `"smoke"`).
     pub mode: &'static str,
 }
@@ -69,6 +86,9 @@ impl Config {
             repeats: 3,
             anneal_iters: 300_000,
             anneal_starts: 8,
+            snapshot_captures: 64,
+            campaign_faults: 96,
+            campaign_budget_steps: 2_000,
             mode: "full",
         }
     }
@@ -80,6 +100,9 @@ impl Config {
             repeats: 1,
             anneal_iters: 100,
             anneal_starts: 4,
+            snapshot_captures: 8,
+            campaign_faults: 12,
+            campaign_budget_steps: 300,
             mode: "smoke",
         }
     }
@@ -126,6 +149,58 @@ pub struct AnnealResult {
     pub makespan: u64,
 }
 
+/// Full- vs delta-checkpoint cost on one workload: image sizes and capture
+/// throughput after the run has dirtied a representative set of pages.
+#[derive(Clone, Debug)]
+pub struct SnapshotResult {
+    /// Workload name (`"car_radio"` / `"jpeg"`).
+    pub name: &'static str,
+    /// Bytes of a full [`Platform::capture`] image.
+    pub full_bytes: usize,
+    /// Bytes of a `capture_delta` image against that base.
+    pub delta_bytes: usize,
+    /// Best-of-N full captures per wall second.
+    pub full_caps_per_sec: f64,
+    /// Best-of-N delta captures per wall second.
+    pub delta_caps_per_sec: f64,
+}
+
+impl SnapshotResult {
+    /// Delta size as a fraction of the full image.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.delta_bytes as f64 / self.full_bytes as f64
+    }
+
+    /// Delta capture throughput over full capture throughput.
+    pub fn capture_speedup(&self) -> f64 {
+        self.delta_caps_per_sec / self.full_caps_per_sec
+    }
+}
+
+/// Wall-clock of one fault-injection campaign under full-image rollback
+/// versus delta (reset-to-base) rollback, with the bit-identity check.
+#[derive(Clone, Debug)]
+pub struct CampaignCompareResult {
+    /// Number of fault trials.
+    pub faults: usize,
+    /// Best-of-N wall seconds for [`run_campaign`] (full rehydration per
+    /// trial).
+    pub full_secs: f64,
+    /// Best-of-N wall seconds for [`run_campaign_delta`] (one platform per
+    /// worker, delta reset per trial).
+    pub delta_secs: f64,
+    /// Whether both runners produced bit-identical verdict tables (always
+    /// asserted true by the suite).
+    pub identical: bool,
+}
+
+impl CampaignCompareResult {
+    /// Delta-rollback campaign speedup over full rehydration.
+    pub fn speedup(&self) -> f64 {
+        self.full_secs / self.delta_secs
+    }
+}
+
 /// Everything the suite measured; serialises to `BENCH_simulator.json`.
 #[derive(Clone, Debug)]
 pub struct SimFastpathReport {
@@ -133,6 +208,10 @@ pub struct SimFastpathReport {
     pub mode: &'static str,
     /// Per-workload scheduler comparison.
     pub workloads: Vec<WorkloadResult>,
+    /// Per-workload full- vs delta-checkpoint comparison.
+    pub snapshots: Vec<SnapshotResult>,
+    /// Campaign rollback comparison (full vs delta), when measured.
+    pub campaign: Option<CampaignCompareResult>,
     /// Annealer wall times at 1/2/4 threads.
     pub anneal: Vec<AnnealResult>,
     /// Annealer iterations per restart / restart count used.
@@ -195,6 +274,44 @@ impl SimFastpathReport {
             );
         }
         s.push_str("  ],\n");
+        s.push_str("  \"snapshots\": [\n");
+        for (i, sn) in self.snapshots.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", sn.name);
+            let _ = writeln!(s, "      \"full_bytes\": {},", sn.full_bytes);
+            let _ = writeln!(s, "      \"delta_bytes\": {},", sn.delta_bytes);
+            let _ = writeln!(s, "      \"bytes_ratio\": {:.4},", sn.bytes_ratio());
+            let _ = writeln!(
+                s,
+                "      \"full_captures_per_sec\": {:.0},",
+                sn.full_caps_per_sec
+            );
+            let _ = writeln!(
+                s,
+                "      \"delta_captures_per_sec\": {:.0},",
+                sn.delta_caps_per_sec
+            );
+            let _ = writeln!(s, "      \"capture_speedup\": {:.2}", sn.capture_speedup());
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.snapshots.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ],\n");
+        if let Some(c) = &self.campaign {
+            s.push_str("  \"campaign\": {\n");
+            let _ = writeln!(s, "    \"faults\": {},", c.faults);
+            let _ = writeln!(s, "    \"full_rollback_secs\": {:.6},", c.full_secs);
+            let _ = writeln!(s, "    \"delta_rollback_secs\": {:.6},", c.delta_secs);
+            let _ = writeln!(s, "    \"speedup\": {:.2},", c.speedup());
+            let _ = writeln!(s, "    \"identical_verdicts\": {}", c.identical);
+            s.push_str("  },\n");
+        }
         s.push_str("  \"anneal\": {\n");
         let _ = writeln!(s, "    \"iters\": {},", self.anneal_iters);
         let _ = writeln!(s, "    \"starts\": {},", self.anneal_starts);
@@ -255,6 +372,38 @@ impl fmt::Display for SimFastpathReport {
                 w.baseline_steps_per_sec(),
                 w.fastpath_steps_per_sec(),
                 w.speedup()
+            )?;
+        }
+        if !self.snapshots.is_empty() {
+            writeln!(
+                f,
+                "  {:<10} {:>12} {:>12} {:>7} {:>12} {:>12} {:>8}",
+                "checkpoint", "full B", "delta B", "ratio", "full cap/s", "delta cap/s", "speedup"
+            )?;
+            for sn in &self.snapshots {
+                writeln!(
+                    f,
+                    "  {:<10} {:>12} {:>12} {:>6.1}% {:>12.0} {:>12.0} {:>7.1}x",
+                    sn.name,
+                    sn.full_bytes,
+                    sn.delta_bytes,
+                    sn.bytes_ratio() * 100.0,
+                    sn.full_caps_per_sec,
+                    sn.delta_caps_per_sec,
+                    sn.capture_speedup()
+                )?;
+            }
+        }
+        if let Some(c) = &self.campaign {
+            writeln!(
+                f,
+                "  campaign ({} faults): full rollback {:.3}s, delta rollback {:.3}s \
+                 ({:.2}x), verdicts identical: {}",
+                c.faults,
+                c.full_secs,
+                c.delta_secs,
+                c.speedup(),
+                c.identical
             )?;
         }
         writeln!(
@@ -536,16 +685,142 @@ fn measure_anneal(cfg: &Config) -> Vec<AnnealResult> {
     out
 }
 
+/// Measures full- vs delta-checkpoint size and capture throughput on one
+/// workload: warm into the region of interest, capture a base (clearing the
+/// dirty bitmaps), run a representative slice to dirty some pages, then
+/// time repeated delta captures against repeated full captures.
+///
+/// The two delta-checkpoint acceptance claims are asserted here — on these
+/// workloads a delta must stay at or below a quarter of the full image and
+/// capture at least 3x faster — so a regression fails the bench run
+/// instead of silently shipping bad numbers.
+fn measure_snapshot(
+    name: &'static str,
+    build: impl Fn(SchedulerMode) -> Platform,
+    cfg: &Config,
+) -> SnapshotResult {
+    let mut p = build(SchedulerMode::Calendar);
+    p.run_until_with(cfg.sim_window, None, |_| {})
+        .expect("snapshot warm-up runs");
+    let full_img = p.capture().expect("full capture succeeds");
+    // Dirty a representative working set after the base.
+    for _ in 0..256 {
+        let ev = p.step().expect("post-base step succeeds");
+        if ev.is_idle() {
+            break;
+        }
+        p.recycle(ev);
+    }
+    let delta_img = p.capture_delta().expect("delta capture succeeds");
+    let caps = cfg.snapshot_captures.max(1);
+    // Delta timing first: a full capture would re-base and empty the dirty
+    // set. `capture_delta` never clears it, so every iteration does the
+    // same work.
+    let mut delta_secs = f64::INFINITY;
+    for _ in 0..cfg.repeats {
+        let t0 = Instant::now();
+        for _ in 0..caps {
+            std::hint::black_box(p.capture_delta().expect("delta capture succeeds"));
+        }
+        delta_secs = delta_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let mut full_secs = f64::INFINITY;
+    for _ in 0..cfg.repeats {
+        let t0 = Instant::now();
+        for _ in 0..caps {
+            std::hint::black_box(p.capture().expect("full capture succeeds"));
+        }
+        full_secs = full_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let result = SnapshotResult {
+        name,
+        full_bytes: full_img.len(),
+        delta_bytes: delta_img.len(),
+        full_caps_per_sec: caps as f64 / full_secs,
+        delta_caps_per_sec: caps as f64 / delta_secs,
+    };
+    assert!(
+        result.bytes_ratio() <= 0.25,
+        "{name}: delta image {}B exceeds 25% of the full image {}B",
+        result.delta_bytes,
+        result.full_bytes
+    );
+    assert!(
+        result.capture_speedup() >= 3.0,
+        "{name}: delta captures only {:.2}x faster than full captures",
+        result.capture_speedup()
+    );
+    result
+}
+
+/// Times one fault-injection campaign on the car-radio image under
+/// full-image rollback ([`run_campaign`]) versus delta rollback
+/// ([`run_campaign_delta`]), asserting bit-identical verdict tables.
+fn measure_campaign(cfg: &Config) -> CampaignCompareResult {
+    let mut p = build_car_radio(SchedulerMode::Calendar);
+    p.run_until_with(cfg.sim_window, None, |_| {})
+        .expect("campaign warm-up runs");
+    let image = p.capture().expect("fault-site capture succeeds");
+    let space = FaultSpace {
+        cores: 4,
+        periph_pages: vec![],
+        dma_pages: vec![],
+        mem_lo: 0,
+        mem_hi: 2048,
+    };
+    let faults = generate_faults(0xE12D_E17A, cfg.campaign_faults, &space);
+    let ccfg = CampaignConfig {
+        budget_steps: cfg.campaign_budget_steps,
+        output_addr: 1024,
+        output_words: 64,
+        detect_addr: 0xF00,
+        threads: 1,
+    };
+    let mut full_secs = f64::INFINITY;
+    let mut delta_secs = f64::INFINITY;
+    let mut full_report = None;
+    let mut delta_report = None;
+    for _ in 0..cfg.repeats {
+        let t0 = Instant::now();
+        full_report = Some(run_campaign(&image, &faults, ccfg, None).expect("full campaign runs"));
+        full_secs = full_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        delta_report =
+            Some(run_campaign_delta(&image, &faults, ccfg, None).expect("delta campaign runs"));
+        delta_secs = delta_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let (full_report, delta_report) = (full_report.unwrap(), delta_report.unwrap());
+    assert_eq!(
+        full_report.verdict_table(),
+        delta_report.verdict_table(),
+        "full and delta campaign rollback must be bit-identical"
+    );
+    CampaignCompareResult {
+        faults: faults.len(),
+        full_secs,
+        delta_secs,
+        identical: full_report == delta_report,
+    }
+}
+
 /// Runs the whole suite with `cfg`.
 pub fn run(cfg: &Config) -> SimFastpathReport {
     let workloads = vec![
         measure_workload("car_radio", build_car_radio, cfg),
         measure_workload("jpeg", build_jpeg, cfg),
     ];
+    let snapshots = vec![
+        measure_snapshot("car_radio", build_car_radio, cfg),
+        measure_snapshot("jpeg", build_jpeg, cfg),
+    ];
+    let campaign = Some(measure_campaign(cfg));
     let anneal = measure_anneal(cfg);
     SimFastpathReport {
         mode: cfg.mode,
         workloads,
+        snapshots,
+        campaign,
         anneal,
         anneal_iters: cfg.anneal_iters,
         anneal_starts: cfg.anneal_starts,
@@ -606,6 +881,8 @@ mod tests {
         let mut r = SimFastpathReport {
             mode: "smoke",
             workloads: vec![],
+            snapshots: vec![],
+            campaign: None,
             anneal: vec![
                 base.clone(),
                 AnnealResult {
@@ -641,9 +918,14 @@ mod tests {
         let r = run(&cfg);
         assert_eq!(r.workloads.len(), 2);
         assert!(r.workloads.iter().all(|w| w.steps > 0));
+        assert_eq!(r.snapshots.len(), 2);
+        assert!(r.campaign.as_ref().is_some_and(|c| c.identical));
         let json = r.to_json();
         assert!(json.contains("\"car_radio\""));
         assert!(json.contains("\"jpeg\""));
         assert!(json.contains("\"threads\": ["));
+        assert!(json.contains("\"snapshots\": ["));
+        assert!(json.contains("\"delta_bytes\""));
+        assert!(json.contains("\"identical_verdicts\": true"));
     }
 }

@@ -199,6 +199,78 @@ pub fn explore_parallel(
     Ok(Exploration { candidates, best })
 }
 
+/// Re-costs a CIC model from measured calibration data on a simulated
+/// platform.
+///
+/// The platform is positioned at the region of interest via `prefix` —
+/// re-simulated from scratch or restored from a snapshot
+/// ([`PrefixSource::Warm`], the warm start) — and the word at
+/// `profile_addr + t` is read for task `t`. A positive word replaces the
+/// task's declared [`work`](crate::model::CicTask::work) estimate; zero or
+/// negative words leave it untouched. A snapshot restore is bit-identical
+/// to having simulated the prefix, so warm and cold sources yield the same
+/// calibrated model.
+///
+/// # Errors
+///
+/// [`Error::Exec`] when the prefix cannot be materialized or a calibration
+/// word is outside the platform's address map.
+///
+/// [`PrefixSource::Warm`]: mpsoc_platform::PrefixSource::Warm
+pub fn calibrate_task_work(
+    model: &CicModel,
+    prefix: &mpsoc_platform::PrefixSource<'_>,
+    profile_addr: u32,
+) -> Result<CicModel> {
+    let p = prefix
+        .materialize()
+        .map_err(|e| Error::Exec(format!("calibration prefix: {e}")))?;
+    let mut calibrated = model.clone();
+    for (t, task) in calibrated.tasks.iter_mut().enumerate() {
+        let addr = profile_addr
+            .checked_add(t as u32)
+            .ok_or_else(|| Error::Exec("calibration address overflow".into()))?;
+        let w = p
+            .debug_read(addr)
+            .map_err(|e| Error::Exec(format!("calibration word for task {t}: {e}")))?;
+        if w > 0 {
+            task.work = w as u64;
+        }
+    }
+    Ok(calibrated)
+}
+
+/// [`explore_parallel`] over a calibration-re-costed model (see
+/// [`calibrate_task_work`]): per-task work estimates come from measurements
+/// taken on a platform at the region of interest. Passing a captured
+/// snapshot as `prefix` ([`PrefixSource::Warm`]) skips re-simulating the
+/// prefix — the snapshot warm start — while returning an [`Exploration`]
+/// bit-identical to the cold path at every `threads` value.
+///
+/// # Errors
+///
+/// As [`calibrate_task_work`] and [`explore_parallel`].
+///
+/// [`PrefixSource::Warm`]: mpsoc_platform::PrefixSource::Warm
+pub fn explore_parallel_profiled(
+    model: &CicModel,
+    deadline_cycles: u64,
+    max_cores: usize,
+    max_workers: usize,
+    threads: usize,
+    prefix: &mpsoc_platform::PrefixSource<'_>,
+    profile_addr: u32,
+) -> Result<Exploration> {
+    let calibrated = calibrate_task_work(model, prefix, profile_addr)?;
+    explore_parallel(
+        &calibrated,
+        deadline_cycles,
+        max_cores,
+        max_workers,
+        threads,
+    )
+}
+
 /// Maps and translates the model onto one candidate architecture.
 fn evaluate_candidate(
     model: &CicModel,
@@ -311,6 +383,57 @@ mod tests {
         let m = model();
         assert!(explore(&m, 100, 0, 1).is_err());
         assert!(explore_parallel(&m, 100, 1, 0, 2).is_err());
+    }
+
+    #[test]
+    fn profiled_sweep_warm_start_matches_cold() {
+        use mpsoc_platform::isa::assemble;
+        use mpsoc_platform::platform::PlatformBuilder;
+        use mpsoc_platform::{Frequency, PrefixSource};
+
+        // A calibration run that deposits measured per-task work at 0x100.
+        let build = || -> mpsoc_platform::Result<mpsoc_platform::Platform> {
+            let mut p = PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(512)
+                .cache(None)
+                .build()?;
+            let prog = assemble(
+                "movi r1, 0x100\nmovi r2, 300\nst r2, r1, 0\nmovi r2, 500\nst r2, r1, 1\n\
+                 movi r2, 150\nst r2, r1, 2\nhalt",
+            )
+            .unwrap();
+            p.load_program(0, prog, 0)?;
+            Ok(p)
+        };
+        let steps = 10;
+        let cold = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        let mut p = build().unwrap();
+        for _ in 0..steps {
+            p.step().unwrap();
+        }
+        let image = p.capture().unwrap();
+        let warm = PrefixSource::Warm { image: &image };
+
+        let m = model();
+        // Calibration really replaces the declared work estimates.
+        let calibrated = calibrate_task_work(&m, &warm, 0x100).unwrap();
+        assert_eq!(
+            calibrated.tasks.iter().map(|t| t.work).collect::<Vec<_>>(),
+            vec![300, 500, 150]
+        );
+        // Warm equals cold, bit for bit, at every thread count.
+        for deadline in [600u64, 1_000, 2_000] {
+            let reference = explore_parallel_profiled(&m, deadline, 4, 4, 1, &cold, 0x100).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let warm_e =
+                    explore_parallel_profiled(&m, deadline, 4, 4, threads, &warm, 0x100).unwrap();
+                assert_eq!(reference, warm_e, "deadline {deadline}, {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub mod translator;
 pub use crate::archfile::{parse_arch_file, ArchInfo, InterconnectKind, MemoryModel, PeInfo};
 pub use crate::error::{Error, Result};
 pub use crate::executor::{execute, RunOutput};
-pub use crate::explore::{explore, Candidate, Exploration};
+pub use crate::explore::{
+    calibrate_task_work, explore, explore_parallel, explore_parallel_profiled, Candidate,
+    Exploration,
+};
 pub use crate::model::{from_dataflow, CicChannel, CicModel, CicTask};
 pub use crate::translator::{auto_map, execute_translation, translate, Op, PeProgram, Translation};

@@ -306,6 +306,74 @@ pub fn anneal_multi(
     Ok(best.expect("starts >= 1"))
 }
 
+/// Re-costs `graph` from measured profile data on a simulated platform.
+///
+/// The platform is positioned at the region of interest via `prefix` —
+/// either re-simulated from scratch or restored from a snapshot
+/// ([`PrefixSource::Warm`], the warm start) — and the word at
+/// `profile_addr + t` is read for every task `t`. A positive word replaces
+/// the task's static cost estimate; zero or negative words (no measurement)
+/// leave the estimate untouched. Because a snapshot restore is
+/// bit-identical to having simulated the prefix, warm and cold sources
+/// yield the same re-costed graph.
+///
+/// # Errors
+///
+/// [`Error::Config`] when the prefix cannot be materialized or a profile
+/// word is outside the platform's address map.
+///
+/// [`PrefixSource::Warm`]: mpsoc_platform::PrefixSource::Warm
+pub fn profile_task_costs(
+    graph: &TaskGraph,
+    prefix: &mpsoc_platform::PrefixSource<'_>,
+    profile_addr: u32,
+) -> Result<TaskGraph> {
+    let p = prefix
+        .materialize()
+        .map_err(|e| Error::Config(format!("profile prefix: {e}")))?;
+    let mut profiled = graph.clone();
+    for (t, task) in profiled.tasks.iter_mut().enumerate() {
+        let addr = profile_addr
+            .checked_add(t as u32)
+            .ok_or_else(|| Error::Config("profile address overflow".into()))?;
+        let w = p
+            .debug_read(addr)
+            .map_err(|e| Error::Config(format!("profile word for task {t}: {e}")))?;
+        if w > 0 {
+            task.cost = w as u64;
+        }
+    }
+    Ok(profiled)
+}
+
+/// [`anneal_multi`] over a profile-re-costed graph (see
+/// [`profile_task_costs`]): the exploration's cost model comes from
+/// measurements taken on a platform at the region of interest instead of
+/// static estimates. Passing a captured snapshot as `prefix`
+/// ([`PrefixSource::Warm`]) skips re-simulating the prefix entirely — the
+/// snapshot warm start — while returning a mapping bit-identical to the
+/// cold path at every `threads` value.
+///
+/// # Errors
+///
+/// As [`profile_task_costs`] and [`anneal_multi`].
+///
+/// [`PrefixSource::Warm`]: mpsoc_platform::PrefixSource::Warm
+#[allow(clippy::too_many_arguments)]
+pub fn anneal_multi_profiled(
+    graph: &TaskGraph,
+    arch: &ArchModel,
+    seed: u64,
+    iters: u64,
+    starts: usize,
+    threads: usize,
+    prefix: &mpsoc_platform::PrefixSource<'_>,
+    profile_addr: u32,
+) -> Result<Mapping> {
+    let profiled = profile_task_costs(graph, prefix, profile_addr)?;
+    anneal_multi(&profiled, arch, seed, iters, starts, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +497,60 @@ mod tests {
         let multi = anneal_multi(&g, &arch, 11, 200, 4, 2).unwrap();
         let single = anneal_multi(&g, &arch, 11, 200, 1, 1).unwrap();
         assert!(multi.makespan <= single.makespan);
+    }
+
+    #[test]
+    fn profiled_anneal_warm_start_matches_cold() {
+        use mpsoc_platform::isa::assemble;
+        use mpsoc_platform::platform::PlatformBuilder;
+        use mpsoc_platform::{Frequency, PrefixSource};
+
+        // A measurement run that deposits per-task cycle counts at 0x100.
+        let build = || -> mpsoc_platform::Result<mpsoc_platform::Platform> {
+            let mut p = PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(512)
+                .cache(None)
+                .build()?;
+            let prog = assemble(
+                "movi r1, 0x100\nmovi r2, 55\nst r2, r1, 0\nmovi r2, 40\nst r2, r1, 1\n\
+                 movi r2, 90\nst r2, r1, 2\nmovi r2, 15\nst r2, r1, 3\nhalt",
+            )
+            .unwrap();
+            p.load_program(0, prog, 0)?;
+            Ok(p)
+        };
+        let steps = 12;
+        let cold = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        // The warm start: capture once at the region of interest.
+        let mut p = build().unwrap();
+        for _ in 0..steps {
+            p.step().unwrap();
+        }
+        let image = p.capture().unwrap();
+        let warm = PrefixSource::Warm { image: &image };
+
+        let g = diamond([37, 91, 64, 22]);
+        let arch = ArchModel::homogeneous(3);
+        // The profile really re-costs the graph...
+        let profiled = profile_task_costs(&g, &warm, 0x100).unwrap();
+        assert_eq!(
+            profiled.tasks.iter().map(|t| t.cost).collect::<Vec<_>>(),
+            vec![55, 40, 90, 15]
+        );
+        // ...and warm equals cold, bit for bit, at every thread count.
+        let reference = anneal_multi_profiled(&g, &arch, 7, 200, 6, 1, &cold, 0x100).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let warm_m =
+                anneal_multi_profiled(&g, &arch, 7, 200, 6, threads, &warm, 0x100).unwrap();
+            assert_eq!(
+                reference, warm_m,
+                "warm start at {threads} threads must match the cold reference"
+            );
+        }
     }
 
     #[test]

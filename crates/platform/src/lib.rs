@@ -67,4 +67,5 @@ pub use crate::error::{Error, Result};
 pub use crate::platform::{
     Access, AccessKind, Originator, Platform, PlatformBuilder, StepEvent, StepKind,
 };
+pub use crate::snapshot::{BaseImage, PrefixSource};
 pub use crate::time::{Cycles, Frequency, Time};

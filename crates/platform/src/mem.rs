@@ -87,12 +87,34 @@ pub fn periph_addr(page: usize, offset: u32) -> u32 {
     PERIPH_BASE + page as u32 * PERIPH_PAGE + offset
 }
 
-/// A flat word-addressable RAM.
+/// Words per dirty-tracking page (see [`Ram`]). 64 words = 512 bytes per
+/// page: small enough that a sparse-write workload dirties only a few
+/// hundred bytes per checkpoint interval, large enough that the bitmap
+/// stays one `u64` per 4096 words and page iteration is cheap.
+pub const PAGE_WORDS: usize = 64;
+
+/// A flat word-addressable RAM with dirty-page tracking.
 ///
 /// Reads of never-written cells return 0, mirroring zero-initialised SRAM.
+///
+/// Every write path marks the containing fixed-size page (of
+/// [`PAGE_WORDS`] words) dirty in a bitmap. The snapshot layer clears the
+/// bitmap when a base checkpoint is captured or restored, so at any later
+/// point "dirty" means *modified since the base image* — exactly the set
+/// of pages a delta checkpoint must carry. The bitmap is host-side
+/// bookkeeping, never serialized: two RAMs with equal words are
+/// bit-identical on the wire regardless of their dirty state.
 #[derive(Clone, Debug)]
 pub struct Ram {
     words: Vec<Word>,
+    /// One bit per [`PAGE_WORDS`]-word page; bit set = page written since
+    /// the last [`clear_dirty`](Ram::clear_dirty).
+    dirty: Vec<u64>,
+}
+
+/// Number of `u64` bitmap limbs needed for `words` cells.
+fn dirty_limbs(words: usize) -> usize {
+    words.div_ceil(PAGE_WORDS).div_ceil(64)
 }
 
 impl Ram {
@@ -100,7 +122,96 @@ impl Ram {
     pub fn new(words: u32) -> Self {
         Ram {
             words: vec![0; words as usize],
+            dirty: vec![0; dirty_limbs(words as usize)],
         }
+    }
+
+    /// Builds a RAM holding exactly `words`, with a clear dirty bitmap
+    /// (the contents are the new baseline).
+    pub(crate) fn from_words(words: Vec<Word>) -> Self {
+        let limbs = dirty_limbs(words.len());
+        Ram {
+            words,
+            dirty: vec![0; limbs],
+        }
+    }
+
+    #[inline]
+    fn mark_page(&mut self, page: usize) {
+        self.dirty[page / 64] |= 1u64 << (page % 64);
+    }
+
+    /// Marks every page overlapping `[start, start + len)` dirty — the
+    /// bulk-write path (DMA) calls this after writing through
+    /// [`words_mut`](Ram::words_mut).
+    pub(crate) fn mark_dirty_range(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = start / PAGE_WORDS;
+        let last = (start + len - 1) / PAGE_WORDS;
+        for page in first..=last {
+            self.mark_page(page);
+        }
+    }
+
+    /// Clears the dirty bitmap: the current contents become the baseline
+    /// future deltas are computed against.
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    /// Number of pages currently marked dirty.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Total number of pages (dirty or clean) covering this RAM.
+    pub fn page_count(&self) -> usize {
+        self.words.len().div_ceil(PAGE_WORDS)
+    }
+
+    /// Word length of page `page` (the last page may be partial).
+    pub(crate) fn page_len(&self, page: usize) -> usize {
+        let start = page * PAGE_WORDS;
+        PAGE_WORDS.min(self.words.len() - start)
+    }
+
+    /// The words of page `page`.
+    pub(crate) fn page_words(&self, page: usize) -> &[Word] {
+        let start = page * PAGE_WORDS;
+        &self.words[start..start + self.page_len(page)]
+    }
+
+    /// Iterates the indices of dirty pages in ascending order.
+    pub(crate) fn dirty_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dirty.iter().enumerate().flat_map(|(limb, &bits)| {
+            let mut rest = bits;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(limb * 64 + bit)
+            })
+        })
+    }
+
+    /// Overwrites page `page` with `data` (exactly the page's length) and
+    /// marks it dirty — the delta-restore commit path.
+    pub(crate) fn write_page(&mut self, page: usize, data: &[Word]) {
+        let start = page * PAGE_WORDS;
+        self.words[start..start + data.len()].copy_from_slice(data);
+        self.mark_page(page);
+    }
+
+    /// Copies page `page` from `baseline` (same-shaped words) and clears
+    /// nothing — used to roll dirty pages back to a base image.
+    pub(crate) fn copy_page_from(&mut self, page: usize, baseline: &[Word]) {
+        let start = page * PAGE_WORDS;
+        let end = start + self.page_len(page);
+        self.words[start..end].copy_from_slice(&baseline[start..end]);
     }
 
     /// Capacity in words.
@@ -134,6 +245,7 @@ impl Ram {
         match self.words.get_mut(offset as usize) {
             Some(w) => {
                 *w = value;
+                self.mark_page(offset as usize / PAGE_WORDS);
                 Ok(())
             }
             None => Err(Error::UnmappedAddress { addr: offset }),
@@ -152,6 +264,7 @@ impl Ram {
             return Err(Error::UnmappedAddress { addr: end as u32 });
         }
         self.words[start..end].copy_from_slice(data);
+        self.mark_dirty_range(start, data.len());
         Ok(())
     }
 
@@ -161,7 +274,9 @@ impl Ram {
     }
 
     /// A mutable view of the whole RAM, for batched transfers (DMA) that
-    /// have already bounds-checked their range.
+    /// have already bounds-checked their range. Does NOT mark pages dirty —
+    /// the caller must follow up with [`mark_dirty_range`](Ram::mark_dirty_range)
+    /// for whatever it wrote.
     pub(crate) fn words_mut(&mut self) -> &mut [Word] {
         &mut self.words
     }
@@ -169,12 +284,12 @@ impl Ram {
 
 impl mpsoc_snapshot::Snapshot for Ram {
     fn save(&self, w: &mut mpsoc_snapshot::Writer) {
+        // Words only: the dirty bitmap is host-side bookkeeping relative to
+        // a particular base image, so it never travels on the wire.
         self.words.save(w);
     }
     fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
-        Ok(Ram {
-            words: Vec::<Word>::load(r)?,
-        })
+        Ok(Ram::from_words(Vec::<Word>::load(r)?))
     }
 }
 
@@ -262,5 +377,56 @@ mod tests {
         r.load(2, &[1, 2, 3]).unwrap();
         assert_eq!(r.as_slice(), &[0, 0, 1, 2, 3, 0]);
         assert!(r.load(5, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn dirty_pages_track_writes() {
+        let mut r = Ram::new(4 * PAGE_WORDS as u32);
+        assert_eq!(r.dirty_page_count(), 0);
+        r.write(0, 1).unwrap();
+        r.write((2 * PAGE_WORDS) as u32, 2).unwrap();
+        assert_eq!(r.dirty_pages().collect::<Vec<_>>(), vec![0, 2]);
+        // Re-dirtying the same page is idempotent.
+        r.write(1, 3).unwrap();
+        assert_eq!(r.dirty_page_count(), 2);
+        r.clear_dirty();
+        assert_eq!(r.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn dirty_range_spans_pages() {
+        let mut r = Ram::new(4 * PAGE_WORDS as u32);
+        // A load straddling the page-1/page-2 boundary dirties both.
+        r.load(
+            (2 * PAGE_WORDS - 2) as u32,
+            &[7; 4], // 2 words in page 1, 2 in page 2
+        )
+        .unwrap();
+        assert_eq!(r.dirty_pages().collect::<Vec<_>>(), vec![1, 2]);
+        r.clear_dirty();
+        r.mark_dirty_range(0, 0); // empty range marks nothing
+        assert_eq!(r.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn partial_last_page_has_short_len() {
+        let r = Ram::new(PAGE_WORDS as u32 + 10);
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.page_len(0), PAGE_WORDS);
+        assert_eq!(r.page_len(1), 10);
+        assert_eq!(r.page_words(1).len(), 10);
+    }
+
+    #[test]
+    fn snapshot_load_resets_dirty() {
+        use mpsoc_snapshot::{Reader, Snapshot, Writer};
+        let mut r = Ram::new(2 * PAGE_WORDS as u32);
+        r.write(5, 42).unwrap();
+        let mut w = Writer::new();
+        r.save(&mut w);
+        let bytes = w.into_bytes();
+        let restored = <Ram as Snapshot>::load(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.as_slice(), r.as_slice());
+        assert_eq!(restored.dirty_page_count(), 0);
     }
 }

@@ -459,6 +459,7 @@ impl PlatformBuilder {
             dma_seq: 0,
             access_pool: Vec::new(),
             scratch_effects: Vec::new(),
+            base_mark: None,
         })
     }
 }
@@ -511,6 +512,11 @@ pub struct Platform {
     access_pool: Vec<Vec<Access>>,
     /// Recycled peripheral-effect buffer for the step/access hot paths.
     scratch_effects: Vec<Effect>,
+    /// Payload checksum of the base image the RAM dirty bitmaps are
+    /// relative to (set by `capture`/`restore_image`, `None` before the
+    /// first capture). `restore_delta` uses it to prove its in-place RAM
+    /// fast path is rolling back from the right baseline.
+    pub(crate) base_mark: Option<u64>,
 }
 
 impl Platform {
@@ -666,6 +672,62 @@ impl Platform {
     /// [`Error::UnmappedAddress`] if the data does not fit.
     pub fn load_shared(&mut self, addr: u32, data: &[Word]) -> Result<()> {
         self.shared.load(addr, data)
+    }
+
+    /// Writes peripheral register `offset` of page `page` as an external
+    /// stimulus: untimed (no interconnect transfer, no cycle cost) but with
+    /// full functional side effects — signals are driven, IRQs raised, DMA
+    /// kicked. The stimulus record/replay layer uses this so that a replayed
+    /// mailbox push perturbs the platform exactly like the original.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedAddress`] for a nonexistent page, or whatever the
+    /// device rejects.
+    pub fn debug_periph_write(&mut self, page: usize, offset: u32, value: Word) -> Result<()> {
+        let now = self.now;
+        let mut effects = std::mem::take(&mut self.scratch_effects);
+        let wrote = {
+            let p = match self.periphs.get_mut(page) {
+                Some(p) => p,
+                None => {
+                    self.scratch_effects = effects;
+                    return Err(Error::UnmappedAddress {
+                        addr: crate::mem::periph_addr(page, offset),
+                    });
+                }
+            };
+            let mut ctx = PeriphCtx {
+                now,
+                signals: &mut self.signals,
+                effects: &mut effects,
+            };
+            p.write(offset, value, &mut ctx)
+        };
+        let res = wrote.and_then(|()| self.run_effects(&mut effects));
+        effects.clear(); // discard any effects of a faulted access
+        self.scratch_effects = effects;
+        self.calendar.mark_periph(page);
+        res
+    }
+
+    /// Posts interrupt `irq` to core `core` as an external stimulus, at the
+    /// current simulation time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchCore`] if `core` does not exist.
+    pub fn debug_post_irq(&mut self, core: usize, irq: u32) -> Result<()> {
+        let now = self.now;
+        self.core_mut(core)?.post_irq(irq, now);
+        Ok(())
+    }
+
+    /// Drives named signal `name` to `value` at the current simulation
+    /// time, as an external stimulus. Creates the signal if absent.
+    pub fn debug_drive_signal(&mut self, name: &str, value: Word) {
+        let now = self.now;
+        self.signals.drive(name, now, value);
     }
 
     /// Cache statistics of core `id` as `(hits, misses)`, if it has a cache.
@@ -1373,6 +1435,12 @@ impl Platform {
                     push(i, v);
                 }
             }
+        }
+        // `words_mut` bypasses per-write dirty marking; cover the whole
+        // destination range in one call.
+        match dst_sel {
+            MemSel::Shared => self.shared.mark_dirty_range(doff, len),
+            MemSel::Local(b) => self.locals[b].mark_dirty_range(doff, len),
         }
         Ok(())
     }

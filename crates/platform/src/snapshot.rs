@@ -20,15 +20,36 @@
 //!   runs from one image.
 //!
 //! What is deliberately **not** serialized: attached metrics handles (host
-//! observability, not simulated state), recycled scratch buffers, and the
-//! event calendar (derived state, rebuilt from actor state on restore).
+//! observability, not simulated state), recycled scratch buffers, the
+//! event calendar (derived state, rebuilt from actor state on restore),
+//! and the RAM dirty bitmaps (meaningful only relative to a live base).
+//!
+//! ## Delta checkpoints
+//!
+//! A full image serializes every RAM word, so a checkpoint costs O(memory)
+//! no matter how little actually changed — the dominant tax on time-travel
+//! rings and fault campaigns that checkpoint thousands of times. The delta
+//! path makes capture/restore O(dirty state) instead:
+//!
+//! * [`Platform::capture`] clears the per-[page](crate::mem::PAGE_WORDS)
+//!   dirty bitmaps and remembers the image's payload checksum as the
+//!   platform's *base mark*.
+//! * [`Platform::capture_delta`] serializes the small component states in
+//!   full (cores, caches, peripherals, interconnect, signals, pending DMA —
+//!   all cheap) but only the *dirty* RAM pages, framed with the base
+//!   checksum so a delta can never be applied against the wrong base.
+//! * [`Platform::restore_delta`] rolls RAM back to the [`BaseImage`] and
+//!   applies the delta's pages — in place and O(dirty pages) when the
+//!   platform still sits on the same base, by full copy otherwise.
+//! * [`Platform::reset_to_base`] is the degenerate delta (no dirty pages):
+//!   the fault-campaign rollback primitive.
 
 use crate::cache::Cache;
 use crate::core::Core;
 use crate::error::{Error, Result};
 use crate::interconnect::{load_interconnect, Interconnect};
-use crate::isa::Reg;
-use crate::mem::Ram;
+use crate::isa::{Reg, Word};
+use crate::mem::{Ram, PAGE_WORDS};
 use crate::periph::{periph_from_kind, Peripheral};
 use crate::platform::{PendingDma, Platform, SchedulerMode};
 use crate::signal::SignalBoard;
@@ -40,7 +61,17 @@ pub const PLATFORM_IMAGE_MAGIC: u32 = u32::from_le_bytes(*b"MPSS");
 
 /// Current platform checkpoint format version. Bump on any layout change —
 /// images are rejected, never reinterpreted, across versions.
-pub const PLATFORM_IMAGE_VERSION: u16 = 1;
+///
+/// v2 appends a trailing `page_words: u32` (the dirty-page granularity the
+/// capturing build used) so delta compatibility is checkable from the image
+/// alone.
+pub const PLATFORM_IMAGE_VERSION: u16 = 2;
+
+/// Magic number of a platform *delta* checkpoint (`b"MPSD"`, little-endian).
+pub const PLATFORM_DELTA_MAGIC: u32 = u32::from_le_bytes(*b"MPSD");
+
+/// Current delta checkpoint format version.
+pub const PLATFORM_DELTA_VERSION: u16 = 1;
 
 /// Maps a low-level snapshot decode error into a platform [`Error`].
 fn snap_err(e: mpsoc_snapshot::SnapError) -> Error {
@@ -85,11 +116,12 @@ fn load_pending_dma(r: &mut Reader<'_>) -> SnapResult<PendingDma> {
     })
 }
 
-/// Every decoded component of a platform image, validated and ready to be
-/// committed into a [`Platform`]. Decoding into this intermediate first
-/// keeps [`Platform::restore_image`] atomic: a corrupt image leaves the
-/// platform untouched.
-struct DecodedImage {
+/// The non-RAM component states of a platform image — everything that is
+/// cheap enough to serialize in full on every checkpoint, delta or not.
+/// The fields before the RAM block in the image layout ("prefix") and the
+/// ones after it ("suffix") are decoded by [`decode_small`], which can skip
+/// the RAM block when a caller only needs the small state.
+struct SmallState {
     scheduler: SchedulerMode,
     enforce_locality: bool,
     local_latency_cycles: u64,
@@ -99,8 +131,6 @@ struct DecodedImage {
     steps: u64,
     dma_seq: u64,
     cores: Vec<Core>,
-    shared: Ram,
-    locals: Vec<Ram>,
     caches: Vec<Option<Cache>>,
     interconnect: Box<dyn Interconnect>,
     signals: SignalBoard,
@@ -108,26 +138,82 @@ struct DecodedImage {
     periphs: Vec<Box<dyn Peripheral>>,
 }
 
-fn decode_image(payload: &[u8]) -> SnapResult<DecodedImage> {
-    let mut r = Reader::new(payload);
-    let scheduler = load_scheduler(&mut r)?;
-    let enforce_locality = r.get_bool()?;
-    let local_latency_cycles = r.get_u64()?;
-    let cache_hit_cycles = r.get_u64()?;
-    let shared_words = r.get_u32()?;
-    let now = Time::load(&mut r)?;
-    let steps = r.get_u64()?;
-    let dma_seq = r.get_u64()?;
-    let cores = Vec::<Core>::load(&mut r)?;
-    let shared = <Ram as Snapshot>::load(&mut r)?;
-    let locals = Vec::<Ram>::load(&mut r)?;
-    let caches = Vec::<Option<Cache>>::load(&mut r)?;
-    let interconnect = load_interconnect(&mut r)?;
-    let signals = SignalBoard::load(&mut r)?;
+impl SmallState {
+    /// Cross-field consistency of the non-RAM state: the simulator indexes
+    /// locals and caches by core id.
+    fn validate(&self) -> SnapResult<()> {
+        if self.cores.is_empty() {
+            return Err(mpsoc_snapshot::SnapError::Malformed(
+                "image holds zero cores".into(),
+            ));
+        }
+        if self.caches.len() != self.cores.len() {
+            return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                "image holds {} cores but {} caches",
+                self.cores.len(),
+                self.caches.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Every decoded component of a platform image, validated and ready to be
+/// committed into a [`Platform`]. Decoding into this intermediate first
+/// keeps [`Platform::restore_image`] atomic: a corrupt image leaves the
+/// platform untouched.
+struct DecodedImage {
+    small: SmallState,
+    shared: Ram,
+    locals: Vec<Ram>,
+    /// Byte offsets of the RAM block (shared + locals) within the payload.
+    ram_range: (usize, usize),
+}
+
+/// Fields that precede the RAM block in the image layout.
+struct Prefix {
+    scheduler: SchedulerMode,
+    enforce_locality: bool,
+    local_latency_cycles: u64,
+    cache_hit_cycles: u64,
+    shared_words: u32,
+    now: Time,
+    steps: u64,
+    dma_seq: u64,
+    cores: Vec<Core>,
+}
+
+fn decode_prefix(r: &mut Reader<'_>) -> SnapResult<Prefix> {
+    Ok(Prefix {
+        scheduler: load_scheduler(r)?,
+        enforce_locality: r.get_bool()?,
+        local_latency_cycles: r.get_u64()?,
+        cache_hit_cycles: r.get_u64()?,
+        shared_words: r.get_u32()?,
+        now: Time::load(r)?,
+        steps: r.get_u64()?,
+        dma_seq: r.get_u64()?,
+        cores: Vec::<Core>::load(r)?,
+    })
+}
+
+/// Fields that follow the RAM block in the image layout.
+struct Suffix {
+    caches: Vec<Option<Cache>>,
+    interconnect: Box<dyn Interconnect>,
+    signals: SignalBoard,
+    pending_dma: Vec<PendingDma>,
+    periphs: Vec<Box<dyn Peripheral>>,
+}
+
+fn decode_suffix(r: &mut Reader<'_>) -> SnapResult<Suffix> {
+    let caches = Vec::<Option<Cache>>::load(r)?;
+    let interconnect = load_interconnect(r)?;
+    let signals = SignalBoard::load(r)?;
     let n_dma = r.get_len(8)?;
     let mut pending_dma = Vec::with_capacity(n_dma);
     for _ in 0..n_dma {
-        pending_dma.push(load_pending_dma(&mut r)?);
+        pending_dma.push(load_pending_dma(r)?);
     }
     let n_periph = r.get_len(2)?;
     let mut periphs: Vec<Box<dyn Peripheral>> = Vec::with_capacity(n_periph);
@@ -139,50 +225,320 @@ fn decode_image(payload: &[u8]) -> SnapResult<DecodedImage> {
                 what: "peripheral kind",
                 tag: u64::from(kind),
             })?;
-        p.snap_restore(&mut r)?;
+        p.snap_restore(r)?;
         periphs.push(p);
     }
-    r.finish()?;
-
-    // Cross-field consistency: the simulator indexes locals and caches by
-    // core id and trusts `shared_words` for address decoding.
-    if cores.is_empty() {
-        return Err(mpsoc_snapshot::SnapError::Malformed(
-            "image holds zero cores".into(),
-        ));
-    }
-    if locals.len() != cores.len() || caches.len() != cores.len() {
-        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
-            "image holds {} cores but {} local stores / {} caches",
-            cores.len(),
-            locals.len(),
-            caches.len()
-        )));
-    }
-    if shared.len() != shared_words {
-        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
-            "shared RAM holds {} words but config says {shared_words}",
-            shared.len()
-        )));
-    }
-    Ok(DecodedImage {
-        scheduler,
-        enforce_locality,
-        local_latency_cycles,
-        cache_hit_cycles,
-        shared_words,
-        now,
-        steps,
-        dma_seq,
-        cores,
-        shared,
-        locals,
+    Ok(Suffix {
         caches,
         interconnect,
         signals,
         pending_dma,
         periphs,
     })
+}
+
+/// Rejects a `page_words` trailer that does not match this build's
+/// [`PAGE_WORDS`] — deltas across different page granularities would be
+/// silently wrong.
+fn check_page_words(found: u32) -> SnapResult<()> {
+    if found as usize != PAGE_WORDS {
+        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+            "image uses {found}-word dirty pages, this build uses {PAGE_WORDS}"
+        )));
+    }
+    Ok(())
+}
+
+fn assemble_small(pre: Prefix, suf: Suffix) -> SmallState {
+    SmallState {
+        scheduler: pre.scheduler,
+        enforce_locality: pre.enforce_locality,
+        local_latency_cycles: pre.local_latency_cycles,
+        cache_hit_cycles: pre.cache_hit_cycles,
+        shared_words: pre.shared_words,
+        now: pre.now,
+        steps: pre.steps,
+        dma_seq: pre.dma_seq,
+        cores: pre.cores,
+        caches: suf.caches,
+        interconnect: suf.interconnect,
+        signals: suf.signals,
+        pending_dma: suf.pending_dma,
+        periphs: suf.periphs,
+    }
+}
+
+fn decode_image(payload: &[u8]) -> SnapResult<DecodedImage> {
+    let mut r = Reader::new(payload);
+    let pre = decode_prefix(&mut r)?;
+    let ram_start = r.position();
+    let shared = <Ram as Snapshot>::load(&mut r)?;
+    let locals = Vec::<Ram>::load(&mut r)?;
+    let ram_end = r.position();
+    let suf = decode_suffix(&mut r)?;
+    check_page_words(r.get_u32()?)?;
+    r.finish()?;
+
+    let small = assemble_small(pre, suf);
+    small.validate()?;
+    if locals.len() != small.cores.len() {
+        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+            "image holds {} cores but {} local stores",
+            small.cores.len(),
+            locals.len()
+        )));
+    }
+    if shared.len() != small.shared_words {
+        return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+            "shared RAM holds {} words but config says {}",
+            shared.len(),
+            small.shared_words
+        )));
+    }
+    Ok(DecodedImage {
+        small,
+        shared,
+        locals,
+        ram_range: (ram_start, ram_end),
+    })
+}
+
+/// Decodes only the small (non-RAM) state of a full image payload, jumping
+/// over the RAM block recorded in `ram_range` — O(small state) regardless
+/// of memory size. Used by [`Platform::reset_to_base`].
+fn decode_small(payload: &[u8], ram_range: (usize, usize)) -> SnapResult<SmallState> {
+    let mut r = Reader::new(payload);
+    let pre = decode_prefix(&mut r)?;
+    if r.position() != ram_range.0 {
+        return Err(mpsoc_snapshot::SnapError::Malformed(
+            "recorded RAM block offset does not match the payload".into(),
+        ));
+    }
+    r.skip(ram_range.1 - ram_range.0)?;
+    let suf = decode_suffix(&mut r)?;
+    check_page_words(r.get_u32()?)?;
+    r.finish()?;
+    let small = assemble_small(pre, suf);
+    small.validate()?;
+    Ok(small)
+}
+
+/// A full platform image held in the form delta operations need: the sealed
+/// bytes (so it can still be restored or shipped whole), its payload
+/// checksum (the identity deltas are chained against), the decoded RAM
+/// words (the rollback baseline), and the payload offsets of the RAM block
+/// (so the small state can be re-decoded without touching the RAM bytes).
+///
+/// Construction validates the image exactly like
+/// [`Platform::restore_image`] would; a `BaseImage` is therefore always
+/// internally consistent.
+pub struct BaseImage {
+    image: Vec<u8>,
+    checksum: u64,
+    shared: Vec<Word>,
+    locals: Vec<Vec<Word>>,
+    ram_range: (usize, usize),
+}
+
+impl std::fmt::Debug for BaseImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseImage")
+            .field("bytes", &self.image.len())
+            .field("checksum", &self.checksum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaseImage {
+    /// Validates and indexes a full image produced by
+    /// [`Platform::capture`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] for anything [`Platform::restore_image`] would
+    /// reject.
+    pub fn new(image: Vec<u8>) -> Result<Self> {
+        let payload =
+            Image::open(&image, PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION).map_err(snap_err)?;
+        let checksum = fnv1a64(payload);
+        let d = decode_image(payload).map_err(snap_err)?;
+        let shared = d.shared.as_slice().to_vec();
+        let locals = d.locals.iter().map(|l| l.as_slice().to_vec()).collect();
+        let ram_range = d.ram_range;
+        Ok(BaseImage {
+            image,
+            checksum,
+            shared,
+            locals,
+            ram_range,
+        })
+    }
+
+    /// The sealed full image these deltas are relative to.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Payload checksum — the identity a delta's frame must carry.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Size of the sealed image in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Whether `platform`'s RAM shapes match this base (delta fast-path
+    /// precondition, together with the base-mark check).
+    fn shapes_match(&self, platform: &Platform) -> bool {
+        platform.shared.len() as usize == self.shared.len()
+            && platform.locals.len() == self.locals.len()
+            && platform
+                .locals
+                .iter()
+                .zip(&self.locals)
+                .all(|(l, b)| l.len() as usize == b.len())
+    }
+}
+
+/// Word length of page `page` in a RAM of `total` words (the last page may
+/// be partial).
+fn page_len_of(total: usize, page: usize) -> usize {
+    PAGE_WORDS.min(total - page * PAGE_WORDS)
+}
+
+/// One RAM's worth of decoded delta pages: ascending `(page, words)` pairs.
+type DeltaPages = Vec<(usize, Vec<Word>)>;
+
+fn save_dirty_pages(ram: &Ram, w: &mut Writer) {
+    w.put_u32(ram.dirty_page_count() as u32);
+    for page in ram.dirty_pages() {
+        w.put_u32(page as u32);
+        for &v in ram.page_words(page) {
+            w.put_i64(v);
+        }
+    }
+}
+
+/// Decodes one RAM's delta page list against a baseline of `total` words,
+/// enforcing ascending page order and in-range indices.
+fn load_dirty_pages(r: &mut Reader<'_>, total: usize) -> SnapResult<DeltaPages> {
+    let count = r.get_u32()? as usize;
+    let page_count = total.div_ceil(PAGE_WORDS);
+    let mut pages = Vec::with_capacity(count.min(page_count));
+    let mut prev: Option<usize> = None;
+    for _ in 0..count {
+        let page = r.get_u32()? as usize;
+        if page >= page_count {
+            return Err(mpsoc_snapshot::SnapError::Malformed(format!(
+                "delta page {page} out of range (RAM has {page_count} pages)"
+            )));
+        }
+        if prev.is_some_and(|p| p >= page) {
+            return Err(mpsoc_snapshot::SnapError::Malformed(
+                "delta pages not strictly ascending".into(),
+            ));
+        }
+        prev = Some(page);
+        let len = page_len_of(total, page);
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            words.push(r.get_i64()?);
+        }
+        pages.push((page, words));
+    }
+    Ok(pages)
+}
+
+/// A fully decoded delta image, ready to commit.
+struct DecodedDelta {
+    small: SmallState,
+    shared_pages: DeltaPages,
+    local_pages: Vec<DeltaPages>,
+}
+
+/// In-place RAM patch: roll the currently-dirty pages back to `baseline`,
+/// then apply the delta `pages`. Afterwards the dirty bitmap equals the
+/// delta's page set. O(currently dirty + delta pages).
+fn patch_ram(ram: &mut Ram, baseline: &[Word], pages: &[(usize, Vec<Word>)]) {
+    let dirty: Vec<usize> = ram.dirty_pages().collect();
+    for page in dirty {
+        ram.copy_page_from(page, baseline);
+    }
+    ram.clear_dirty();
+    for (page, words) in pages {
+        ram.write_page(*page, words);
+    }
+}
+
+/// Full-copy RAM rebuild from `baseline` plus delta `pages` (the slow path,
+/// for a platform not currently sitting on the base).
+fn rebuild_ram(baseline: &[Word], pages: &[(usize, Vec<Word>)]) -> Ram {
+    let mut ram = Ram::from_words(baseline.to_vec());
+    for (page, words) in pages {
+        ram.write_page(*page, words);
+    }
+    ram
+}
+
+/// Where a design-space-exploration worker gets the simulation prefix it
+/// profiles: re-simulate it from scratch ([`Cold`](PrefixSource::Cold)) or
+/// rehydrate a captured image ([`Warm`](PrefixSource::Warm)). The warm path
+/// is the snapshot warm start: every worker skips straight to the region of
+/// interest, paying one image decode instead of the whole prefix — and
+/// because a restore is bit-identical to having simulated, both paths give
+/// the exploration identical profile data.
+pub enum PrefixSource<'a> {
+    /// Build a platform and step it `steps` times to reach the region of
+    /// interest.
+    Cold {
+        /// Platform factory (must be deterministic for warm/cold equality).
+        build: &'a (dyn Fn() -> Result<Platform> + Sync),
+        /// Steps to simulate before profiling.
+        steps: u64,
+    },
+    /// Restore a full image captured at the region of interest.
+    Warm {
+        /// Image from [`Platform::capture`].
+        image: &'a [u8],
+    },
+}
+
+impl std::fmt::Debug for PrefixSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefixSource::Cold { steps, .. } => f
+                .debug_struct("PrefixSource::Cold")
+                .field("steps", steps)
+                .finish_non_exhaustive(),
+            PrefixSource::Warm { image } => f
+                .debug_struct("PrefixSource::Warm")
+                .field("bytes", &image.len())
+                .finish(),
+        }
+    }
+}
+
+impl PrefixSource<'_> {
+    /// Produces a platform positioned at the region of interest.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the factory, the prefix simulation, or the image decode
+    /// reports.
+    pub fn materialize(&self) -> Result<Platform> {
+        match self {
+            PrefixSource::Cold { build, steps } => {
+                let mut p = build()?;
+                for _ in 0..*steps {
+                    p.step()?;
+                }
+                Ok(p)
+            }
+            PrefixSource::Warm { image } => Platform::from_image(image),
+        }
+    }
 }
 
 impl Platform {
@@ -194,11 +550,17 @@ impl Platform {
     /// to `p` — same [`StepEvent`](crate::platform::StepEvent) stream, same
     /// final memory contents — under either scheduler mode.
     ///
+    /// Capturing also establishes this image as the platform's *base*: the
+    /// RAM dirty bitmaps are cleared, so a later
+    /// [`capture_delta`](Platform::capture_delta) records exactly the pages
+    /// written since this call. (That is the only mutation — simulated
+    /// state is untouched, which the round-trip tests prove.)
+    ///
     /// # Errors
     ///
     /// [`Error::Snapshot`] if a registered peripheral does not support
     /// checkpointing ([`Peripheral::snap_kind`] returned `None`).
-    pub fn capture(&self) -> Result<Vec<u8>> {
+    pub fn capture(&mut self) -> Result<Vec<u8>> {
         let mut w = Writer::new();
         save_scheduler(self.scheduler, &mut w);
         w.put_bool(self.enforce_locality);
@@ -211,12 +573,32 @@ impl Platform {
         self.cores.save(&mut w);
         self.shared.save(&mut w);
         self.locals.save(&mut w);
-        self.caches.save(&mut w);
-        self.interconnect.snap_save(&mut w);
-        self.signals.save(&mut w);
+        self.save_small_suffix(&mut w)?;
+        w.put_u32(PAGE_WORDS as u32);
+        let payload = w.into_bytes();
+        self.base_mark = Some(fnv1a64(&payload));
+        self.shared.clear_dirty();
+        for l in &mut self.locals {
+            l.clear_dirty();
+        }
+        Ok(Image::seal(
+            PLATFORM_IMAGE_MAGIC,
+            PLATFORM_IMAGE_VERSION,
+            &payload,
+        ))
+    }
+
+    /// The post-RAM ("suffix") component states: caches, interconnect,
+    /// signals, pending DMA, peripherals. Shared between full and delta
+    /// capture — in a delta these are serialized whole because they are
+    /// tiny next to RAM.
+    fn save_small_suffix(&self, w: &mut Writer) -> Result<()> {
+        self.caches.save(w);
+        self.interconnect.snap_save(w);
+        self.signals.save(w);
         w.put_usize(self.pending_dma.len());
         for d in &self.pending_dma {
-            save_pending_dma(d, &mut w);
+            save_pending_dma(d, w);
         }
         w.put_usize(self.periphs.len());
         for p in &self.periphs {
@@ -228,13 +610,203 @@ impl Platform {
             })?;
             w.put_u8(kind);
             w.put_str(p.name());
-            p.snap_save(&mut w);
+            p.snap_save(w);
+        }
+        Ok(())
+    }
+
+    /// Serializes the state *changed since the last* [`capture`]
+    /// (or [`restore_image`] / [`restore_delta`], which also set the base):
+    /// the small component states in full plus only the dirty RAM pages.
+    /// O(dirty state) in time and bytes — on sparse-write workloads a delta
+    /// is a few percent of a full image.
+    ///
+    /// Deltas chain against the **base**, not against each other: restoring
+    /// any delta needs only the [`BaseImage`] it names, never intermediate
+    /// deltas. Capturing a delta does not clear the dirty bitmaps, so
+    /// successive deltas are each independently restorable.
+    ///
+    /// [`capture`]: Platform::capture
+    /// [`restore_image`]: Platform::restore_image
+    /// [`restore_delta`]: Platform::restore_delta
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] if no base capture has been taken, or a
+    /// peripheral does not support checkpointing.
+    pub fn capture_delta(&self) -> Result<Vec<u8>> {
+        let base = self.base_mark.ok_or_else(|| {
+            Error::Snapshot("capture_delta needs a prior full capture as base".into())
+        })?;
+        let mut w = Writer::new();
+        w.put_u64(base);
+        w.put_u32(PAGE_WORDS as u32);
+        save_scheduler(self.scheduler, &mut w);
+        w.put_bool(self.enforce_locality);
+        w.put_u64(self.local_latency_cycles);
+        w.put_u64(self.cache_hit_cycles);
+        w.put_u32(self.shared_words);
+        self.now.save(&mut w);
+        w.put_u64(self.steps);
+        w.put_u64(self.dma_seq);
+        self.cores.save(&mut w);
+        self.save_small_suffix(&mut w)?;
+        save_dirty_pages(&self.shared, &mut w);
+        w.put_u32(self.locals.len() as u32);
+        for l in &self.locals {
+            save_dirty_pages(l, &mut w);
         }
         Ok(Image::seal(
-            PLATFORM_IMAGE_MAGIC,
-            PLATFORM_IMAGE_VERSION,
+            PLATFORM_DELTA_MAGIC,
+            PLATFORM_DELTA_VERSION,
             &w.into_bytes(),
         ))
+    }
+
+    /// Decodes and validates `delta` against `base` — everything that can
+    /// fail, before anything is committed.
+    fn decode_delta(base: &BaseImage, delta: &[u8]) -> Result<DecodedDelta> {
+        let payload =
+            Image::open(delta, PLATFORM_DELTA_MAGIC, PLATFORM_DELTA_VERSION).map_err(snap_err)?;
+        let mut r = Reader::new(payload);
+        let found_base = r.get_u64().map_err(snap_err)?;
+        if found_base != base.checksum {
+            return Err(Error::Snapshot(format!(
+                "delta chained against base {found_base:#018x}, got base {:#018x}",
+                base.checksum
+            )));
+        }
+        check_page_words(r.get_u32().map_err(snap_err)?).map_err(snap_err)?;
+        let pre = decode_prefix(&mut r).map_err(snap_err)?;
+        let suf = decode_suffix(&mut r).map_err(snap_err)?;
+        let shared_pages = load_dirty_pages(&mut r, base.shared.len()).map_err(snap_err)?;
+        let n_locals = r.get_u32().map_err(snap_err)? as usize;
+        if n_locals != base.locals.len() {
+            return Err(Error::Snapshot(format!(
+                "delta holds {n_locals} local stores, base holds {}",
+                base.locals.len()
+            )));
+        }
+        let mut local_pages = Vec::with_capacity(n_locals);
+        for b in &base.locals {
+            local_pages.push(load_dirty_pages(&mut r, b.len()).map_err(snap_err)?);
+        }
+        r.finish().map_err(snap_err)?;
+        let small = assemble_small(pre, suf);
+        small.validate().map_err(snap_err)?;
+        if small.cores.len() != base.locals.len() {
+            return Err(Error::Snapshot(format!(
+                "delta holds {} cores, base holds {} local stores",
+                small.cores.len(),
+                base.locals.len()
+            )));
+        }
+        if small.shared_words as usize != base.shared.len() {
+            return Err(Error::Snapshot(format!(
+                "delta says {} shared words, base holds {}",
+                small.shared_words,
+                base.shared.len()
+            )));
+        }
+        Ok(DecodedDelta {
+            small,
+            shared_pages,
+            local_pages,
+        })
+    }
+
+    /// Replaces every piece of simulated state by *base + delta*: the
+    /// delta's small component states plus RAM reconstructed as the base
+    /// image's words with the delta's dirty pages applied.
+    ///
+    /// When this platform is still sitting on the same base (it captured or
+    /// restored it last, unchanged shapes), RAM is patched **in place**:
+    /// only the platform's currently-dirty pages are rolled back to base
+    /// words and only the delta's pages are applied — O(dirty pages), the
+    /// whole point of the delta path. Otherwise RAM is rebuilt from the
+    /// base by full copy. Either way the continuation is bit-identical to
+    /// restoring a full image captured at the same step.
+    ///
+    /// Decoding is atomic — on error the platform is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] for a corrupt delta, one chained against a
+    /// different base, or a page-granularity mismatch.
+    pub fn restore_delta(&mut self, base: &BaseImage, delta: &[u8]) -> Result<()> {
+        let d = Self::decode_delta(base, delta)?;
+        self.commit_small(d.small);
+        self.commit_ram(base, &d.shared_pages, &d.local_pages);
+        self.rebuild_calendar();
+        Ok(())
+    }
+
+    /// Rolls the platform back to `base` exactly — the degenerate delta
+    /// with zero dirty pages, and the fault-campaign rollback primitive:
+    /// O(small state + currently-dirty pages) when the platform is still on
+    /// this base, instead of decoding the full RAM block every trial.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] if the base image fails re-validation (only
+    /// possible through memory corruption of the [`BaseImage`] itself).
+    pub fn reset_to_base(&mut self, base: &BaseImage) -> Result<()> {
+        let payload = Image::open(base.image(), PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION)
+            .map_err(snap_err)?;
+        let small = decode_small(payload, base.ram_range).map_err(snap_err)?;
+        self.commit_small(small);
+        self.commit_ram(base, &[], &[]);
+        self.rebuild_calendar();
+        Ok(())
+    }
+
+    /// Commits decoded small state into the platform (infallible half of a
+    /// restore).
+    fn commit_small(&mut self, s: SmallState) {
+        self.scheduler = s.scheduler;
+        self.enforce_locality = s.enforce_locality;
+        self.local_latency_cycles = s.local_latency_cycles;
+        self.cache_hit_cycles = s.cache_hit_cycles;
+        self.shared_words = s.shared_words;
+        self.now = s.now;
+        self.steps = s.steps;
+        self.dma_seq = s.dma_seq;
+        self.cores = s.cores;
+        self.caches = s.caches;
+        self.interconnect = s.interconnect;
+        self.signals = s.signals;
+        self.pending_dma = s.pending_dma;
+        self.periphs = s.periphs;
+    }
+
+    /// Rebuilds RAM as *base + delta pages* and leaves the dirty bitmaps
+    /// equal to the delta's page set (so the platform is again "on" the
+    /// base). Fast path: patch in place; slow path: full copy from base.
+    /// A missing entry in `local_pages` means "no dirty pages" (the
+    /// [`reset_to_base`](Platform::reset_to_base) case passes all-empty).
+    fn commit_ram(
+        &mut self,
+        base: &BaseImage,
+        shared_pages: &[(usize, Vec<Word>)],
+        local_pages: &[DeltaPages],
+    ) {
+        let on_base = self.base_mark == Some(base.checksum) && base.shapes_match(self);
+        let local_for = |i: usize| local_pages.get(i).map(Vec::as_slice).unwrap_or(&[]);
+        if on_base {
+            patch_ram(&mut self.shared, &base.shared, shared_pages);
+            for (i, (l, b)) in self.locals.iter_mut().zip(&base.locals).enumerate() {
+                patch_ram(l, b, local_for(i));
+            }
+        } else {
+            self.shared = rebuild_ram(&base.shared, shared_pages);
+            self.locals = base
+                .locals
+                .iter()
+                .enumerate()
+                .map(|(i, b)| rebuild_ram(b, local_for(i)))
+                .collect();
+        }
+        self.base_mark = Some(base.checksum);
     }
 
     /// Restores this platform in place from an image produced by
@@ -245,6 +817,8 @@ impl Platform {
     /// survive: an attached metrics registry keeps counting (counters are
     /// observability, not simulated state, so restoring does **not** rewind
     /// them). The event calendar is rebuilt from the restored actor state.
+    /// The restored image becomes the platform's delta *base*, exactly as
+    /// if [`capture`](Platform::capture) had just produced it.
     ///
     /// Decoding is atomic — on error the platform is left untouched.
     ///
@@ -256,22 +830,10 @@ impl Platform {
         let payload =
             Image::open(image, PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION).map_err(snap_err)?;
         let d = decode_image(payload).map_err(snap_err)?;
-        self.scheduler = d.scheduler;
-        self.enforce_locality = d.enforce_locality;
-        self.local_latency_cycles = d.local_latency_cycles;
-        self.cache_hit_cycles = d.cache_hit_cycles;
-        self.shared_words = d.shared_words;
-        self.now = d.now;
-        self.steps = d.steps;
-        self.dma_seq = d.dma_seq;
-        self.cores = d.cores;
+        self.commit_small(d.small);
         self.shared = d.shared;
         self.locals = d.locals;
-        self.caches = d.caches;
-        self.interconnect = d.interconnect;
-        self.signals = d.signals;
-        self.pending_dma = d.pending_dma;
-        self.periphs = d.periphs;
+        self.base_mark = Some(fnv1a64(payload));
         self.rebuild_calendar();
         Ok(())
     }
@@ -525,6 +1087,116 @@ mod tests {
         assert_eq!(p.state_checksum(), clean);
         p.inject_mem_flip(0x40, 63).unwrap();
         assert_ne!(p.state_checksum(), clean);
+    }
+
+    #[test]
+    fn delta_restore_matches_full_restore() {
+        for mode in [SchedulerMode::Calendar, SchedulerMode::ScanReference] {
+            let mut p = counter_platform(mode);
+            for _ in 0..10 {
+                p.step().unwrap();
+            }
+            let base = super::BaseImage::new(p.capture().unwrap()).unwrap();
+            for _ in 0..15 {
+                p.step().unwrap();
+            }
+            let delta = p.capture_delta().unwrap();
+            let full = p.capture().unwrap();
+            assert!(
+                delta.len() < full.len(),
+                "delta ({}) not smaller than full ({})",
+                delta.len(),
+                full.len()
+            );
+
+            // Fast path: the same platform, still on the base after more
+            // steps.
+            let mut fast = counter_platform(mode);
+            for _ in 0..10 {
+                fast.step().unwrap();
+            }
+            fast.restore_image(base.image()).unwrap();
+            for _ in 0..3 {
+                fast.step().unwrap();
+            }
+            fast.restore_delta(&base, &delta).unwrap();
+            assert_eq!(fast.state_checksum(), p.state_checksum());
+
+            // Slow path: a fresh differently-shaped platform.
+            let mut slow = PlatformBuilder::new()
+                .cores(1, Frequency::ghz(1))
+                .shared_words(16)
+                .cache(None)
+                .build()
+                .unwrap();
+            slow.restore_delta(&base, &delta).unwrap();
+            assert_eq!(slow.state_checksum(), p.state_checksum());
+            assert_eq!(drain(&mut slow), drain(&mut fast));
+        }
+    }
+
+    #[test]
+    fn delta_against_wrong_base_is_rejected() {
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..5 {
+            p.step().unwrap();
+        }
+        let base_a = super::BaseImage::new(p.capture().unwrap()).unwrap();
+        p.step().unwrap();
+        let base_b = super::BaseImage::new(p.capture().unwrap()).unwrap();
+        p.step().unwrap();
+        let delta = p.capture_delta().unwrap(); // chained against base_b
+        let before = p.state_checksum();
+        assert!(p.restore_delta(&base_a, &delta).is_err());
+        assert_eq!(p.state_checksum(), before, "failed restore must not mutate");
+        p.restore_delta(&base_b, &delta).unwrap();
+    }
+
+    #[test]
+    fn capture_delta_without_base_is_rejected() {
+        let p = counter_platform(SchedulerMode::Calendar);
+        assert!(p.capture_delta().is_err());
+    }
+
+    #[test]
+    fn reset_to_base_rolls_back_exactly() {
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..8 {
+            p.step().unwrap();
+        }
+        let image = p.capture().unwrap();
+        let mark = p.state_checksum();
+        let base = super::BaseImage::new(image).unwrap();
+        for _ in 0..12 {
+            p.step().unwrap();
+        }
+        p.inject_mem_flip(0x40, 3).unwrap();
+        assert_ne!(p.state_checksum(), mark);
+        p.reset_to_base(&base).unwrap();
+        assert_eq!(p.state_checksum(), mark);
+        // Repeated rollbacks from the fast path stay exact.
+        for _ in 0..4 {
+            p.step().unwrap();
+        }
+        p.reset_to_base(&base).unwrap();
+        assert_eq!(p.state_checksum(), mark);
+    }
+
+    #[test]
+    fn capture_does_not_perturb_the_run() {
+        // `capture` is `&mut self` (it clears dirty bitmaps) but must not
+        // change simulated state: a run with interleaved captures matches
+        // an undisturbed one event for event.
+        let mut quiet = counter_platform(SchedulerMode::Calendar);
+        let mut noisy = counter_platform(SchedulerMode::Calendar);
+        for i in 0..20 {
+            if i % 4 == 0 {
+                noisy.capture().unwrap();
+                noisy.capture_delta().unwrap();
+            }
+            assert_eq!(noisy.step().unwrap(), quiet.step().unwrap());
+        }
+        assert_eq!(noisy.state_checksum(), quiet.state_checksum());
     }
 
     #[test]

@@ -100,6 +100,23 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Byte offset of the cursor from the start of the buffer. Paired with
+    /// [`skip`](Reader::skip), this lets a decoder record the extent of a
+    /// block on a first pass and jump over it on later passes (the delta
+    /// checkpoint decoder skips the RAM block of a base image this way).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Advances the cursor `n` bytes without decoding them.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] if fewer than `n` bytes remain.
+    pub fn skip(&mut self, n: usize) -> SnapResult<()> {
+        self.take(n).map(|_| ())
+    }
+
     /// Error unless the reader consumed the whole buffer.
     pub fn finish(&self) -> SnapResult<()> {
         if self.remaining() == 0 {
@@ -258,6 +275,24 @@ mod tests {
                 tag: 2
             })
         ));
+    }
+
+    #[test]
+    fn position_and_skip_track_the_cursor() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u64(2);
+        w.put_u8(3);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.position(), 0);
+        r.get_u32().unwrap();
+        let mark = r.position();
+        assert_eq!(mark, 4);
+        r.skip(8).unwrap();
+        assert_eq!(r.position(), mark + 8);
+        assert_eq!(r.get_u8().unwrap(), 3);
+        assert!(matches!(r.skip(1), Err(SnapError::Truncated { .. })));
     }
 
     #[test]

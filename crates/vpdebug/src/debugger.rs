@@ -19,11 +19,14 @@
 //!   core while *"other cores or timers continue to operate"*, which is
 //!   exactly how Heisenbugs escape (see [`crate::heisenbug`]).
 
+use mpsoc_obs::metrics::{Gauge, MetricsRegistry};
 use mpsoc_platform::isa::Word;
+use mpsoc_platform::periph::mailbox_reg;
 use mpsoc_platform::platform::{Access, AccessKind, Originator, StepKind};
 use mpsoc_platform::{Core, Platform, Time};
 
 use crate::error::{Error, Result};
+use crate::stimulus::{StimulusKind, StimulusLog, StimulusRecord};
 use crate::trace::TraceBuffer;
 
 /// Which initiators an access watchpoint observes.
@@ -120,6 +123,16 @@ pub struct Debugger {
     /// Auto-checkpoint state for time travel; `None` until
     /// [`enable_time_travel`](Debugger::enable_time_travel).
     pub(crate) time_travel: Option<crate::timetravel::TimeTravel>,
+    /// Every external injection made through the `inject_*` hooks, in step
+    /// order — the replay script for time travel.
+    pub(crate) stimulus: StimulusLog,
+    /// How many stimulus records have been applied to the platform's
+    /// current timeline. Checkpoints store it; rewinds restore it — the
+    /// invariant that makes replay apply each record exactly once.
+    pub(crate) stim_cursor: usize,
+    /// Checkpoint-ring occupancy gauge, when a metrics registry is
+    /// attached.
+    pub(crate) ring_gauge: Option<Gauge>,
 }
 
 impl Debugger {
@@ -132,6 +145,27 @@ impl Debugger {
             trace: TraceBuffer::new(4096),
             prev_signals: std::collections::BTreeMap::new(),
             time_travel: None,
+            stimulus: StimulusLog::new(),
+            stim_cursor: 0,
+            ring_gauge: None,
+        }
+    }
+
+    /// Attaches `registry` to the debugger: the checkpoint ring's byte
+    /// occupancy is reported on the `vpdebug.ring_bytes` gauge (current
+    /// value plus high-water mark). The platform's own counters are a
+    /// separate concern — attach the registry to the platform too if you
+    /// want both.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let g = registry.gauge("vpdebug.ring_bytes");
+        g.set(self.ring_bytes() as u64);
+        self.ring_gauge = Some(g);
+    }
+
+    /// Pushes the current ring occupancy to the attached gauge, if any.
+    pub(crate) fn update_ring_gauge(&self) {
+        if let Some(g) = &self.ring_gauge {
+            g.set(self.ring_bytes() as u64);
         }
     }
 
@@ -244,6 +278,7 @@ impl Debugger {
     /// including the early returns that skip the signal-edge bookkeeping,
     /// without re-capturing checkpoints that already exist).
     pub(crate) fn step_evaluated(&mut self) -> Result<Option<Stop>> {
+        self.apply_due_stimuli()?;
         let event = match self.platform.step() {
             Ok(e) => e,
             Err(e) => return Ok(Some(Stop::Fault(e.to_string()))),
@@ -307,6 +342,110 @@ impl Debugger {
             self.prev_signals.insert(name, v);
         }
         Ok(hit)
+    }
+
+    /// Replays stimulus records due at the current step: every unapplied
+    /// record whose step equals the platform's step count, in log order.
+    /// Called before each step executes, so replay perturbs the platform at
+    /// exactly the point the original injection did.
+    fn apply_due_stimuli(&mut self) -> Result<()> {
+        let cur = self.platform.steps();
+        while let Some(rec) = self.stimulus.records().get(self.stim_cursor) {
+            if rec.step != cur {
+                break;
+            }
+            let kind = rec.kind.clone();
+            self.apply_stimulus(&kind)?;
+            self.stim_cursor += 1;
+        }
+        Ok(())
+    }
+
+    /// Applies one stimulus to the platform (shared by live injection and
+    /// replay, so both perturb the platform identically).
+    fn apply_stimulus(&mut self, kind: &StimulusKind) -> Result<()> {
+        match kind {
+            StimulusKind::MailboxPush { page, value } => self
+                .platform
+                .debug_periph_write(*page, mailbox_reg::DATA, *value)
+                .map_err(Error::from),
+            StimulusKind::SignalWrite { name, value } => {
+                self.platform.debug_drive_signal(name, *value);
+                Ok(())
+            }
+            StimulusKind::IrqPost { core, irq } => self
+                .platform
+                .debug_post_irq(*core, *irq)
+                .map_err(Error::from),
+        }
+    }
+
+    /// Applies a stimulus now and records it: drops any not-yet-applied
+    /// future records and any checkpoints ahead of the current step (both
+    /// describe a timeline this injection just diverged from), then appends
+    /// the record with the current step and marks it applied.
+    fn inject(&mut self, kind: StimulusKind) -> Result<()> {
+        self.apply_stimulus(&kind)?;
+        let step = self.platform.steps();
+        self.stimulus.truncate(self.stim_cursor);
+        if let Some(tt) = &mut self.time_travel {
+            tt.drop_checkpoints_after(step);
+        }
+        self.update_ring_gauge();
+        self.stimulus.push(StimulusRecord { step, kind });
+        self.stim_cursor = self.stimulus.len();
+        Ok(())
+    }
+
+    /// Pushes `value` into the mailbox at peripheral page `page` as an
+    /// external stimulus (full side effects: avail signal, notify IRQ), and
+    /// records it for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] if `page` is not a peripheral or rejects the
+    /// write.
+    pub fn inject_mailbox_push(&mut self, page: usize, value: Word) -> Result<()> {
+        self.inject(StimulusKind::MailboxPush { page, value })
+    }
+
+    /// Drives signal `name` to `value` as an external stimulus and records
+    /// it for replay.
+    ///
+    /// # Errors
+    ///
+    /// Never today (signals are created on demand); fallible for symmetry.
+    pub fn inject_signal_write(&mut self, name: &str, value: Word) -> Result<()> {
+        self.inject(StimulusKind::SignalWrite {
+            name: name.to_string(),
+            value,
+        })
+    }
+
+    /// Posts interrupt `irq` to core `core` as an external stimulus and
+    /// records it for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for a bad core id.
+    pub fn inject_irq(&mut self, core: usize, irq: u32) -> Result<()> {
+        self.inject(StimulusKind::IrqPost { core, irq })
+    }
+
+    /// The stimulus log recorded so far.
+    pub fn stimulus_log(&self) -> &StimulusLog {
+        &self.stimulus
+    }
+
+    /// Installs a previously recorded stimulus log for replay from the
+    /// current point: records at future steps will be applied as the
+    /// platform reaches them. Records at or before the current step are
+    /// considered already applied (they describe the past of the timeline
+    /// the platform is resuming).
+    pub fn set_stimulus_log(&mut self, log: StimulusLog) {
+        let cur = self.platform.steps();
+        self.stim_cursor = log.records().partition_point(|r| r.step <= cur);
+        self.stimulus = log;
     }
 
     /// Runs until a stop condition or `max_steps`.

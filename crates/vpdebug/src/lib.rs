@@ -19,12 +19,18 @@
 //! * [`heisenbug`] — the reproducible demonstration that intrusive
 //!   debugging makes a shared-memory race vanish while virtual-platform
 //!   suspension reproduces it bit-exactly (experiment E9).
-//! * [`timetravel`] — periodic whole-platform checkpoints plus
-//!   deterministic forward replay give `step-back` and `reverse-continue`
-//!   without ever simulating backwards.
+//! * [`timetravel`] — a byte-bounded ring of one full base checkpoint plus
+//!   delta checkpoints (dirty RAM pages + small component states), with
+//!   deterministic forward replay giving `step-back` and
+//!   `reverse-continue` without ever simulating backwards.
+//! * [`stimulus`] — a timestamped record of external injections (mailbox
+//!   pushes, signal writes, interrupt posts) that replays through rewinds
+//!   and round-trips to disk, closing the determinism gap interactive
+//!   debugging opens.
 //! * [`campaign`] — deterministic fault-injection campaigns over a
-//!   checkpoint image: inject, run to a verdict, roll back, sweep in
-//!   parallel with bit-identical results at any thread count.
+//!   checkpoint image: inject, run to a verdict, roll back to the base via
+//!   O(dirty-state) delta restores, sweep in parallel with bit-identical
+//!   results at any thread count.
 //!
 //! ## Quickstart
 //!
@@ -51,16 +57,18 @@ pub mod debugger;
 pub mod error;
 pub mod heisenbug;
 pub mod script;
+pub mod stimulus;
 pub mod timetravel;
 pub mod trace;
 
 pub use crate::campaign::{
-    generate_faults, run_campaign, CampaignConfig, CampaignReport, FaultKind, FaultOutcome,
-    FaultSpace, FaultSpec, Verdict,
+    generate_faults, run_campaign, run_campaign_delta, CampaignConfig, CampaignReport, FaultKind,
+    FaultOutcome, FaultSpace, FaultSpec, Verdict,
 };
 pub use crate::debugger::{Breakpoint, Debugger, OriginFilter, Stop, Watchpoint};
 pub use crate::error::{Error, Result};
 pub use crate::heisenbug::{build_race_platform, run_race, DebugMode, RaceReport};
 pub use crate::script::{ScriptEngine, Violation};
+pub use crate::stimulus::{StimulusKind, StimulusLog, StimulusRecord};
 pub use crate::timetravel::TimeTravel;
 pub use crate::trace::{TraceBuffer, TraceEntry};

@@ -7,33 +7,69 @@
 //! carries over — the simulated software cannot observe that its past was
 //! re-executed, because the re-execution is bit-identical to the original.
 //!
-//! The debugger captures a whole-platform image
-//! ([`Platform::capture`](mpsoc_platform::Platform::capture)) every
-//! `interval` steps, alongside the host-side debugger state that must rewind
-//! with it (the trace buffer and the signal-edge bookkeeping). A bounded
-//! checkpoint ring caps memory; when it overflows, the oldest checkpoint is
-//! evicted and the rewind horizon moves forward accordingly.
+//! ## The delta ring
+//!
+//! The ring stores **one base image plus deltas**: the first checkpoint is
+//! a full [`Platform::capture`](mpsoc_platform::Platform::capture) (which
+//! also clears the RAM dirty bitmaps), and every later auto-checkpoint is a
+//! [`capture_delta`](mpsoc_platform::Platform::capture_delta) — only the
+//! RAM pages written since the base, plus the small component states. On a
+//! sparse-write workload a delta is a few percent of a full image, so
+//! checkpointing drops from O(memory) to O(dirty state) per interval.
+//!
+//! Retention is bounded by **bytes, not count** (a delta and a full image
+//! can differ by 100x, so a count bound says nothing about memory):
+//! when the ring exceeds its byte budget the oldest delta is evicted and
+//! the rewind horizon moves forward. The base image and the newest
+//! checkpoint are never evicted — the base because every delta needs it,
+//! the newest so the budget can never strand the debugger without a recent
+//! rewind target. Attach a metrics registry
+//! ([`Debugger::attach_metrics`]) to watch occupancy on the
+//! `vpdebug.ring_bytes` gauge.
+//!
+//! Each checkpoint also carries the host-side debugger state that must
+//! rewind with it: the trace buffer, the signal-edge bookkeeping, and the
+//! stimulus-log cursor (see [`crate::stimulus`]) — so replay re-applies
+//! recorded external injections exactly once, at the steps they originally
+//! happened.
 
 use mpsoc_platform::isa::Word;
+use mpsoc_platform::BaseImage;
 use std::collections::BTreeMap;
 
 use crate::debugger::{Debugger, Stop};
 use crate::error::{Error, Result};
 use crate::trace::TraceBuffer;
 
-/// One auto-checkpoint: the platform image plus the debugger-side state
-/// that must travel with it.
+/// The platform-state part of a checkpoint: the ring's shared base image,
+/// or a delta against it.
+#[derive(Clone, Debug)]
+pub(crate) enum CheckpointImage {
+    /// This checkpoint *is* the base (stored once in
+    /// [`TimeTravel::base`]).
+    Base,
+    /// A delta image chained against the base.
+    Delta(Vec<u8>),
+}
+
+/// One auto-checkpoint: the platform image (base or delta) plus the
+/// debugger-side state that must travel with it.
 #[derive(Clone, Debug)]
 pub(crate) struct Checkpoint {
     /// Platform step count at capture time (the checkpoint sits *before*
     /// the step with this index executes).
     pub(crate) step: u64,
-    /// Serialized platform image.
-    pub(crate) image: Vec<u8>,
+    /// Platform state: the base, or a delta against it.
+    pub(crate) image: CheckpointImage,
+    /// Bytes this checkpoint occupies in the ring (full image size for the
+    /// base entry).
+    pub(crate) bytes: usize,
     /// Trace buffer as of the checkpoint.
     pub(crate) trace: TraceBuffer,
     /// Signal-edge bookkeeping as of the checkpoint.
     pub(crate) prev_signals: BTreeMap<String, Word>,
+    /// Stimulus-log cursor as of the checkpoint (records applied so far).
+    pub(crate) stim_applied: usize,
 }
 
 /// Auto-checkpoint configuration and storage, owned by a [`Debugger`] once
@@ -42,34 +78,118 @@ pub(crate) struct Checkpoint {
 pub struct TimeTravel {
     /// Steps between auto-checkpoints.
     pub(crate) interval: u64,
-    /// Maximum retained checkpoints (oldest evicted first).
-    pub(crate) max: usize,
-    /// Checkpoints, sorted ascending by step.
+    /// Maximum retained checkpoint bytes (oldest delta evicted first; the
+    /// base and the newest checkpoint are exempt).
+    pub(crate) budget_bytes: usize,
+    /// The full image every delta in the ring is chained against.
+    pub(crate) base: BaseImage,
+    /// Checkpoints, sorted ascending by step. Exactly one entry is
+    /// [`CheckpointImage::Base`].
     pub(crate) checkpoints: Vec<Checkpoint>,
 }
 
+impl TimeTravel {
+    /// Total bytes currently retained by the ring.
+    pub(crate) fn ring_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Evicts oldest-first until within budget, never evicting the base
+    /// entry or the newest checkpoint.
+    fn evict_to_budget(&mut self) {
+        while self.ring_bytes() > self.budget_bytes {
+            let last = self.checkpoints.len().saturating_sub(1);
+            let victim = self
+                .checkpoints
+                .iter()
+                .position(|c| matches!(c.image, CheckpointImage::Delta(_)))
+                .filter(|&i| i != last);
+            match victim {
+                Some(i) => {
+                    self.checkpoints.remove(i);
+                }
+                None => break, // only base + newest left; keep both
+            }
+        }
+    }
+
+    /// Drops checkpoints describing a future past `step` (they became lies
+    /// when state at `step` was mutated). The base entry is always kept —
+    /// without it no delta is restorable.
+    pub(crate) fn drop_checkpoints_after(&mut self, step: u64) {
+        self.checkpoints
+            .retain(|c| c.step <= step || matches!(c.image, CheckpointImage::Base));
+    }
+}
+
 impl Debugger {
-    /// Enables time travel: from now on an auto-checkpoint is captured
-    /// every `interval` steps (at most `max_checkpoints` retained, oldest
-    /// evicted first), and a baseline checkpoint is captured immediately.
-    /// Both parameters are clamped to at least 1.
+    /// Enables time travel: a full-image base checkpoint is captured
+    /// immediately, and from now on a *delta* auto-checkpoint is captured
+    /// every `interval` steps. Retention is byte-bounded at
+    /// `max_checkpoints` times the base image size — sized so the horizon
+    /// is never shorter than the old count-bounded ring's, and usually far
+    /// longer, since deltas are much smaller than full images. Both
+    /// parameters are clamped to at least 1. For direct control of the
+    /// bound use
+    /// [`enable_time_travel_bytes`](Debugger::enable_time_travel_bytes).
     ///
     /// # Errors
     ///
     /// [`Error::Platform`] if the platform cannot be captured (a registered
     /// peripheral without snapshot support).
     pub fn enable_time_travel(&mut self, interval: u64, max_checkpoints: usize) -> Result<()> {
+        let base = self.capture_base()?;
+        let budget = max_checkpoints.max(1).saturating_mul(base.len_bytes());
+        self.install_time_travel(interval, budget, base);
+        Ok(())
+    }
+
+    /// Enables time travel with an explicit byte budget for the checkpoint
+    /// ring. The base image and the newest checkpoint are always retained,
+    /// even when the budget is smaller than they are.
+    ///
+    /// # Errors
+    ///
+    /// As [`enable_time_travel`](Debugger::enable_time_travel).
+    pub fn enable_time_travel_bytes(&mut self, interval: u64, budget_bytes: usize) -> Result<()> {
+        let base = self.capture_base()?;
+        self.install_time_travel(interval, budget_bytes.max(1), base);
+        Ok(())
+    }
+
+    /// Captures and validates a fresh base image at the current step.
+    fn capture_base(&mut self) -> Result<BaseImage> {
+        let image = self.platform.capture().map_err(Error::from)?;
+        BaseImage::new(image).map_err(Error::from)
+    }
+
+    /// A [`Checkpoint`] of the current debugger-side state around `image`.
+    fn checkpoint_now(&self, image: CheckpointImage, bytes: usize) -> Checkpoint {
+        Checkpoint {
+            step: self.platform.steps(),
+            image,
+            bytes,
+            trace: self.trace.clone(),
+            prev_signals: self.prev_signals.clone(),
+            stim_applied: self.stim_cursor,
+        }
+    }
+
+    fn install_time_travel(&mut self, interval: u64, budget_bytes: usize, base: BaseImage) {
+        let cp = self.checkpoint_now(CheckpointImage::Base, base.len_bytes());
         self.time_travel = Some(TimeTravel {
             interval: interval.max(1),
-            max: max_checkpoints.max(1),
-            checkpoints: Vec::new(),
+            budget_bytes,
+            base,
+            checkpoints: vec![cp],
         });
-        self.take_checkpoint()
+        self.update_ring_gauge();
     }
 
     /// Disables time travel and drops every checkpoint.
     pub fn disable_time_travel(&mut self) {
         self.time_travel = None;
+        self.update_ring_gauge();
     }
 
     /// The step indices of the currently retained checkpoints (ascending).
@@ -81,19 +201,31 @@ impl Debugger {
             .unwrap_or_default()
     }
 
-    /// Drops every retained checkpoint except a fresh one at the current
-    /// step. Call this after mutating platform state by hand (e.g. fault
-    /// injection through [`platform_mut`](Debugger::platform_mut)) —
+    /// Bytes currently held by the checkpoint ring (base image plus
+    /// deltas); 0 when time travel is disabled. Also reported on the
+    /// `vpdebug.ring_bytes` gauge when a metrics registry is attached.
+    pub fn ring_bytes(&self) -> usize {
+        self.time_travel
+            .as_ref()
+            .map(TimeTravel::ring_bytes)
+            .unwrap_or_default()
+    }
+
+    /// Drops every retained checkpoint in favour of a fresh *base* at the
+    /// current step. Call this after mutating platform state by hand (e.g.
+    /// fault injection through [`platform_mut`](Debugger::platform_mut)) —
     /// checkpoints ahead of such a mutation describe a future that will no
-    /// longer happen.
+    /// longer happen. (The recorded `inject_*` stimuli handle this
+    /// automatically and do **not** need a rebase.)
     ///
     /// # Errors
     ///
     /// [`Error::Platform`] if the platform cannot be captured.
     pub fn rebase_checkpoints(&mut self) -> Result<()> {
-        if let Some(tt) = &mut self.time_travel {
-            tt.checkpoints.clear();
-            self.take_checkpoint()?;
+        if let Some(tt) = &self.time_travel {
+            let (interval, budget) = (tt.interval, tt.budget_bytes);
+            let base = self.capture_base()?;
+            self.install_time_travel(interval, budget, base);
         }
         Ok(())
     }
@@ -121,32 +253,28 @@ impl Debugger {
         Ok(())
     }
 
-    /// Captures a checkpoint at the current step, keeping the list sorted
-    /// and bounded.
+    /// Captures a delta checkpoint at the current step, keeping the list
+    /// sorted and the ring within its byte budget.
     fn take_checkpoint(&mut self) -> Result<()> {
-        let image = self.platform.capture().map_err(Error::from)?;
-        let cp = Checkpoint {
-            step: self.platform.steps(),
-            image,
-            trace: self.trace.clone(),
-            prev_signals: self.prev_signals.clone(),
-        };
+        let delta = self.platform.capture_delta().map_err(Error::from)?;
+        let bytes = delta.len();
+        let cp = self.checkpoint_now(CheckpointImage::Delta(delta), bytes);
         let tt = self
             .time_travel
             .as_mut()
             .expect("take_checkpoint requires time travel enabled");
         let pos = tt.checkpoints.partition_point(|c| c.step < cp.step);
         tt.checkpoints.insert(pos, cp);
-        if tt.checkpoints.len() > tt.max {
-            tt.checkpoints.remove(0);
-        }
+        tt.evict_to_budget();
+        self.update_ring_gauge();
         Ok(())
     }
 
     /// Travels to the state exactly after `target` platform steps: restores
-    /// the nearest checkpoint at or before `target`, then deterministically
-    /// re-executes forward. Returns `false` (platform untouched) when time
-    /// travel is off or every retained checkpoint lies beyond `target`.
+    /// the nearest checkpoint at or before `target` (base + one delta — no
+    /// delta chain walking), then deterministically re-executes forward.
+    /// Returns `false` (platform untouched) when time travel is off or
+    /// every retained checkpoint lies beyond `target`.
     ///
     /// # Errors
     ///
@@ -161,12 +289,19 @@ impl Debugger {
             return Ok(false);
         }
         let cp = &tt.checkpoints[pos - 1];
-        let image = cp.image.clone();
-        let trace = cp.trace.clone();
-        let prev_signals = cp.prev_signals.clone();
-        self.platform.restore_image(&image).map_err(Error::from)?;
-        self.trace = trace;
-        self.prev_signals = prev_signals;
+        match &cp.image {
+            CheckpointImage::Base => self
+                .platform
+                .restore_image(tt.base.image())
+                .map_err(Error::from)?,
+            CheckpointImage::Delta(delta) => self
+                .platform
+                .restore_delta(&tt.base, delta)
+                .map_err(Error::from)?,
+        }
+        self.trace = cp.trace.clone();
+        self.prev_signals = cp.prev_signals.clone();
+        self.stim_cursor = cp.stim_applied;
         while self.platform.steps() < target {
             let _ = self.step_evaluated()?;
         }
@@ -341,15 +476,62 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_ring_is_bounded() {
+    fn checkpoint_ring_is_byte_bounded() {
         let mut dbg = debugger();
-        dbg.enable_time_travel(3, 4).unwrap();
+        // Budget for the base plus roughly two deltas: measure one delta
+        // by enabling with a huge budget first.
+        dbg.enable_time_travel(3, usize::MAX).unwrap();
+        let base_bytes = dbg.ring_bytes();
+        for _ in 0..6 {
+            dbg.step().unwrap();
+        }
+        let with_one = dbg.ring_bytes();
+        let delta_bytes = with_one - base_bytes;
+        assert!(delta_bytes > 0, "a delta checkpoint was captured");
+        assert!(
+            delta_bytes * 4 < base_bytes,
+            "delta ({delta_bytes}B) must be much smaller than base ({base_bytes}B)"
+        );
+
+        // Re-run with a budget of base + 2.5 deltas: the ring must stay
+        // within budget by evicting oldest deltas, never the base.
+        let mut dbg = debugger();
+        let budget = base_bytes + delta_bytes * 5 / 2;
+        dbg.enable_time_travel_bytes(3, budget).unwrap();
         for _ in 0..40 {
             dbg.step().unwrap();
         }
+        assert!(
+            dbg.ring_bytes() <= budget,
+            "ring {}B exceeds budget {budget}B",
+            dbg.ring_bytes()
+        );
         let steps = dbg.checkpoint_steps();
-        assert!(steps.len() <= 4, "retained {steps:?}");
         assert!(steps.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(steps[0], 0, "the base checkpoint is never evicted");
+        assert!(steps.len() >= 2, "newest checkpoint retained: {steps:?}");
+        // Rewinding to an evicted step snaps to the nearest retained
+        // checkpoint at or before it — including the base.
+        assert!(dbg.rewind_to_step(1).unwrap());
+        assert_eq!(dbg.platform().steps(), 1);
+    }
+
+    #[test]
+    fn ring_occupancy_reported_on_gauge() {
+        let registry = mpsoc_obs::metrics::MetricsRegistry::new();
+        let gauge = registry.gauge("vpdebug.ring_bytes");
+        let mut dbg = debugger();
+        dbg.attach_metrics(&registry);
+        assert_eq!(gauge.get(), 0);
+        dbg.enable_time_travel(3, 8).unwrap();
+        assert_eq!(gauge.get(), dbg.ring_bytes() as u64);
+        for _ in 0..12 {
+            dbg.step().unwrap();
+        }
+        assert_eq!(gauge.get(), dbg.ring_bytes() as u64);
+        assert!(gauge.high_water() >= gauge.get());
+        dbg.disable_time_travel();
+        assert_eq!(gauge.get(), 0);
     }
 
     #[test]
@@ -364,5 +546,101 @@ mod tests {
         dbg.platform_mut().inject_reg_flip(0, 1, 3).unwrap();
         dbg.rebase_checkpoints().unwrap();
         assert_eq!(dbg.checkpoint_steps(), vec![10]);
+    }
+
+    #[test]
+    fn injected_stimuli_replay_through_rewind() {
+        // An interrupt-free spin loop that banks r1 into memory forever;
+        // stimuli perturb it from outside.
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(256)
+            .cache(None)
+            .build()
+            .unwrap();
+        let mb = p.add_mailbox("host_mb", 8);
+        let prog =
+            assemble("movi r1, 0\nloop: addi r1, r1, 1\nmovi r2, 0x20\nst r1, r2, 0\njmp loop")
+                .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        let mut dbg = Debugger::new(p);
+        dbg.enable_time_travel(4, 64).unwrap();
+        for _ in 0..10 {
+            dbg.step().unwrap();
+        }
+        // Inject: a mailbox push and a signal write at step 10.
+        dbg.inject_mailbox_push(mb, 77).unwrap();
+        dbg.inject_signal_write("host.flag", 5).unwrap();
+        for _ in 0..10 {
+            dbg.step().unwrap();
+        }
+        let end_checksum = dbg.platform().state_checksum();
+        let end_sig = dbg.signal("host.flag");
+        let end_mb = dbg.peripheral(mb).unwrap();
+        // Rewind to before the injections, replay forward across them.
+        assert!(dbg.rewind_to_step(5).unwrap());
+        assert_eq!(dbg.signal("host.flag"), 0, "rewound before the stimulus");
+        for _ in 0..15 {
+            dbg.step().unwrap();
+        }
+        assert_eq!(dbg.platform().state_checksum(), end_checksum);
+        assert_eq!(dbg.signal("host.flag"), end_sig);
+        assert_eq!(dbg.peripheral(mb).unwrap(), end_mb);
+        // Rewind to *after* the injections: their effect is in the
+        // checkpoint image and must not be applied twice.
+        assert!(dbg.rewind_to_step(12).unwrap());
+        for _ in 0..8 {
+            dbg.step().unwrap();
+        }
+        assert_eq!(dbg.platform().state_checksum(), end_checksum);
+        assert_eq!(dbg.peripheral(mb).unwrap(), end_mb);
+    }
+
+    #[test]
+    fn stimulus_log_round_trips_into_fresh_session() {
+        // Record a session with injections, serialize image + log, then
+        // replay both in a brand-new debugger: identical end state.
+        let build = || {
+            let mut p = PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(256)
+                .cache(None)
+                .build()
+                .unwrap();
+            let mb = p.add_mailbox("host_mb", 8);
+            let prog =
+                assemble("movi r1, 0\nloop: addi r1, r1, 1\nmovi r2, 0x20\nst r1, r2, 0\njmp loop")
+                    .unwrap();
+            p.load_program(0, prog, 0).unwrap();
+            (p, mb)
+        };
+        let (mut p, mb) = build();
+        let image = p.capture().unwrap();
+        let mut dbg = Debugger::new(p);
+        for _ in 0..6 {
+            dbg.step().unwrap();
+        }
+        dbg.inject_mailbox_push(mb, 42).unwrap();
+        dbg.inject_irq(0, 3).unwrap();
+        for _ in 0..6 {
+            dbg.step().unwrap();
+        }
+        dbg.inject_signal_write("door.open", 9).unwrap();
+        for _ in 0..6 {
+            dbg.step().unwrap();
+        }
+        let end = dbg.platform().state_checksum();
+        let log_bytes = dbg.stimulus_log().to_bytes();
+
+        // Fresh session: restore the step-0 image, install the log, run.
+        let (p2, _) = build();
+        let mut replay = Debugger::new(p2);
+        replay.platform_mut().restore_image(&image).unwrap();
+        replay.set_stimulus_log(crate::stimulus::StimulusLog::from_bytes(&log_bytes).unwrap());
+        for _ in 0..18 {
+            replay.step().unwrap();
+        }
+        assert_eq!(replay.platform().state_checksum(), end);
+        assert_eq!(replay.peripheral(mb).unwrap(), dbg.peripheral(mb).unwrap());
     }
 }

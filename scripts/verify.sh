@@ -32,6 +32,9 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== delta checkpoint round-trip =="
+cargo test -q --test delta_roundtrip
+
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -237,7 +237,7 @@ fn checkpoint_exactly_at_watchpoint_hit_roundtrips() {
     dbg.enable_time_travel(1_000, 8)
         .expect("time travel enables");
     assert_eq!(dbg.checkpoint_steps(), vec![hit_step]);
-    let image = dbg.platform().capture().expect("captures at the hit");
+    let image = dbg.platform_mut().capture().expect("captures at the hit");
     let checksum_at_hit = dbg.platform().state_checksum();
 
     // Step past the hit, come back, and re-run to the next stop twice —
