@@ -38,18 +38,26 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use mpsoc_dataflow::graph::{ActorKind, Graph};
+use mpsoc_dataflow::minimal_capacities_profiled;
+use mpsoc_explore::{Prefix, PREFIX_STEPS_COUNTER, TRIALS_COUNTER, WARM_HITS_COUNTER};
 use mpsoc_maps::arch::ArchModel;
 use mpsoc_maps::mapping::anneal_multi;
 use mpsoc_maps::taskgraph::extract_task_graph;
 use mpsoc_minic::cost::CostModel;
+use mpsoc_obs::MetricsRegistry;
 use mpsoc_platform::isa::assemble;
 use mpsoc_platform::platform::{Platform, PlatformBuilder, SchedulerMode};
-use mpsoc_platform::{Frequency, Time};
+use mpsoc_platform::{Frequency, PrefixSource, Time};
 use mpsoc_recoder::recoder::Recoder;
 use mpsoc_recoder::transforms;
+use mpsoc_rtkernel::sched::{Policy, SimConfig};
+use mpsoc_rtkernel::sweep_policies_profiled;
+use mpsoc_rtkernel::task::{TaskSpec, Workload};
 use mpsoc_vpdebug::campaign::{
     generate_faults, run_campaign, run_campaign_delta, CampaignConfig, FaultSpace,
 };
+use mpsoc_vpdebug::Debugger;
 
 /// Peripheral page base address helper (see `mpsoc_platform::mem`).
 fn page_base(page: usize) -> u32 {
@@ -70,10 +78,19 @@ pub struct Config {
     pub anneal_starts: usize,
     /// Captures per timing loop in the snapshot rows.
     pub snapshot_captures: usize,
+    /// Simulated warm-up window for the snapshot rows. Kept short and
+    /// fixed on purpose: signal change history is serialized verbatim in
+    /// *both* full and delta images and grows with simulated time, so a
+    /// long warm-up would measure history copying, not checkpoint
+    /// encoding (bounding that history is a ROADMAP item).
+    pub snapshot_window: Time,
     /// Faults in the campaign-rollback comparison.
     pub campaign_faults: usize,
     /// Step budget per campaign trial.
     pub campaign_budget_steps: u64,
+    /// Busy-loop iterations in the measurement prefix of the engine-sweep
+    /// rows (makes the cold prefix cost visible).
+    pub engine_prefix_spin: u64,
     /// Label recorded in the JSON (`"full"` / `"smoke"`).
     pub mode: &'static str,
 }
@@ -87,8 +104,10 @@ impl Config {
             anneal_iters: 300_000,
             anneal_starts: 8,
             snapshot_captures: 64,
+            snapshot_window: Time::from_us(200),
             campaign_faults: 96,
             campaign_budget_steps: 2_000,
+            engine_prefix_spin: 20_000,
             mode: "full",
         }
     }
@@ -101,8 +120,10 @@ impl Config {
             anneal_iters: 100,
             anneal_starts: 4,
             snapshot_captures: 8,
+            snapshot_window: Time::from_us(50),
             campaign_faults: 12,
             campaign_budget_steps: 300,
+            engine_prefix_spin: 500,
             mode: "smoke",
         }
     }
@@ -201,6 +222,58 @@ impl CampaignCompareResult {
     }
 }
 
+/// One engine-backed profiled sweep (rtkernel policy grid or dataflow
+/// buffer sizing) timed with a cold measurement prefix (re-simulate the
+/// profiling run) versus a warm one (restore its snapshot), with the
+/// engine's own counters proving the warm path skipped the prefix.
+#[derive(Clone, Debug)]
+pub struct EngineSweepResult {
+    /// Flow name (`"rtkernel_policy"` / `"dataflow_sizing"`).
+    pub name: &'static str,
+    /// Engine trials evaluated per sweep (`explore.trials`).
+    pub trials: u64,
+    /// Worker threads the sweep fanned out to.
+    pub threads: usize,
+    /// Best-of-N wall seconds with the cold prefix.
+    pub cold_secs: f64,
+    /// Best-of-N wall seconds with the warm (snapshot) prefix.
+    pub warm_secs: f64,
+    /// Prefix steps re-simulated by one cold run (`explore.prefix_steps`).
+    pub cold_prefix_steps: u64,
+    /// Prefix steps simulated by one warm run — asserted zero by the suite.
+    pub warm_prefix_steps: u64,
+}
+
+impl EngineSweepResult {
+    /// Trial throughput with the cold prefix.
+    pub fn cold_trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.cold_secs
+    }
+
+    /// Trial throughput with the warm prefix.
+    pub fn warm_trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.warm_secs
+    }
+
+    /// Warm-start speedup over the cold prefix.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_secs / self.warm_secs
+    }
+}
+
+/// Time-travel ring capacity under one byte budget with XOR+RLE delta-page
+/// compression on versus off (raw whole-page deltas): the same workload and
+/// budget must retain strictly more checkpoints when deltas compress.
+#[derive(Clone, Debug)]
+pub struct RingCompareResult {
+    /// Ring byte budget both runs were given.
+    pub budget_bytes: usize,
+    /// Checkpoints retained with raw (uncompressed) delta pages.
+    pub raw_checkpoints: usize,
+    /// Checkpoints retained with XOR+RLE compressed delta pages.
+    pub compressed_checkpoints: usize,
+}
+
 /// Everything the suite measured; serialises to `BENCH_simulator.json`.
 #[derive(Clone, Debug)]
 pub struct SimFastpathReport {
@@ -212,6 +285,10 @@ pub struct SimFastpathReport {
     pub snapshots: Vec<SnapshotResult>,
     /// Campaign rollback comparison (full vs delta), when measured.
     pub campaign: Option<CampaignCompareResult>,
+    /// Engine-backed profiled sweeps, warm versus cold prefix.
+    pub engine: Vec<EngineSweepResult>,
+    /// Time-travel ring capacity, compressed versus raw delta pages.
+    pub ring: Option<RingCompareResult>,
     /// Annealer wall times at 1/2/4 threads.
     pub anneal: Vec<AnnealResult>,
     /// Annealer iterations per restart / restart count used.
@@ -312,6 +389,53 @@ impl SimFastpathReport {
             let _ = writeln!(s, "    \"identical_verdicts\": {}", c.identical);
             s.push_str("  },\n");
         }
+        if !self.engine.is_empty() {
+            s.push_str("  \"engine\": [\n");
+            for (i, e) in self.engine.iter().enumerate() {
+                let _ = writeln!(s, "    {{");
+                let _ = writeln!(s, "      \"name\": \"{}\",", e.name);
+                let _ = writeln!(s, "      \"trials\": {},", e.trials);
+                let _ = writeln!(s, "      \"threads\": {},", e.threads);
+                if !self.claims_scaling() {
+                    // One host CPU: the fan-out proves determinism, not
+                    // thread scaling. Warm-vs-cold stays honest (same
+                    // thread count on both sides).
+                    let _ = writeln!(s, "      \"determinism_only\": true,");
+                }
+                let _ = writeln!(s, "      \"cold_secs\": {:.6},", e.cold_secs);
+                let _ = writeln!(s, "      \"warm_secs\": {:.6},", e.warm_secs);
+                let _ = writeln!(
+                    s,
+                    "      \"cold_trials_per_sec\": {:.1},",
+                    e.cold_trials_per_sec()
+                );
+                let _ = writeln!(
+                    s,
+                    "      \"warm_trials_per_sec\": {:.1},",
+                    e.warm_trials_per_sec()
+                );
+                let _ = writeln!(s, "      \"cold_prefix_steps\": {},", e.cold_prefix_steps);
+                let _ = writeln!(s, "      \"warm_prefix_steps\": {},", e.warm_prefix_steps);
+                let _ = writeln!(s, "      \"warm_speedup\": {:.2}", e.warm_speedup());
+                let _ = writeln!(
+                    s,
+                    "    }}{}",
+                    if i + 1 < self.engine.len() { "," } else { "" }
+                );
+            }
+            s.push_str("  ],\n");
+        }
+        if let Some(r) = &self.ring {
+            s.push_str("  \"ring\": {\n");
+            let _ = writeln!(s, "    \"budget_bytes\": {},", r.budget_bytes);
+            let _ = writeln!(s, "    \"raw_checkpoints\": {},", r.raw_checkpoints);
+            let _ = writeln!(
+                s,
+                "    \"compressed_checkpoints\": {}",
+                r.compressed_checkpoints
+            );
+            s.push_str("  },\n");
+        }
         s.push_str("  \"anneal\": {\n");
         let _ = writeln!(s, "    \"iters\": {},", self.anneal_iters);
         let _ = writeln!(s, "    \"starts\": {},", self.anneal_starts);
@@ -404,6 +528,33 @@ impl fmt::Display for SimFastpathReport {
                 c.delta_secs,
                 c.speedup(),
                 c.identical
+            )?;
+        }
+        if !self.engine.is_empty() {
+            writeln!(
+                f,
+                "  {:<18} {:>7} {:>12} {:>12} {:>14} {:>8}",
+                "engine sweep", "trials", "cold tr/s", "warm tr/s", "prefix steps", "speedup"
+            )?;
+            for e in &self.engine {
+                writeln!(
+                    f,
+                    "  {:<18} {:>7} {:>12.1} {:>12.1} {:>8} -> {:>3} {:>7.2}x",
+                    e.name,
+                    e.trials,
+                    e.cold_trials_per_sec(),
+                    e.warm_trials_per_sec(),
+                    e.cold_prefix_steps,
+                    e.warm_prefix_steps,
+                    e.warm_speedup()
+                )?;
+            }
+        }
+        if let Some(r) = &self.ring {
+            writeln!(
+                f,
+                "  ring ({} B budget): {} raw checkpoints vs {} compressed",
+                r.budget_bytes, r.raw_checkpoints, r.compressed_checkpoints
             )?;
         }
         writeln!(
@@ -700,7 +851,7 @@ fn measure_snapshot(
     cfg: &Config,
 ) -> SnapshotResult {
     let mut p = build(SchedulerMode::Calendar);
-    p.run_until_with(cfg.sim_window, None, |_| {})
+    p.run_until_with(cfg.snapshot_window, None, |_| {})
         .expect("snapshot warm-up runs");
     let full_img = p.capture().expect("full capture succeeds");
     // Dirty a representative working set after the base.
@@ -804,6 +955,204 @@ fn measure_campaign(cfg: &Config) -> CampaignCompareResult {
     }
 }
 
+/// Builds a 1-core measurement platform whose program busy-loops `spin`
+/// times (the expensive prefix a warm start gets to skip) and then deposits
+/// `words` at `0x100 + i`. Returns the builder, the exact step count to the
+/// final deposit, and the snapshot captured there (the warm image).
+fn profile_prefix(
+    words: &[i64],
+    spin: u64,
+) -> (
+    impl Fn() -> mpsoc_platform::Result<Platform> + '_,
+    u64,
+    Vec<u8>,
+) {
+    let build = move || -> mpsoc_platform::Result<Platform> {
+        let mut src = format!("movi r8, {spin}\nwarm: addi r8, r8, -1\nbne r8, r0, warm\n");
+        src.push_str("movi r1, 0x100\n");
+        for (i, w) in words.iter().enumerate() {
+            let _ = writeln!(src, "movi r2, {w}\nst r2, r1, {i}");
+        }
+        src.push_str("halt");
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(512)
+            .cache(None)
+            .build()?;
+        p.load_program(0, assemble(&src).expect("prefix program assembles"), 0)?;
+        Ok(p)
+    };
+    // Count steps to the final deposit on a probe run (the last profile
+    // word must be non-zero for the sentinel read to terminate).
+    let sentinel = u32::try_from(0x100 + words.len() - 1).expect("profile region fits");
+    let expected = *words.last().expect("at least one profile word");
+    assert_ne!(expected, 0, "sentinel profile word must be non-zero");
+    let mut p = build().expect("prefix platform builds");
+    let mut steps = 0u64;
+    while p.debug_read(sentinel).expect("sentinel readable") != expected {
+        p.step().expect("prefix step succeeds");
+        steps += 1;
+    }
+    let image = p.capture().expect("prefix capture succeeds");
+    (build, steps, image)
+}
+
+/// Times one profiled, engine-backed sweep with a cold versus a warm
+/// measurement prefix and asserts the engine's counters prove the warm
+/// path skipped re-simulating the prefix entirely.
+fn measure_engine_family<R: PartialEq + std::fmt::Debug>(
+    name: &'static str,
+    cfg: &Config,
+    profile_words: &[i64],
+    threads: usize,
+    sweep: impl Fn(&Prefix<'_>, &MetricsRegistry) -> R,
+) -> EngineSweepResult {
+    let (build, steps, image) = profile_prefix(profile_words, cfg.engine_prefix_spin);
+    let cold_src = PrefixSource::Cold {
+        build: &build,
+        steps,
+    };
+    let warm_src = PrefixSource::Warm { image: &image };
+
+    let measure = |src: &PrefixSource<'_>| {
+        let mut secs = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..cfg.repeats.max(1) {
+            let reg = MetricsRegistry::new();
+            let prefix = Prefix::source(src).metrics(&reg);
+            let t0 = Instant::now();
+            let out = sweep(&prefix, &reg);
+            secs = secs.min(t0.elapsed().as_secs_f64());
+            last = Some((out, reg));
+        }
+        let (out, reg) = last.expect("at least one repeat");
+        (secs, out, reg)
+    };
+    let (cold_secs, cold_out, cold_reg) = measure(&cold_src);
+    let (warm_secs, warm_out, warm_reg) = measure(&warm_src);
+    assert_eq!(
+        cold_out, warm_out,
+        "{name}: warm start must be bit-identical to the cold prefix"
+    );
+    let cold_prefix_steps = cold_reg.counter(PREFIX_STEPS_COUNTER).get();
+    let warm_prefix_steps = warm_reg.counter(PREFIX_STEPS_COUNTER).get();
+    assert!(
+        cold_prefix_steps >= steps,
+        "{name}: the cold prefix must re-simulate its {steps} steps"
+    );
+    assert_eq!(
+        warm_prefix_steps, 0,
+        "{name}: a warm start must simulate zero prefix steps"
+    );
+    assert!(
+        warm_reg.counter(WARM_HITS_COUNTER).get() > 0,
+        "{name}: the warm run must report a warm hit"
+    );
+    EngineSweepResult {
+        name,
+        trials: warm_reg.counter(TRIALS_COUNTER).get(),
+        threads,
+        cold_secs,
+        warm_secs,
+        cold_prefix_steps,
+        warm_prefix_steps,
+    }
+}
+
+/// Measures the two new engine flows: the rtkernel policy sweep and the
+/// dataflow buffer-sizing search, both profiled from a simulated
+/// measurement run, warm versus cold.
+fn measure_engine_sweeps(cfg: &Config) -> Vec<EngineSweepResult> {
+    let threads = 2;
+    let rt = {
+        let mut w = Workload::new();
+        w.push(TaskSpec::parallel("video", 10, 900, 4, 200).with_period(250, 8));
+        w.push(TaskSpec::sequential("control", 40, 80).with_period(100, 20));
+        w.push(TaskSpec::sequential("ui", 25, 200).with_priority(3));
+        let base = SimConfig {
+            cores: 4,
+            speed: 10,
+            switch_overhead: 2,
+            horizon: 4_000,
+            policy: Policy::TimeShared,
+        };
+        measure_engine_family(
+            "rtkernel_policy",
+            cfg,
+            &[120, 35, 60],
+            threads,
+            move |prefix, reg| {
+                sweep_policies_profiled(
+                    &w,
+                    &base,
+                    &[1.2, 1.5, 2.0],
+                    threads,
+                    prefix,
+                    0x100,
+                    Some(reg),
+                )
+                .expect("policy sweep runs")
+            },
+        )
+    };
+    let df = {
+        let mut g = Graph::new();
+        let s = g.add_actor("src", vec![10], ActorKind::Source { period: 100 });
+        let f = g.add_actor("f", vec![50], ActorKind::Regular);
+        let k = g.add_actor("snk", vec![5], ActorKind::Sink { period: 300 });
+        g.add_channel(s, f, vec![1], vec![3], 0)
+            .expect("channel adds");
+        g.add_channel(f, k, vec![1], vec![1], 0)
+            .expect("channel adds");
+        measure_engine_family(
+            "dataflow_sizing",
+            cfg,
+            &[10, 35, 5],
+            threads,
+            move |prefix, reg| {
+                minimal_capacities_profiled(&g, prefix, 0x100, 20, threads, Some(reg))
+                    .expect("sizing sweep runs")
+            },
+        )
+    };
+    vec![rt, df]
+}
+
+/// Compares time-travel ring capacity under one byte budget with XOR+RLE
+/// delta-page compression on versus off. The budget is sized from a probe
+/// run so the raw encoding is forced to evict roughly half its deltas; the
+/// compressed encoding must then retain strictly more checkpoints.
+fn measure_ring() -> RingCompareResult {
+    const INTERVAL: u64 = 16;
+    const STEPS: u64 = 640;
+    let run = |compress: bool, budget: usize| -> (usize, usize, usize) {
+        let mut p = build_jpeg(SchedulerMode::Calendar);
+        p.set_delta_compression(compress);
+        let mut dbg = Debugger::new(p);
+        dbg.enable_time_travel_bytes(INTERVAL, budget)
+            .expect("time travel enables");
+        let base_bytes = dbg.ring_bytes();
+        for _ in 0..STEPS {
+            dbg.step().expect("ring step succeeds");
+        }
+        (dbg.checkpoint_steps().len(), dbg.ring_bytes(), base_bytes)
+    };
+    let (_, raw_total, base_bytes) = run(false, usize::MAX);
+    let budget = base_bytes + (raw_total - base_bytes) / 2;
+    let (raw_n, _, _) = run(false, budget);
+    let (comp_n, _, _) = run(true, budget);
+    assert!(
+        comp_n > raw_n,
+        "compressed deltas must fit strictly more checkpoints in {budget}B \
+         (raw {raw_n} vs compressed {comp_n})"
+    );
+    RingCompareResult {
+        budget_bytes: budget,
+        raw_checkpoints: raw_n,
+        compressed_checkpoints: comp_n,
+    }
+}
+
 /// Runs the whole suite with `cfg`.
 pub fn run(cfg: &Config) -> SimFastpathReport {
     let workloads = vec![
@@ -815,12 +1164,16 @@ pub fn run(cfg: &Config) -> SimFastpathReport {
         measure_snapshot("jpeg", build_jpeg, cfg),
     ];
     let campaign = Some(measure_campaign(cfg));
+    let engine = measure_engine_sweeps(cfg);
+    let ring = Some(measure_ring());
     let anneal = measure_anneal(cfg);
     SimFastpathReport {
         mode: cfg.mode,
         workloads,
         snapshots,
         campaign,
+        engine,
+        ring,
         anneal,
         anneal_iters: cfg.anneal_iters,
         anneal_starts: cfg.anneal_starts,
@@ -883,6 +1236,16 @@ mod tests {
             workloads: vec![],
             snapshots: vec![],
             campaign: None,
+            engine: vec![EngineSweepResult {
+                name: "rtkernel_policy",
+                trials: 10,
+                threads: 2,
+                cold_secs: 0.2,
+                warm_secs: 0.1,
+                cold_prefix_steps: 1_000,
+                warm_prefix_steps: 0,
+            }],
+            ring: None,
             anneal: vec![
                 base.clone(),
                 AnnealResult {
@@ -901,12 +1264,17 @@ mod tests {
         assert!(json.contains("\"determinism_only\": true"));
         assert!(!json.contains("speedup_vs_1t"));
         assert!(r.to_string().contains("determinism-only; 1 host cpu"));
+        // Engine rows carry the label too on a single-CPU host.
+        let engine_obj = json.split("\"engine\"").nth(1).unwrap();
+        assert!(engine_obj.contains("\"determinism_only\": true"));
 
         r.host_cpus = 8;
         assert!(r.claims_scaling());
         let json = r.to_json();
         assert!(json.contains("\"scaling\": \"wall-clock\""));
         assert!(json.contains("speedup_vs_1t"));
+        let engine_obj = json.split("\"engine\"").nth(1).unwrap();
+        assert!(!engine_obj.contains("\"determinism_only\": true"));
     }
 
     #[test]
@@ -920,6 +1288,17 @@ mod tests {
         assert!(r.workloads.iter().all(|w| w.steps > 0));
         assert_eq!(r.snapshots.len(), 2);
         assert!(r.campaign.as_ref().is_some_and(|c| c.identical));
+        // The engine rows prove the warm start skipped the prefix.
+        assert_eq!(r.engine.len(), 2);
+        for e in &r.engine {
+            assert!(e.trials > 0, "{}: no trials recorded", e.name);
+            assert!(e.cold_prefix_steps > 0, "{}: cold prefix free?", e.name);
+            assert_eq!(e.warm_prefix_steps, 0, "{}: warm prefix not free", e.name);
+        }
+        assert!(r
+            .ring
+            .as_ref()
+            .is_some_and(|rg| rg.compressed_checkpoints > rg.raw_checkpoints));
         let json = r.to_json();
         assert!(json.contains("\"car_radio\""));
         assert!(json.contains("\"jpeg\""));
@@ -927,5 +1306,9 @@ mod tests {
         assert!(json.contains("\"snapshots\": ["));
         assert!(json.contains("\"delta_bytes\""));
         assert!(json.contains("\"identical_verdicts\": true"));
+        assert!(json.contains("\"rtkernel_policy\""));
+        assert!(json.contains("\"dataflow_sizing\""));
+        assert!(json.contains("\"warm_prefix_steps\": 0"));
+        assert!(json.contains("\"compressed_checkpoints\""));
     }
 }

@@ -137,8 +137,8 @@ pub fn explore_observed(
     Ok(Exploration { candidates, best })
 }
 
-/// [`explore`] with the candidate sweep fanned out over at most `threads`
-/// scoped worker threads.
+/// [`explore`] with the candidate sweep fanned out through the shared
+/// [`mpsoc_explore::Sweep`] engine.
 ///
 /// Candidate evaluation (auto-map + translate) is independent per
 /// architecture, so the sweep parallelises embarrassingly. Candidates keep
@@ -164,26 +164,14 @@ pub fn explore_parallel(
     let mut archs: Vec<ArchInfo> = (1..=max_cores).map(ArchInfo::smp_like).collect();
     archs.extend((1..=max_workers).map(ArchInfo::cell_like));
     let n = archs.len();
-    let threads = threads.clamp(1, n);
-    let per = n.div_ceil(threads);
-
-    let mut results: Vec<Option<Result<Candidate>>> = Vec::new();
-    results.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for (arch_chunk, out_chunk) in archs.chunks(per).zip(results.chunks_mut(per)) {
-            scope.spawn(move || {
-                for (arch, out) in arch_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = Some(evaluate_candidate(model, arch, deadline_cycles));
-                }
-            });
-        }
-    });
+    let results = mpsoc_explore::Sweep::new(threads)
+        .run(n, |i| evaluate_candidate(model, &archs[i], deadline_cycles));
 
     // Index-ordered merge: the first failing candidate's error is the one
     // the serial sweep would have hit first.
     let mut candidates = Vec::with_capacity(n);
     for r in results {
-        candidates.push(r.expect("every candidate ran")?);
+        candidates.push(r?);
     }
     let best = candidates
         .iter()

@@ -68,3 +68,6 @@ pub use crate::explore::{
 };
 pub use crate::model::{from_dataflow, CicChannel, CicModel, CicTask};
 pub use crate::translator::{auto_map, execute_translation, translate, Op, PeProgram, Translation};
+// The sweep machinery now lives in the shared exploration engine;
+// re-export it so callers of the old private idiom have one canonical home.
+pub use mpsoc_explore::{split_seeds, Sweep};

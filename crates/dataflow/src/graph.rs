@@ -206,6 +206,31 @@ impl Graph {
         self.actors.get(id.0)
     }
 
+    /// Replaces an actor's per-phase WCETs (used by profile-based
+    /// re-costing). The phase count is part of the graph's rate signature
+    /// and must be preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown actor; [`Error::Config`] if
+    /// `wcet` does not have exactly the actor's phase count.
+    pub fn set_actor_wcet(&mut self, id: ActorId, wcet: &[u64]) -> Result<()> {
+        let actor = self
+            .actors
+            .get_mut(id.0)
+            .ok_or_else(|| Error::NotFound(format!("actor {}", id.0)))?;
+        if wcet.len() != actor.wcet.len() {
+            return Err(Error::Config(format!(
+                "wcet phase count {} does not match actor `{}`'s {}",
+                wcet.len(),
+                actor.name,
+                actor.wcet.len()
+            )));
+        }
+        actor.wcet = wcet.to_vec();
+        Ok(())
+    }
+
     /// Channel lookup.
     pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
         self.channels.get(id.0)

@@ -45,6 +45,7 @@ pub mod buffer;
 pub mod error;
 pub mod graph;
 pub mod selftimed;
+pub mod sizing;
 pub mod ttrigger;
 
 pub use crate::error::{Error, Result};
@@ -52,6 +53,9 @@ pub use crate::graph::{Actor, ActorId, ActorKind, Channel, ChannelId, Graph};
 pub use crate::selftimed::{
     run_self_timed, run_self_timed_observed, SelfTimedConfig, SelfTimedResult, TimeModel,
     VaryingTimes, WcetTimes,
+};
+pub use crate::sizing::{
+    minimal_capacities_profiled, minimal_capacities_sweep, profile_actor_wcets,
 };
 pub use crate::ttrigger::{
     run_time_triggered, time_triggered_experiment, StaticSchedule, TimeTriggeredResult,

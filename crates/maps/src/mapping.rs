@@ -248,21 +248,17 @@ pub fn anneal_observed(
 /// Deterministic multi-start annealing, optionally parallel.
 ///
 /// Runs `starts` independent [`anneal`] restarts. Restart `i` is seeded
-/// with the `i`-th split of a [`XorShift64Star`] seeded from `seed`
-/// (see [`XorShift64Star::split`]), so each restart's search trajectory is
-/// a pure function of `(seed, i)`. Restarts are distributed over at most
-/// `threads` scoped worker threads in contiguous chunks and merged by
-/// **fixed `(makespan, restart index)` order** — the earliest restart wins
-/// ties — so the returned mapping is bit-identical for any `threads >= 1`,
-/// including the serial reference `threads == 1`.
+/// with the `i`-th [`mpsoc_explore::split_seeds`] split of `seed`, so each
+/// restart's search trajectory is a pure function of `(seed, i)`. The
+/// restarts fan out through the shared [`mpsoc_explore::Sweep`] engine and
+/// merge by **fixed `(makespan, restart index)` order** — the earliest
+/// restart wins ties — so the returned mapping is bit-identical for any
+/// `threads >= 1`, including the serial reference `threads == 1`.
 ///
 /// # Errors
 ///
 /// Propagates the first (by restart index) validation error from
 /// [`evaluate`]; [`Error::Config`] if `starts` is zero.
-///
-/// [`XorShift64Star`]: mpsoc_obs::rng::XorShift64Star
-/// [`XorShift64Star::split`]: mpsoc_obs::rng::XorShift64Star::split
 pub fn anneal_multi(
     graph: &TaskGraph,
     arch: &ArchModel,
@@ -276,29 +272,16 @@ pub fn anneal_multi(
             "anneal_multi needs at least one start".into(),
         ));
     }
-    let mut splitter = mpsoc_obs::rng::XorShift64Star::new(seed);
-    let seeds: Vec<u64> = (0..starts).map(|_| splitter.split().next_u64()).collect();
-    let threads = threads.clamp(1, starts);
-    let per = starts.div_ceil(threads);
-
-    let mut results: Vec<Option<Result<Mapping>>> = Vec::new();
-    results.resize_with(starts, || None);
-    std::thread::scope(|scope| {
-        for (seed_chunk, out_chunk) in seeds.chunks(per).zip(results.chunks_mut(per)) {
-            scope.spawn(move || {
-                for (s, out) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = Some(anneal(graph, arch, *s, iters));
-                }
-            });
-        }
-    });
+    let seeds = mpsoc_explore::split_seeds(seed, starts);
+    let results =
+        mpsoc_explore::Sweep::new(threads).run(starts, |i| anneal(graph, arch, seeds[i], iters));
 
     // Deterministic merge: walk restarts in index order, keep the first
     // mapping achieving the smallest makespan. Thread count only changed
     // *where* each restart ran, never its result or its merge rank.
     let mut best: Option<Mapping> = None;
     for r in results {
-        let m = r.expect("every restart ran")?;
+        let m = r?;
         if best.as_ref().is_none_or(|b| m.makespan < b.makespan) {
             best = Some(m);
         }

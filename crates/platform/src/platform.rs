@@ -460,6 +460,9 @@ impl PlatformBuilder {
             access_pool: Vec::new(),
             scratch_effects: Vec::new(),
             base_mark: None,
+            base_shared: Vec::new(),
+            base_locals: Vec::new(),
+            delta_compress: true,
         })
     }
 }
@@ -517,6 +520,14 @@ pub struct Platform {
     /// first capture). `restore_delta` uses it to prove its in-place RAM
     /// fast path is rolling back from the right baseline.
     pub(crate) base_mark: Option<u64>,
+    /// The base image's shared-RAM words — the XOR baseline for compressed
+    /// delta pages. Empty before the first capture.
+    pub(crate) base_shared: Vec<crate::isa::Word>,
+    /// Per-core base local-RAM words (same role as `base_shared`).
+    pub(crate) base_locals: Vec<Vec<crate::isa::Word>>,
+    /// Whether `capture_delta` run-length compresses XOR'd pages (default)
+    /// or writes each page as one literal run at raw cost.
+    pub(crate) delta_compress: bool,
 }
 
 impl Platform {

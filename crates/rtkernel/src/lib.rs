@@ -44,9 +44,14 @@ pub mod locality;
 pub mod msg;
 pub mod scalability;
 pub mod sched;
+pub mod sweep;
 pub mod task;
 
 pub use crate::admission::{AdmissionConfig, AdmissionController};
 pub use crate::error::{Error, Result};
 pub use crate::sched::{simulate, Policy, SimConfig, SimResult};
+pub use crate::sweep::{
+    policy_grid, profile_workload, sweep_policies, sweep_policies_profiled, PolicyCandidate,
+    PolicySweep,
+};
 pub use crate::task::{TaskId, TaskSpec, Workload};

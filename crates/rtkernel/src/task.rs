@@ -139,6 +139,12 @@ impl Workload {
         &self.tasks
     }
 
+    /// Mutable access to the task specs in id order (used by profile-based
+    /// re-costing; tasks cannot be added or removed through this view).
+    pub fn tasks_mut(&mut self) -> &mut [TaskSpec] {
+        &mut self.tasks
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()

@@ -378,36 +378,10 @@ pub fn run_campaign(
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CampaignReport> {
     let golden = golden_baseline(image, cfg)?;
-    let threads = cfg.threads.max(1);
-    let outcomes: Vec<FaultOutcome> = if threads == 1 || faults.len() < 2 {
-        faults
-            .iter()
-            .map(|f| run_trial(image, *f, cfg, golden))
-            .collect::<Result<_>>()?
-    } else {
-        // The `anneal_multi` idiom: contiguous chunks, one scoped thread
-        // each, merged in chunk order — identical results at any width.
-        let chunk = faults.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = faults
-                .chunks(chunk)
-                .map(|ch| {
-                    s.spawn(move || {
-                        ch.iter()
-                            .map(|f| run_trial(image, *f, cfg, golden))
-                            .collect::<Result<Vec<_>>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect::<Result<Vec<Vec<_>>>>()
-        })?
+    let outcomes: Vec<FaultOutcome> = mpsoc_explore::Sweep::new(cfg.threads)
+        .run(faults.len(), |i| run_trial(image, faults[i], cfg, golden))
         .into_iter()
-        .flatten()
-        .collect()
-    };
+        .collect::<Result<_>>()?;
 
     let report = CampaignReport {
         outcomes,
@@ -420,34 +394,14 @@ pub fn run_campaign(
     Ok(report)
 }
 
-/// A worker's share of a delta campaign: hydrate once, then roll back to
-/// the base between trials — only the pages the previous trial dirtied are
-/// rewritten.
-fn run_chunk_delta(
-    image: &[u8],
-    chunk: &[FaultSpec],
-    cfg: CampaignConfig,
-    golden: u64,
-) -> Result<Vec<FaultOutcome>> {
-    let base = BaseImage::new(image.to_vec()).map_err(Error::from)?;
-    let mut p = Platform::from_image(image).map_err(Error::from)?;
-    chunk
-        .iter()
-        .map(|f| {
-            p.reset_to_base(&base).map_err(Error::from)?;
-            finish_trial(&mut p, *f, cfg, golden)
-        })
-        .collect()
-}
-
 /// Runs a full campaign exactly like [`run_campaign`] — same golden run,
 /// same verdicts, bit-identical [`CampaignReport`] — but with O(dirty
-/// state) rollback: each worker thread hydrates **one** platform from the
-/// image and resets it to the shared [`BaseImage`] between trials
-/// ([`Platform::reset_to_base`]), rewriting only the RAM pages the previous
-/// trial touched instead of decoding the whole image again. On sparse-write
-/// workloads this makes per-trial rollback cost proportional to what the
-/// trial did, not to how much memory the platform has.
+/// state) rollback: each engine worker hydrates **one** platform and the
+/// shared [`mpsoc_explore::Prefix`] resets it to the [`BaseImage`] between
+/// trials ([`Platform::reset_to_base`]), rewriting only the RAM pages the
+/// previous trial touched instead of decoding the whole image again. On
+/// sparse-write workloads this makes per-trial rollback cost proportional
+/// to what the trial did, not to how much memory the platform has.
 ///
 /// # Errors
 ///
@@ -459,25 +413,23 @@ pub fn run_campaign_delta(
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CampaignReport> {
     let golden = golden_baseline(image, cfg)?;
-    let threads = cfg.threads.max(1);
-    let outcomes: Vec<FaultOutcome> = if threads == 1 || faults.len() < 2 {
-        run_chunk_delta(image, faults, cfg, golden)?
-    } else {
-        let chunk = faults.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = faults
-                .chunks(chunk)
-                .map(|ch| s.spawn(move || run_chunk_delta(image, ch, cfg, golden)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect::<Result<Vec<Vec<_>>>>()
-        })?
+    let base = BaseImage::new(image.to_vec()).map_err(Error::from)?;
+    let mut prefix = mpsoc_explore::Prefix::base(&base);
+    if let Some(m) = metrics {
+        prefix = prefix.metrics(m);
+    }
+    let prefix = &prefix;
+    let outcomes: Vec<FaultOutcome> = mpsoc_explore::Sweep::new(cfg.threads)
+        .run_stateful(
+            faults.len(),
+            || prefix.materialize().map_err(|e| Err(Error::from(e))),
+            |p, i| {
+                prefix.rewind(p).map_err(Error::from)?;
+                finish_trial(p, faults[i], cfg, golden)
+            },
+        )
         .into_iter()
-        .flatten()
-        .collect()
-    };
+        .collect::<Result<_>>()?;
 
     let report = CampaignReport {
         outcomes,

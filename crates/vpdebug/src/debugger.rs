@@ -377,6 +377,27 @@ impl Debugger {
                 .platform
                 .debug_post_irq(*core, *irq)
                 .map_err(Error::from),
+            StimulusKind::DmaDescriptor {
+                page,
+                src,
+                dst,
+                len,
+            } => {
+                use mpsoc_platform::periph::dma_reg;
+                self.platform
+                    .debug_periph_write(*page, dma_reg::SRC, *src)?;
+                self.platform
+                    .debug_periph_write(*page, dma_reg::DST, *dst)?;
+                self.platform
+                    .debug_periph_write(*page, dma_reg::LEN, *len)?;
+                self.platform
+                    .debug_periph_write(*page, dma_reg::CTRL, 1)
+                    .map_err(Error::from)
+            }
+            StimulusKind::MemPoke { addr, value } => self
+                .platform
+                .debug_write(*addr, *value)
+                .map_err(Error::from),
         }
     }
 
@@ -430,6 +451,39 @@ impl Debugger {
     /// [`Error::Platform`] for a bad core id.
     pub fn inject_irq(&mut self, core: usize, irq: u32) -> Result<()> {
         self.inject(StimulusKind::IrqPost { core, irq })
+    }
+
+    /// Programs the SRC/DST/LEN registers of the DMA engine at peripheral
+    /// page `page` and starts the transfer (CTRL kick) as an external
+    /// stimulus, recording the whole descriptor for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] if `page` is not a DMA engine or rejects a
+    /// register write.
+    pub fn inject_dma_descriptor(
+        &mut self,
+        page: usize,
+        src: Word,
+        dst: Word,
+        len: Word,
+    ) -> Result<()> {
+        self.inject(StimulusKind::DmaDescriptor {
+            page,
+            src,
+            dst,
+            len,
+        })
+    }
+
+    /// Pokes one memory word (`mem[addr] = value`) as an external stimulus
+    /// and records it for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Platform`] for an unmapped address.
+    pub fn inject_mem_poke(&mut self, addr: u32, value: Word) -> Result<()> {
+        self.inject(StimulusKind::MemPoke { addr, value })
     }
 
     /// The stimulus log recorded so far.

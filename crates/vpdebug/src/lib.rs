@@ -72,3 +72,7 @@ pub use crate::script::{ScriptEngine, Violation};
 pub use crate::stimulus::{StimulusKind, StimulusLog, StimulusRecord};
 pub use crate::timetravel::TimeTravel;
 pub use crate::trace::{TraceBuffer, TraceEntry};
+// The campaign fan-out machinery now lives in the shared exploration
+// engine; re-export it so callers of the old private idiom have one
+// canonical home.
+pub use mpsoc_explore::{split_seeds, Sweep};

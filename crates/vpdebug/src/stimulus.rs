@@ -29,7 +29,10 @@ use crate::error::{Error, Result};
 pub const STIMULUS_LOG_MAGIC: u32 = u32::from_le_bytes(*b"MPST");
 
 /// Current stimulus log format version.
-pub const STIMULUS_LOG_VERSION: u16 = 1;
+///
+/// v2 adds two record kinds: DMA descriptor writes (tag 3) and debugger
+/// memory pokes (tag 4). v1 logs are rejected, never reinterpreted.
+pub const STIMULUS_LOG_VERSION: u16 = 2;
 
 /// One kind of external injection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,6 +58,27 @@ pub enum StimulusKind {
         core: usize,
         /// Interrupt number.
         irq: u32,
+    },
+    /// A DMA descriptor programmed and kicked off from the outside: the
+    /// SRC/DST/LEN registers of the engine at peripheral page `page` are
+    /// written, then CTRL starts the transfer (full side effects: busy
+    /// signal, completion IRQ).
+    DmaDescriptor {
+        /// Peripheral page of the DMA engine.
+        page: usize,
+        /// Source word address.
+        src: Word,
+        /// Destination word address.
+        dst: Word,
+        /// Transfer length in words.
+        len: Word,
+    },
+    /// A debugger poke of one memory word: `mem[addr] = value`.
+    MemPoke {
+        /// Word address (shared, local, or peripheral space).
+        addr: u32,
+        /// Written value.
+        value: Word,
     },
 }
 
@@ -89,6 +113,23 @@ fn save_record(rec: &StimulusRecord, w: &mut Writer) {
             w.put_usize(*core);
             w.put_u32(*irq);
         }
+        StimulusKind::DmaDescriptor {
+            page,
+            src,
+            dst,
+            len,
+        } => {
+            w.put_u8(3);
+            w.put_usize(*page);
+            w.put_i64(*src);
+            w.put_i64(*dst);
+            w.put_i64(*len);
+        }
+        StimulusKind::MemPoke { addr, value } => {
+            w.put_u8(4);
+            w.put_u32(*addr);
+            w.put_i64(*value);
+        }
     }
 }
 
@@ -106,6 +147,16 @@ fn load_record(r: &mut Reader<'_>) -> mpsoc_snapshot::SnapResult<StimulusRecord>
         2 => StimulusKind::IrqPost {
             core: r.get_usize()?,
             irq: r.get_u32()?,
+        },
+        3 => StimulusKind::DmaDescriptor {
+            page: r.get_usize()?,
+            src: r.get_i64()?,
+            dst: r.get_i64()?,
+            len: r.get_i64()?,
+        },
+        4 => StimulusKind::MemPoke {
+            addr: r.get_u32()?,
+            value: r.get_i64()?,
         },
         tag => {
             return Err(SnapError::BadTag {
@@ -215,8 +266,34 @@ mod tests {
             step: 9,
             kind: StimulusKind::IrqPost { core: 1, irq: 4 },
         });
+        log.push(StimulusRecord {
+            step: 9,
+            kind: StimulusKind::DmaDescriptor {
+                page: 2,
+                src: 0x100,
+                dst: 0x300,
+                len: 16,
+            },
+        });
+        log.push(StimulusRecord {
+            step: 12,
+            kind: StimulusKind::MemPoke {
+                addr: 0x44,
+                value: -1,
+            },
+        });
         let bytes = log.to_bytes();
         assert_eq!(StimulusLog::from_bytes(&bytes).unwrap(), log);
+    }
+
+    #[test]
+    fn v1_logs_are_rejected_not_reinterpreted() {
+        let log = StimulusLog::new();
+        let payload = Image::open(&log.to_bytes(), STIMULUS_LOG_MAGIC, STIMULUS_LOG_VERSION)
+            .unwrap()
+            .to_vec();
+        let downgraded = Image::seal(STIMULUS_LOG_MAGIC, 1, &payload);
+        assert!(StimulusLog::from_bytes(&downgraded).is_err());
     }
 
     #[test]

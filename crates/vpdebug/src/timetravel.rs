@@ -608,13 +608,15 @@ mod tests {
                 .build()
                 .unwrap();
             let mb = p.add_mailbox("host_mb", 8);
+            let dma = p.add_dma("host_dma");
+            p.load_shared(0x30, &[11, 22, 33, 44]).unwrap();
             let prog =
                 assemble("movi r1, 0\nloop: addi r1, r1, 1\nmovi r2, 0x20\nst r1, r2, 0\njmp loop")
                     .unwrap();
             p.load_program(0, prog, 0).unwrap();
-            (p, mb)
+            (p, mb, dma)
         };
-        let (mut p, mb) = build();
+        let (mut p, mb, dma) = build();
         let image = p.capture().unwrap();
         let mut dbg = Debugger::new(p);
         for _ in 0..6 {
@@ -626,6 +628,8 @@ mod tests {
             dbg.step().unwrap();
         }
         dbg.inject_signal_write("door.open", 9).unwrap();
+        dbg.inject_dma_descriptor(dma, 0x30, 0x50, 4).unwrap();
+        dbg.inject_mem_poke(0x60, -5).unwrap();
         for _ in 0..6 {
             dbg.step().unwrap();
         }
@@ -633,7 +637,7 @@ mod tests {
         let log_bytes = dbg.stimulus_log().to_bytes();
 
         // Fresh session: restore the step-0 image, install the log, run.
-        let (p2, _) = build();
+        let (p2, _, _) = build();
         let mut replay = Debugger::new(p2);
         replay.platform_mut().restore_image(&image).unwrap();
         replay.set_stimulus_log(crate::stimulus::StimulusLog::from_bytes(&log_bytes).unwrap());

@@ -35,6 +35,9 @@ cargo test --workspace -q
 echo "== delta checkpoint round-trip =="
 cargo test -q --test delta_roundtrip
 
+echo "== exploration engine cross-layer equivalence =="
+cargo test -q --test explore_equivalence
+
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -12,6 +12,7 @@
 //! | [`dataflow`] | III | CSDF graphs, buffer sizing, TT vs DD executors |
 //! | [`maps`] | IV | partitioning, mapping, MVP, code generation, OSIP |
 //! | [`cic`] | V | Common Intermediate Code + retargetable translator |
+//! | [`explore`] | IV/V/VII | deterministic parallel sweep engine + snapshot warm starts |
 //! | [`recoder`] | VI | designer-controlled source recoding |
 //! | [`snapshot`] | VII | versioned binary checkpoint images for capture/restore |
 //! | [`vpdebug`] | VII | virtual-platform debugger, time travel, fault campaigns |
@@ -26,6 +27,7 @@
 pub use mpsoc_apps as apps;
 pub use mpsoc_cic as cic;
 pub use mpsoc_dataflow as dataflow;
+pub use mpsoc_explore as explore;
 pub use mpsoc_maps as maps;
 pub use mpsoc_minic as minic;
 pub use mpsoc_obs as obs;

@@ -1,0 +1,395 @@
+//! Cross-layer determinism contract of the shared exploration engine.
+//!
+//! Every parallel sweep in the suite — multi-start annealing (`maps`),
+//! architecture exploration (`cic`), scheduling-policy sweeps
+//! (`rtkernel`), buffer-sizing search (`dataflow`), and fault-injection
+//! campaigns (`vpdebug`) — now fans out through
+//! [`mpsoc_suite::explore::Sweep`]. The engine promises bit-identical
+//! results at any thread count and promises that a snapshot warm start
+//! ([`PrefixSource::Warm`] / [`Prefix`]) equals re-simulating the prefix
+//! cold. This test pins both promises **for all five flows at once**, so a
+//! change to the engine's seed splitting, chunking, or merge order cannot
+//! silently de-synchronise one layer from the others.
+
+use mpsoc_suite::explore::Prefix;
+use mpsoc_suite::platform::isa::assemble;
+use mpsoc_suite::platform::platform::{Platform, PlatformBuilder};
+use mpsoc_suite::platform::time::Frequency;
+use mpsoc_suite::platform::PrefixSource;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A 1-core measurement platform whose program deposits the given profile
+/// words at `0x100 + i`, plus the step count needed to finish depositing.
+fn profile_platform(
+    words: &[i64],
+) -> (
+    impl Fn() -> mpsoc_suite::platform::Result<Platform> + '_,
+    u64,
+) {
+    let steps = 1 + 2 * words.len() as u64 + 1;
+    let build = move || -> mpsoc_suite::platform::Result<Platform> {
+        let mut src = String::from("movi r1, 0x100\n");
+        for (i, w) in words.iter().enumerate() {
+            src.push_str(&format!("movi r2, {w}\nst r2, r1, {i}\n"));
+        }
+        src.push_str("halt");
+        let mut p = PlatformBuilder::new()
+            .cores(1, Frequency::mhz(100))
+            .shared_words(512)
+            .cache(None)
+            .build()?;
+        p.load_program(0, assemble(&src).unwrap(), 0)?;
+        Ok(p)
+    };
+    (build, steps)
+}
+
+/// Captures a snapshot at `steps` for the warm counterpart of a cold
+/// prefix.
+fn warm_image(build: &dyn Fn() -> mpsoc_suite::platform::Result<Platform>, steps: u64) -> Vec<u8> {
+    let mut p = build().unwrap();
+    for _ in 0..steps {
+        p.step().unwrap();
+    }
+    p.capture().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// maps: multi-start annealing
+// ---------------------------------------------------------------------------
+
+mod maps_flow {
+    use super::*;
+    use mpsoc_suite::maps::arch::ArchModel;
+    use mpsoc_suite::maps::mapping::{anneal_multi, anneal_multi_profiled};
+    use mpsoc_suite::maps::taskgraph::{Task, TaskEdge, TaskGraph};
+
+    fn diamond(costs: [u64; 4]) -> TaskGraph {
+        TaskGraph {
+            tasks: costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Task {
+                    name: format!("t{i}"),
+                    cost: c,
+                    pref: None,
+                    stmts: vec![i],
+                })
+                .collect(),
+            edges: [(0, 1), (0, 2), (1, 3), (2, 3)]
+                .iter()
+                .map(|&(from, to)| TaskEdge {
+                    from,
+                    to,
+                    volume: 2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn anneal_multi_is_thread_count_invariant() {
+        let g = diamond([37, 91, 64, 22]);
+        let arch = ArchModel::homogeneous(3);
+        let reference = anneal_multi(&g, &arch, 0xA11, 300, 6, 1).unwrap();
+        for threads in THREADS {
+            let m = anneal_multi(&g, &arch, 0xA11, 300, 6, threads).unwrap();
+            assert_eq!(m, reference, "maps anneal_multi at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profiled_anneal_warm_equals_cold() {
+        let (build, steps) = profile_platform(&[55, 40, 90, 15]);
+        let image = warm_image(&build, steps);
+        let cold = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        let warm = PrefixSource::Warm { image: &image };
+        let g = diamond([37, 91, 64, 22]);
+        let arch = ArchModel::homogeneous(3);
+        let reference = anneal_multi_profiled(&g, &arch, 7, 200, 6, 1, &cold, 0x100).unwrap();
+        for threads in THREADS {
+            let m = anneal_multi_profiled(&g, &arch, 7, 200, 6, threads, &warm, 0x100).unwrap();
+            assert_eq!(m, reference, "maps warm start at {threads} threads");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cic: architecture exploration
+// ---------------------------------------------------------------------------
+
+mod cic_flow {
+    use super::*;
+    use mpsoc_suite::cic::{
+        explore_parallel, explore_parallel_profiled, CicChannel, CicModel, CicTask,
+    };
+
+    fn model() -> CicModel {
+        let unit = mpsoc_suite::minic::parse(
+            "void gen(int out[]) { for (k = 0; k < 4; k = k + 1) { out[k] = k; } }\n\
+             void work(int in[], int out[]) { for (k = 0; k < 4; k = k + 1) { out[k] = in[k] * 3; } }\n\
+             void fin(int in[]) { int x = in[0]; }",
+        )
+        .unwrap();
+        let task = |name: &str, period, deadline, work| CicTask {
+            name: name.into(),
+            body_fn: name.into(),
+            period,
+            deadline,
+            work,
+        };
+        let chan = |name: &str, src, dst| CicChannel {
+            name: name.into(),
+            src,
+            dst,
+            tokens: 4,
+        };
+        CicModel::new(
+            unit,
+            vec![
+                task("gen", Some(100), None, 200),
+                task("work", None, None, 800),
+                task("fin", None, Some(1_000), 100),
+            ],
+            vec![chan("a", 0, 1), chan("b", 1, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explore_parallel_is_thread_count_invariant() {
+        let m = model();
+        let reference = explore_parallel(&m, 1_200, 4, 4, 1).unwrap();
+        for threads in THREADS {
+            let e = explore_parallel(&m, 1_200, 4, 4, threads).unwrap();
+            assert_eq!(e, reference, "cic explore at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profiled_explore_warm_equals_cold() {
+        let (build, steps) = profile_platform(&[300, 500, 150]);
+        let image = warm_image(&build, steps);
+        let cold = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        let warm = PrefixSource::Warm { image: &image };
+        let m = model();
+        let reference = explore_parallel_profiled(&m, 1_200, 4, 4, 1, &cold, 0x100).unwrap();
+        for threads in THREADS {
+            let e = explore_parallel_profiled(&m, 1_200, 4, 4, threads, &warm, 0x100).unwrap();
+            assert_eq!(e, reference, "cic warm start at {threads} threads");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rtkernel: scheduling-policy sweep
+// ---------------------------------------------------------------------------
+
+mod rtkernel_flow {
+    use super::*;
+    use mpsoc_suite::rtkernel::sched::{Policy, SimConfig};
+    use mpsoc_suite::rtkernel::task::{TaskSpec, Workload};
+    use mpsoc_suite::rtkernel::{sweep_policies, sweep_policies_profiled};
+
+    fn workload() -> Workload {
+        let mut w = Workload::new();
+        w.push(TaskSpec::parallel("video", 10, 900, 4, 200).with_period(250, 8));
+        w.push(TaskSpec::sequential("control", 40, 80).with_period(100, 20));
+        w.push(TaskSpec::sequential("ui", 25, 200).with_priority(3));
+        w
+    }
+
+    fn base_cfg() -> SimConfig {
+        SimConfig {
+            cores: 4,
+            speed: 10,
+            switch_overhead: 2,
+            horizon: 4_000,
+            policy: Policy::TimeShared,
+        }
+    }
+
+    #[test]
+    fn policy_sweep_is_thread_count_invariant() {
+        let w = workload();
+        let cfg = base_cfg();
+        let boosts = [1.2, 1.5, 2.0];
+        let reference = sweep_policies(&w, &cfg, &boosts, 1, None).unwrap();
+        for threads in THREADS {
+            let s = sweep_policies(&w, &cfg, &boosts, threads, None).unwrap();
+            assert_eq!(s, reference, "rtkernel sweep at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profiled_policy_sweep_warm_equals_cold() {
+        let (build, steps) = profile_platform(&[120, 35, 60]);
+        let image = warm_image(&build, steps);
+        let cold_src = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        let warm_src = PrefixSource::Warm { image: &image };
+        let cold = Prefix::source(&cold_src);
+        let warm = Prefix::source(&warm_src);
+        let w = workload();
+        let cfg = base_cfg();
+        let boosts = [1.2, 1.5];
+        let reference = sweep_policies_profiled(&w, &cfg, &boosts, 1, &cold, 0x100, None).unwrap();
+        for threads in THREADS {
+            let s =
+                sweep_policies_profiled(&w, &cfg, &boosts, threads, &warm, 0x100, None).unwrap();
+            assert_eq!(s, reference, "rtkernel warm start at {threads} threads");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dataflow: buffer-sizing search
+// ---------------------------------------------------------------------------
+
+mod dataflow_flow {
+    use super::*;
+    use mpsoc_suite::dataflow::buffer::minimal_capacities;
+    use mpsoc_suite::dataflow::graph::{ActorKind, Graph};
+    use mpsoc_suite::dataflow::{minimal_capacities_profiled, minimal_capacities_sweep};
+
+    fn batching(cons: u32) -> Graph {
+        let mut g = Graph::new();
+        let s = g.add_actor("src", vec![10], ActorKind::Source { period: 100 });
+        let f = g.add_actor("f", vec![50], ActorKind::Regular);
+        let k = g.add_actor(
+            "snk",
+            vec![5],
+            ActorKind::Sink {
+                period: 100 * cons as u64,
+            },
+        );
+        g.add_channel(s, f, vec![1], vec![cons], 0).unwrap();
+        g.add_channel(f, k, vec![1], vec![1], 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn sizing_sweep_matches_serial_at_every_thread_count() {
+        for cons in [1, 3, 5] {
+            let g = batching(cons);
+            let serial = minimal_capacities(&g, 20).unwrap();
+            for threads in THREADS {
+                let caps = minimal_capacities_sweep(&g, 20, threads, None).unwrap();
+                assert_eq!(
+                    caps, serial,
+                    "dataflow sizing cons={cons} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_sizing_warm_equals_cold() {
+        // Profile words re-cost src/f/snk; 0 leaves the sink untouched.
+        let (build, steps) = profile_platform(&[10, 35, 0]);
+        let image = warm_image(&build, steps);
+        let cold_src = PrefixSource::Cold {
+            build: &build,
+            steps,
+        };
+        let warm_src = PrefixSource::Warm { image: &image };
+        let cold = Prefix::source(&cold_src);
+        let warm = Prefix::source(&warm_src);
+        let g = batching(3);
+        let reference = minimal_capacities_profiled(&g, &cold, 0x100, 20, 1, None).unwrap();
+        for threads in THREADS {
+            let caps = minimal_capacities_profiled(&g, &warm, 0x100, 20, threads, None).unwrap();
+            assert_eq!(caps, reference, "dataflow warm start at {threads} threads");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vpdebug: fault-injection campaign
+// ---------------------------------------------------------------------------
+
+mod campaign_flow {
+    use super::*;
+    use mpsoc_suite::vpdebug::campaign::{
+        generate_faults, run_campaign, run_campaign_delta, CampaignConfig, FaultSpace,
+    };
+
+    /// The redundant-sum workload from the campaign tests: output at 0x200,
+    /// detect flag at 0x210, captured mid-loop so faults land in flight.
+    fn fault_site_image() -> Vec<u8> {
+        let mut p = PlatformBuilder::new()
+            .cores(2, Frequency::mhz(100))
+            .shared_words(2048)
+            .cache(None)
+            .build()
+            .unwrap();
+        let prog = assemble(
+            "movi r1, 0\nmovi r2, 0\nmovi r3, 25\n\
+             loop: addi r1, r1, 3\naddi r2, r2, 3\naddi r3, r3, -1\n\
+             bne r3, r0, loop\n\
+             movi r4, 0x200\nst r1, r4, 0\n\
+             movi r5, 0x210\nseq r6, r1, r2\nmovi r7, 1\n\
+             sub r6, r7, r6\nst r6, r5, 0\nhalt",
+        )
+        .unwrap();
+        p.load_program(0, prog, 0).unwrap();
+        for _ in 0..10 {
+            p.step().unwrap();
+        }
+        p.capture().unwrap()
+    }
+
+    fn config(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            budget_steps: 2_000,
+            output_addr: 0x200,
+            output_words: 1,
+            detect_addr: 0x210,
+            threads,
+        }
+    }
+
+    fn faults() -> Vec<mpsoc_suite::vpdebug::campaign::FaultSpec> {
+        generate_faults(
+            0xFA_17,
+            24,
+            &FaultSpace {
+                cores: 2,
+                periph_pages: vec![],
+                dma_pages: vec![],
+                mem_lo: 0x0,
+                mem_hi: 0x3FF,
+            },
+        )
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant_and_delta_agrees() {
+        let image = fault_site_image();
+        let faults = faults();
+        let reference = run_campaign(&image, &faults, config(1), None).unwrap();
+        for threads in THREADS {
+            let full = run_campaign(&image, &faults, config(threads), None).unwrap();
+            assert_eq!(
+                full.outcomes, reference.outcomes,
+                "campaign at {threads} threads"
+            );
+            // Delta rollback (the warm path: one materialization + in-place
+            // rewinds) classifies every fault identically.
+            let delta = run_campaign_delta(&image, &faults, config(threads), None).unwrap();
+            assert_eq!(
+                delta.outcomes, reference.outcomes,
+                "delta campaign at {threads} threads"
+            );
+        }
+    }
+}
