@@ -1,0 +1,87 @@
+//! `mpsoc-gdb` — GDB Remote Serial Protocol server for a testbed platform.
+//!
+//! Boots one of the registry platforms and serves GDB connections over
+//! TCP, sequentially, until killed:
+//!
+//! ```text
+//! mpsoc-gdb PLATFORM [--port N] [--budget N]
+//! ```
+//!
+//! Attach with `gdb -ex 'target remote :PORT'`; `monitor help` lists the
+//! platform extensions (time travel, checkpoints, stimulus recording).
+
+use std::process::ExitCode;
+
+use mpsoc_apps::testbed;
+use mpsoc_gdbrsp::{DebugTarget, GdbServer, Session};
+use mpsoc_vpdebug::Debugger;
+
+fn main() -> ExitCode {
+    let mut platform_name: Option<String> = None;
+    let mut port: u16 = 1234;
+    let mut budget: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => match args.next().and_then(|p| p.parse().ok()) {
+                Some(p) => port = p,
+                None => return usage("--port needs a number"),
+            },
+            "--budget" => match args.next().and_then(|p| p.parse().ok()) {
+                Some(b) => budget = Some(b),
+                None => return usage("--budget needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mpsoc-gdb PLATFORM [--port N] [--budget N]");
+                println!("platforms: {}", testbed::PLATFORM_NAMES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other:?}")),
+            other => platform_name = Some(other.to_string()),
+        }
+    }
+    let Some(name) = platform_name else {
+        return usage("which platform?");
+    };
+
+    let server = match GdbServer::bind(("127.0.0.1", port)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mpsoc-gdb: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| format!("port {port}"));
+    println!("mpsoc-gdb: serving {name} on {addr} (gdb: target remote {addr})");
+
+    // Each connection debugs a fresh instance of the platform, so a
+    // detach-and-reattach starts from reset, like power-cycling a board.
+    loop {
+        let Some(p) = testbed::by_name(&name) else {
+            eprintln!(
+                "mpsoc-gdb: unknown platform {name:?} (known: {})",
+                testbed::PLATFORM_NAMES.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        let mut session = Session::new(DebugTarget::new(Debugger::new(p)));
+        if let Some(b) = budget {
+            session.set_cont_budget(b);
+        }
+        match server.serve_one(&mut session) {
+            Ok(()) => println!("mpsoc-gdb: client detached; platform reset"),
+            Err(e) => eprintln!("mpsoc-gdb: connection error: {e}"),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mpsoc-gdb: {msg}");
+    eprintln!("usage: mpsoc-gdb PLATFORM [--port N] [--budget N]");
+    eprintln!("platforms: {}", testbed::PLATFORM_NAMES.join(", "));
+    ExitCode::FAILURE
+}

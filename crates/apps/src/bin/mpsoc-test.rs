@@ -1,0 +1,138 @@
+//! `mpsoc-test` — headless test runner for virtual-platform scenarios.
+//!
+//! Runs every `*.mts` script it is given (files or directories; defaults
+//! to `tests/scripts/`), prints a per-script verdict, and writes both a
+//! JUnit XML report and a JSON verdict document for CI to upload.
+//!
+//! ```text
+//! mpsoc-test [PATHS...] [--junit FILE] [--json FILE]
+//! ```
+//!
+//! Exit status: 0 iff every script passed (and at least one script ran).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mpsoc_apps::testrunner::{run_suite, SuiteReport};
+
+const DEFAULT_SCRIPTS: &str = "tests/scripts";
+const DEFAULT_JUNIT: &str = "target/mpsoc-test/junit.xml";
+const DEFAULT_JSON: &str = "target/mpsoc-test/verdicts.json";
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut junit = PathBuf::from(DEFAULT_JUNIT);
+    let mut json = PathBuf::from(DEFAULT_JSON);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--junit" => match args.next() {
+                Some(p) => junit = PathBuf::from(p),
+                None => return usage("--junit needs a file argument"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = PathBuf::from(p),
+                None => return usage("--json needs a file argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mpsoc-test [PATHS...] [--junit FILE] [--json FILE]");
+                println!("PATHS are .mts scripts or directories (default: {DEFAULT_SCRIPTS})");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other:?}"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from(DEFAULT_SCRIPTS));
+    }
+
+    let mut scripts: Vec<(String, String)> = Vec::new();
+    for path in &paths {
+        if let Err(e) = collect_scripts(path, &mut scripts) {
+            eprintln!("mpsoc-test: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    scripts.sort_by(|a, b| a.0.cmp(&b.0));
+    if scripts.is_empty() {
+        eprintln!("mpsoc-test: no .mts scripts found under {paths:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let report = run_suite(&scripts);
+    print_summary(&report);
+
+    for (path, contents) in [(&junit, report.to_junit_xml()), (&json, report.to_json())] {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("mpsoc-test: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("mpsoc-test: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("reports: {} {}", junit.display(), json.display());
+
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Collects `(stem, text)` for `path`: a script file, or every `*.mts`
+/// directly inside a directory.
+fn collect_scripts(path: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let meta = std::fs::metadata(path)?;
+    if meta.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "mts") {
+                push_script(&p, out)?;
+            }
+        }
+        Ok(())
+    } else {
+        push_script(path, out)
+    }
+}
+
+fn push_script(path: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    out.push((name, std::fs::read_to_string(path)?));
+    Ok(())
+}
+
+fn print_summary(report: &SuiteReport) {
+    for v in &report.verdicts {
+        let mark = if v.passed() { "PASS" } else { "FAIL" };
+        println!(
+            "{mark} {:<24} {} commands, {} checks, {:.3}s",
+            v.name, v.commands, v.checks, v.secs
+        );
+        for f in &v.failures {
+            println!("       {f}");
+        }
+    }
+    println!(
+        "{}/{} scripts passed",
+        report.verdicts.len() - report.failed(),
+        report.verdicts.len()
+    );
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mpsoc-test: {msg}");
+    eprintln!("usage: mpsoc-test [PATHS...] [--junit FILE] [--json FILE]");
+    ExitCode::FAILURE
+}

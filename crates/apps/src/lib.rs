@@ -15,10 +15,16 @@
 //! * [`audio`] — FIR/biquad/AGC car-radio chain and its CSDF graph.
 //! * [`workload`] — seeded random task DAGs and real-time mixes for the
 //!   parameter sweeps.
+//! * [`testbed`] — the ready-to-debug virtual platforms (car-radio, JPEG,
+//!   race, E12) behind a name registry for `mpsoc-test` and `mpsoc-gdb`.
+//! * [`testrunner`] — the declarative headless test engine: scripts drive
+//!   a platform through the debug stack and emit JSON + JUnit verdicts.
 
 #![warn(missing_docs)]
 
 pub mod audio;
 pub mod h264;
 pub mod jpeg;
+pub mod testbed;
+pub mod testrunner;
 pub mod workload;

@@ -816,139 +816,10 @@ impl E12Faults {
     }
 }
 
-/// Builds E12's fault-target platform: two cores computing redundantly
-/// (duplicate sums compared at the end, mismatch raises a detect flag at
-/// `0x210`), a periodic timer interrupting core 0, a handoff mailbox, and
-/// a DMA engine streaming a seeded block into the output region — so every
-/// fault class in the campaign has a live target.
-fn e12_platform() -> (mpsoc_platform::Platform, usize, usize, usize) {
-    use mpsoc_platform::isa::assemble;
-    use mpsoc_platform::platform::PlatformBuilder;
-    use mpsoc_platform::Frequency;
-
-    let mut p = PlatformBuilder::new()
-        .cores(2, Frequency::mhz(100))
-        .shared_words(4096)
-        .build()
-        .expect("e12 platform builds");
-    let timer = p.add_timer("tick");
-    let mb = p.add_mailbox("handoff", 16);
-    let dma = p.add_dma("stream_dma");
-    let page_base = |page: usize| 0xF000_0000u32 + (page as u32) * 0x100;
-
-    // Core 0: seed the DMA source block (word i holds i+11, so the golden
-    // destination sum is 848), start a 32-word stream into the output
-    // region, compute a sum twice, compare, then poll the DMA and verify
-    // the streamed block against its known sum. The output pointer (r13)
-    // and DMA page base (r14) stay live in registers across the fault
-    // site, so register flips can send stores to unmapped space — a crash.
-    let asm0 = format!(
-        "isr: addi r6, r6, 1\n\
-         rti\n\
-         main: movi r10, {timer:#x}\n\
-         movi r1, 5000\n\
-         st r1, r10, 0\n\
-         movi r1, 0\n\
-         st r1, r10, 3\n\
-         movi r1, 0\n\
-         st r1, r10, 4\n\
-         movi r1, 1\n\
-         st r1, r10, 1\n\
-         movi r13, 0x200\n\
-         movi r3, 0\n\
-         movi r4, 32\n\
-         seed: addi r5, r3, 0x100\n\
-         addi r7, r3, 11\n\
-         st r7, r5, 0\n\
-         addi r3, r3, 1\n\
-         blt r3, r4, seed\n\
-         movi r14, {dma:#x}\n\
-         movi r1, 0x100\n\
-         st r1, r14, 0\n\
-         movi r1, 0x240\n\
-         st r1, r14, 1\n\
-         movi r1, 32\n\
-         st r1, r14, 2\n\
-         movi r1, 1\n\
-         st r1, r14, 3\n\
-         movi r1, 0\n\
-         movi r2, 0\n\
-         movi r3, 30\n\
-         loop: addi r1, r1, 7\n\
-         addi r2, r2, 7\n\
-         addi r3, r3, -1\n\
-         bne r3, r0, loop\n\
-         st r1, r13, 0\n\
-         st r6, r13, 2\n\
-         seq r7, r1, r2\n\
-         movi r8, 1\n\
-         sub r7, r8, r7\n\
-         ld r9, r13, 16\n\
-         or r7, r7, r9\n\
-         st r7, r13, 16\n\
-         movi r11, {mb:#x}\n\
-         st r1, r11, 0\n\
-         poll: ld r5, r14, 4\n\
-         bne r5, r0, poll\n\
-         movi r3, 0\n\
-         movi r4, 32\n\
-         movi r5, 0\n\
-         vrfy: addi r7, r3, 0x240\n\
-         ld r8, r7, 0\n\
-         add r5, r5, r8\n\
-         addi r3, r3, 1\n\
-         blt r3, r4, vrfy\n\
-         movi r7, 848\n\
-         seq r8, r5, r7\n\
-         movi r9, 1\n\
-         sub r8, r9, r8\n\
-         ld r9, r13, 16\n\
-         or r8, r8, r9\n\
-         st r8, r13, 16\n\
-         movi r5, 0\n\
-         st r5, r10, 1\n\
-         halt\n",
-        timer = page_base(timer),
-        dma = page_base(dma),
-        mb = page_base(mb),
-    );
-    p.load_program(0, assemble(&asm0).expect("core 0 assembles"), 2)
-        .expect("core 0 loads");
-    p.core_mut(0)
-        .expect("core 0 exists")
-        .set_irq_vector(Some(0));
-
-    // Core 1: same redundancy pattern, folding in core 0's mailbox
-    // handoff; its output pointer (r12) is likewise live across the fault
-    // site. Its loop is long enough that the handoff has arrived by the
-    // time it pops.
-    let asm1 = format!(
-        "movi r11, {mb:#x}\n\
-         movi r12, 0x201\n\
-         movi r1, 0\n\
-         movi r2, 0\n\
-         movi r3, 240\n\
-         loop: addi r1, r1, 3\n\
-         addi r2, r2, 3\n\
-         addi r3, r3, -1\n\
-         bne r3, r0, loop\n\
-         ld r5, r11, 0\n\
-         add r1, r1, r5\n\
-         add r2, r2, r5\n\
-         st r1, r12, 0\n\
-         seq r7, r1, r2\n\
-         movi r8, 1\n\
-         sub r7, r8, r7\n\
-         ld r9, r12, 15\n\
-         or r7, r7, r9\n\
-         st r7, r12, 15\n\
-         halt\n",
-        mb = page_base(mb),
-    );
-    p.load_program(1, assemble(&asm1).expect("core 1 assembles"), 0)
-        .expect("core 1 loads");
-    (p, timer, mb, dma)
-}
+// E12's fault-target platform builder moved to `mpsoc_apps::testbed`
+// (shared with the `mpsoc-test` headless runner); the experiment keeps a
+// local alias so the call sites below read unchanged.
+use mpsoc_apps::testbed::build_e12 as e12_platform;
 
 /// Runs E12: checkpoint the fault-target platform mid-flight (DMA transfer
 /// in progress, computation under way), sweep a 240-fault campaign at 1, 2

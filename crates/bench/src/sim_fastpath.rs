@@ -59,11 +59,6 @@ use mpsoc_vpdebug::campaign::{
 };
 use mpsoc_vpdebug::Debugger;
 
-/// Peripheral page base address helper (see `mpsoc_platform::mem`).
-fn page_base(page: usize) -> u32 {
-    0xF000_0000 + (page as u32) * 0x100
-}
-
 /// Suite configuration: one full profile (committed numbers) and one smoke
 /// profile (CI sanity, seconds not minutes).
 #[derive(Clone, Copy, Debug)]
@@ -588,147 +583,10 @@ impl fmt::Display for SimFastpathReport {
 // Workload construction
 // ---------------------------------------------------------------------------
 
-/// Builds the car-radio platform: a dual-tuner (DAB+FM) chain on 4
-/// heterogeneous cores with 8 sample/status clocks, 36 inter-stage FIFOs,
-/// two hardware locks, and two streaming DMA engines (48 peripherals).
-/// Public so E12's fault-injection campaign can reuse the same platform.
-pub fn build_car_radio(mode: SchedulerMode) -> Platform {
-    let freqs = vec![
-        Frequency::mhz(100),
-        Frequency::mhz(100),
-        Frequency::mhz(200),
-        Frequency::mhz(50),
-    ];
-    let mut p = PlatformBuilder::new()
-        .cores_with_freqs(freqs)
-        .shared_words(4096)
-        .scheduler(mode)
-        .build()
-        .expect("car-radio platform builds");
-    let timers: Vec<usize> = (0..8).map(|i| p.add_timer(&format!("tick{i}"))).collect();
-    let mboxes: Vec<usize> = (0..36)
-        .map(|i| p.add_mailbox(&format!("fifo{i}"), 16))
-        .collect();
-    let sems = [
-        p.add_semaphore("agc_lock", 1),
-        p.add_semaphore("tuner_lock", 1),
-    ];
-    let dmas = [p.add_dma("sample_dma"), p.add_dma("audio_dma")];
-
-    for core in 0..4 {
-        // ISR at pc 0..2, main at pc 2; entry below must match.
-        let mut asm = String::from("isr: addi r6, r6, 1\n     rti\n");
-        // Clock prologue: each core owns two clocks (sample + status) with
-        // staggered periods so interrupts interleave across the chain.
-        let mut first = true;
-        for (timer, period) in [
-            (timers[core], 2_000 + 500 * core),
-            (timers[core + 4], 3_700 + 900 * core),
-        ] {
-            let label = if first { "main: " } else { "     " };
-            first = false;
-            let _ = writeln!(asm, "{label}movi r10, {:#x}", page_base(timer));
-            let _ = writeln!(asm, "     movi r1, {period}");
-            asm.push_str("     st r1, r10, 0\n"); // PERIOD (ns)
-            let _ = writeln!(asm, "     movi r1, {core}");
-            asm.push_str("     st r1, r10, 3\n"); // CORE
-            asm.push_str("     movi r1, 0\n     st r1, r10, 4\n"); // IRQ 0
-            asm.push_str("     movi r1, 1\n     st r1, r10, 1\n"); // CTRL enable
-        }
-        if core % 2 == 0 {
-            // Cores 0 and 2 each own a DMA engine: configure once, re-kick
-            // every iteration (starts are ignored while a transfer flies).
-            let (src, dst, len) = if core == 0 {
-                (256, 1024, 32)
-            } else {
-                (512, 1536, 48)
-            };
-            let _ = writeln!(asm, "     movi r14, {:#x}", page_base(dmas[core / 2]));
-            let _ = writeln!(asm, "     movi r1, {src}\n     st r1, r14, 0"); // SRC
-            let _ = writeln!(asm, "     movi r1, {dst}\n     st r1, r14, 1"); // DST
-            let _ = writeln!(asm, "     movi r1, {len}\n     st r1, r14, 2"); // LEN
-        }
-        // Sample-processing loop: feed two downstream FIFOs, drain both own
-        // inboxes, AGC under the hardware lock, shared-buffer traffic.
-        let own_a = page_base(mboxes[core]);
-        let own_b = page_base(mboxes[4 + core]);
-        let partner_a = page_base(mboxes[(core + 1) % 4]);
-        let partner_b = page_base(mboxes[4 + (core + 2) % 4]);
-        let _ = writeln!(asm, "     movi r11, {own_a:#x}");
-        let _ = writeln!(asm, "     movi r15, {own_b:#x}");
-        let _ = writeln!(asm, "     movi r12, {partner_a:#x}");
-        let _ = writeln!(asm, "     movi r10, {partner_b:#x}");
-        let _ = writeln!(asm, "     movi r13, {:#x}", page_base(sems[core / 2]));
-        let _ = writeln!(asm, "     movi r9, {}", core * 64);
-        asm.push_str("     movi r1, 0\n     movi r2, 100000000\n");
-        asm.push_str("loop: st r1, r12, 0\n"); // push sample downstream
-        asm.push_str("     st r1, r10, 0\n"); // push status downstream
-        asm.push_str("     ld r3, r11, 0\n"); // pop sample inbox
-        asm.push_str("     ld r5, r15, 0\n"); // pop status inbox
-        asm.push_str("     add r4, r4, r3\n");
-        asm.push_str("     add r4, r4, r5\n");
-        asm.push_str("     ld r5, r9, 16\n"); // shared read
-        asm.push_str("     st r4, r9, 32\n"); // shared write
-        asm.push_str("     ld r7, r13, 0\n"); // lock TRYACQ
-        asm.push_str("     st r7, r13, 1\n"); // lock RELEASE
-        if core % 2 == 0 {
-            asm.push_str("     movi r5, 1\n     st r5, r14, 3\n"); // DMA CTRL
-        }
-        asm.push_str("     addi r1, r1, 1\n     blt r1, r2, loop\n     halt\n");
-        let prog = assemble(&asm).expect("car-radio program assembles");
-        p.load_program(core, prog, 2).expect("program loads");
-        p.core_mut(core)
-            .expect("core exists")
-            .set_irq_vector(Some(0));
-    }
-    p
-}
-
-/// Builds the JPEG platform: 4 cores running a DCT-like MAC kernel, with
-/// only a handoff mailbox and a DMA engine attached. Public so E12 and the
-/// snapshot round-trip tests can reuse the same workloads.
-pub fn build_jpeg(mode: SchedulerMode) -> Platform {
-    let mut p = PlatformBuilder::new()
-        .cores(4, Frequency::mhz(100))
-        .shared_words(4096)
-        .scheduler(mode)
-        .build()
-        .expect("jpeg platform builds");
-    let mb = p.add_mailbox("blocks_done", 32);
-    let dma = p.add_dma("block_dma");
-
-    for core in 0..4 {
-        let mut asm = String::new();
-        // Each core owns one 64-word block of the frame buffer.
-        let _ = writeln!(asm, "     movi r10, {}", core * 64);
-        let _ = writeln!(asm, "     movi r11, {:#x}", page_base(mb));
-        if core == 0 {
-            let _ = writeln!(asm, "     movi r14, {:#x}", page_base(dma));
-            asm.push_str("     movi r1, 0\n     st r1, r14, 0\n");
-            asm.push_str("     movi r1, 2048\n     st r1, r14, 1\n");
-            asm.push_str("     movi r1, 64\n     st r1, r14, 2\n");
-        }
-        asm.push_str("     movi r1, 0\n     movi r2, 100000000\n     movi r9, 8\n");
-        // Inner loop: 8 MAC + shift rounds per block (a row of the 8x8 DCT).
-        asm.push_str("outer: movi r3, 0\n");
-        asm.push_str("inner: ld r5, r10, 0\n");
-        asm.push_str("     ld r6, r10, 1\n");
-        asm.push_str("     mul r7, r5, r6\n");
-        asm.push_str("     add r4, r4, r7\n");
-        asm.push_str("     shr r7, r7, r9\n");
-        asm.push_str("     st r7, r10, 2\n");
-        asm.push_str("     addi r3, r3, 1\n");
-        asm.push_str("     blt r3, r9, inner\n");
-        asm.push_str("     st r4, r11, 0\n"); // block-done handoff
-        if core == 0 {
-            asm.push_str("     movi r5, 1\n     st r5, r14, 3\n");
-        }
-        asm.push_str("     addi r1, r1, 1\n     blt r1, r2, outer\n     halt\n");
-        let prog = assemble(&asm).expect("jpeg program assembles");
-        p.load_program(core, prog, 0).expect("program loads");
-    }
-    p
-}
+// The two benchmark workloads moved to `mpsoc_apps::testbed` so the
+// headless test runner and the GDB server can load them without the
+// benchmark suite; re-exported here so existing callers keep working.
+pub use mpsoc_apps::testbed::{build_car_radio, build_jpeg};
 
 // ---------------------------------------------------------------------------
 // Drivers

@@ -1,0 +1,55 @@
+//! GDB-RSP server error type.
+
+use std::fmt;
+
+/// Errors raised by the RSP framing layer, the protocol session, or the
+/// target adapter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A malformed frame: bad checksum, truncated escape, oversized
+    /// payload, or a non-hex checksum digit.
+    Frame(String),
+    /// A well-framed packet whose body could not be parsed (bad hex, a
+    /// missing field, an out-of-range register number, …).
+    Packet(String),
+    /// The target rejected an operation (bad core id, unmapped address,
+    /// time travel disabled, …).
+    Target(String),
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frame(m) => write!(f, "frame: {m}"),
+            Error::Packet(m) => write!(f, "packet: {m}"),
+            Error::Target(m) => write!(f, "target: {m}"),
+            Error::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<mpsoc_vpdebug::Error> for Error {
+    fn from(e: mpsoc_vpdebug::Error) -> Self {
+        Error::Target(e.to_string())
+    }
+}
+
+impl From<mpsoc_platform::Error> for Error {
+    fn from(e: mpsoc_platform::Error) -> Self {
+        Error::Target(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -99,6 +99,13 @@ impl Core {
         self.pc = pc;
     }
 
+    /// Debugger write of the program counter (a GDB `P` packet targeting
+    /// the pc pseudo-register). Purely architectural: status and timing are
+    /// untouched, so a halted or faulted core stays halted or faulted.
+    pub fn debug_set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
     /// Reads register `r`.
     pub fn reg(&self, r: Reg) -> Word {
         self.regs[r.index()]

@@ -21,7 +21,11 @@ use crate::time::Time;
 ///
 /// This trait is sealed in spirit: the platform constructs one of the two
 /// provided implementations from its configuration.
-pub trait Interconnect: std::fmt::Debug {
+///
+/// `Send` is required so a whole [`Platform`](crate::Platform) can move
+/// into a background thread — a GDB-RSP server serving a prepared
+/// platform, a campaign worker owning its replica.
+pub trait Interconnect: std::fmt::Debug + Send {
     /// Computes the completion time of a single-word transfer from node
     /// `from` to node `to` that becomes ready at `now`, updating internal
     /// contention state.

@@ -61,7 +61,10 @@ pub struct PeriphCtx<'a> {
 /// which never perturbs state — the essence of non-intrusive inspection.
 ///
 /// [`snapshot`]: Peripheral::snapshot
-pub trait Peripheral: std::fmt::Debug {
+///
+/// `Send` is required so a whole [`Platform`](crate::Platform) can move
+/// into a background thread (debug servers, campaign workers).
+pub trait Peripheral: std::fmt::Debug + Send {
     /// The peripheral instance name (e.g. `"timer0"`).
     fn name(&self) -> &str;
 

@@ -296,16 +296,22 @@ impl Debugger {
                 }
             }
         }
-        // Access watchpoints.
-        for (i, wp) in self.watchpoints.iter().enumerate() {
-            if let Watchpoint::Access {
-                lo,
-                hi,
-                kind,
-                origin,
-            } = wp
-            {
-                for a in &event.accesses {
+        // Access watchpoints, in *access* order: a step can perform several
+        // accesses (a DMA completion performs hundreds — each word is a
+        // read then a write), and the stop must report the temporally first
+        // faulting access, not the lowest-numbered watchpoint. Iterating
+        // watchpoint-major here used to let a write watchpoint with a lower
+        // index shadow an earlier read's faulting address, an asymmetry a
+        // GDB stop reply (`T05watch:ADDR;` vs `rwatch:`) makes user-visible.
+        for a in &event.accesses {
+            for (i, wp) in self.watchpoints.iter().enumerate() {
+                if let Watchpoint::Access {
+                    lo,
+                    hi,
+                    kind,
+                    origin,
+                } = wp
+                {
                     if a.addr >= *lo
                         && a.addr <= *hi
                         && kind.is_none_or(|k| k == a.kind)
@@ -790,6 +796,58 @@ mod tests {
             } => {
                 assert_eq!(a.originator, Originator::Dma(page));
                 assert_eq!(a.addr, 300);
+                assert_eq!(a.value, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn earliest_access_wins_over_watchpoint_index() {
+        // One DMA word copy performs a read from src then a write to dst in
+        // the same step. With a *write* watchpoint registered first (index
+        // 0, on dst) and a *read* watchpoint second (index 1, on src), the
+        // stop must report the read: it is the temporally first faulting
+        // access, regardless of watchpoint registration order.
+        let mut p = platform();
+        let page = p.add_dma("dma0");
+        p.load_shared(100, &[7]).unwrap();
+        use mpsoc_platform::mem::periph_addr;
+        use mpsoc_platform::periph::dma_reg;
+        let prog = assemble(&format!(
+            "movi r1, {}\nmovi r2, 100\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 300\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 1\nst r2, r1, 0\n\
+             movi r1, {}\nmovi r2, 1\nst r2, r1, 0\n\
+             halt",
+            periph_addr(page, dma_reg::SRC),
+            periph_addr(page, dma_reg::DST),
+            periph_addr(page, dma_reg::LEN),
+            periph_addr(page, dma_reg::CTRL),
+        ))
+        .unwrap();
+        let mut dbg = Debugger::new(p);
+        dbg.platform_mut().load_program(0, prog, 0).unwrap();
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 300,
+            hi: 300,
+            kind: Some(AccessKind::Write),
+            origin: OriginFilter::Any,
+        });
+        dbg.add_watchpoint(Watchpoint::Access {
+            lo: 100,
+            hi: 100,
+            kind: Some(AccessKind::Read),
+            origin: OriginFilter::Dma(page),
+        });
+        match dbg.run(100_000).unwrap() {
+            Stop::Watchpoint {
+                index,
+                access: Some(a),
+            } => {
+                assert_eq!(index, 1, "the read watchpoint fired");
+                assert_eq!(a.kind, AccessKind::Read);
+                assert_eq!(a.addr, 100, "faulting address is the read's");
                 assert_eq!(a.value, 7);
             }
             other => panic!("unexpected {other:?}"),

@@ -15,6 +15,11 @@ pub enum Error {
         /// Reason.
         msg: String,
     },
+    /// A time-travel operation was requested but time travel is not
+    /// enabled ([`Debugger::enable_time_travel`] was never called).
+    ///
+    /// [`Debugger::enable_time_travel`]: crate::Debugger::enable_time_travel
+    TimeTravelDisabled,
 }
 
 impl fmt::Display for Error {
@@ -23,6 +28,7 @@ impl fmt::Display for Error {
             Error::Platform(m) => write!(f, "platform: {m}"),
             Error::Script { line: 0, msg } => write!(f, "script: {msg}"),
             Error::Script { line, msg } => write!(f, "script line {line}: {msg}"),
+            Error::TimeTravelDisabled => write!(f, "time travel is not enabled"),
         }
     }
 }

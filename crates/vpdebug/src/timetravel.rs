@@ -270,6 +270,27 @@ impl Debugger {
         Ok(())
     }
 
+    /// Captures a checkpoint at the current step on demand — the debugger
+    /// front-end's `monitor checkpoint`. A no-op returning `Ok(false)` when
+    /// a checkpoint already exists at this step; `Ok(true)` when one was
+    /// captured.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TimeTravelDisabled`] when time travel is not enabled;
+    /// [`Error::Platform`] if the platform cannot be captured.
+    pub fn take_checkpoint_now(&mut self) -> Result<bool> {
+        let Some(tt) = &self.time_travel else {
+            return Err(Error::TimeTravelDisabled);
+        };
+        let cur = self.platform.steps();
+        if tt.checkpoints.iter().any(|c| c.step == cur) {
+            return Ok(false);
+        }
+        self.take_checkpoint()?;
+        Ok(true)
+    }
+
     /// Travels to the state exactly after `target` platform steps: restores
     /// the nearest checkpoint at or before `target` (base + one delta — no
     /// delta chain walking), then deterministically re-executes forward.

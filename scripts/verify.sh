@@ -3,48 +3,68 @@
 # (.github/workflows/ci.yml); run it locally before pushing.
 #
 # The build is hermetic: no network access and no external crates, so every
-# step below works offline.
+# step below works offline. Each stage is wall-clock timed and a summary
+# table prints at the end, so a slow CI run points straight at its stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tracked files intact =="
-# A deleted-but-uncommitted tracked file builds fine locally (stale
-# target/) yet breaks a fresh checkout; fail fast instead.
-deleted=$(git status --porcelain | grep -E '^( D|D )' || true)
-if [ -n "$deleted" ]; then
-  echo "error: tracked files are deleted but not committed:" >&2
-  echo "$deleted" >&2
-  exit 1
-fi
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+stage() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  local t0=$SECONDS
+  "$@"
+  STAGE_NAMES+=("$name")
+  STAGE_SECS+=($((SECONDS - t0)))
+}
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+summary() {
+  echo
+  echo "== stage timing =="
+  local total=0 i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-44s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    total=$((total + STAGE_SECS[i]))
+  done
+  printf '  %-44s %4ds\n' "total" "$total"
+}
+trap summary EXIT
 
-echo "== cargo build --release =="
-cargo build --release
+check_tracked_files() {
+  # A deleted-but-uncommitted tracked file builds fine locally (stale
+  # target/) yet breaks a fresh checkout; fail fast instead.
+  local deleted
+  deleted=$(git status --porcelain | grep -E '^( D|D )' || true)
+  if [ -n "$deleted" ]; then
+    echo "error: tracked files are deleted but not committed:" >&2
+    echo "$deleted" >&2
+    exit 1
+  fi
+}
 
-echo "== cargo test =="
-cargo test -q
+doc_deny_warnings() {
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+}
 
-echo "== cargo test --workspace =="
-cargo test --workspace -q
-
-echo "== delta checkpoint round-trip =="
-cargo test -q --test delta_roundtrip
-
-echo "== exploration engine cross-layer equivalence =="
-cargo test -q --test explore_equivalence
-
-echo "== cargo doc (deny warnings) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
-
-echo "== bench smoke (sim_fastpath) =="
-cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
-
-echo "== fault-injection campaign (E12) =="
-cargo run --release -q -p mpsoc-bench --bin e12
+stage "tracked files intact" check_tracked_files
+stage "cargo fmt --check" cargo fmt --check
+stage "cargo clippy (deny warnings)" cargo clippy --workspace --all-targets -- -D warnings
+stage "cargo build --release" cargo build --release
+stage "cargo test" cargo test -q
+stage "cargo test --workspace" cargo test --workspace -q
+stage "delta checkpoint round-trip" cargo test -q --test delta_roundtrip
+stage "exploration engine cross-layer equivalence" cargo test -q --test explore_equivalence
+stage "cargo doc (deny warnings)" doc_deny_warnings
+stage "bench smoke (sim_fastpath)" \
+  cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
+stage "fault-injection campaign (E12)" cargo run --release -q -p mpsoc-bench --bin e12
+# The headless platform suite: scripted debug sessions through the GDB-RSP
+# stack, with JUnit/JSON verdicts under target/mpsoc-test/ (CI uploads
+# them as artifacts).
+stage "headless platform suite (mpsoc-test)" \
+  cargo run --release -q -p mpsoc-apps --bin mpsoc-test
 
 echo "verify: OK"

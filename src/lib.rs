@@ -16,6 +16,7 @@
 //! | [`recoder`] | VI | designer-controlled source recoding |
 //! | [`snapshot`] | VII | versioned binary checkpoint images for capture/restore |
 //! | [`vpdebug`] | VII | virtual-platform debugger, time travel, fault campaigns |
+//! | [`gdbrsp`] | VII | GDB Remote Serial Protocol server over `vpdebug` |
 //! | [`apps`] | workloads | JPEG-like, H.264-like, car-radio, generators |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -28,6 +29,7 @@ pub use mpsoc_apps as apps;
 pub use mpsoc_cic as cic;
 pub use mpsoc_dataflow as dataflow;
 pub use mpsoc_explore as explore;
+pub use mpsoc_gdbrsp as gdbrsp;
 pub use mpsoc_maps as maps;
 pub use mpsoc_minic as minic;
 pub use mpsoc_obs as obs;
