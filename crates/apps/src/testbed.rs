@@ -33,6 +33,9 @@ fn page_base(page: usize) -> u32 {
 /// The platform names [`by_name`] accepts, in the order the CLI lists them.
 pub const PLATFORM_NAMES: [&str; 4] = ["car_radio", "jpeg", "race", "e12"];
 
+/// The software image names [`install_software`] accepts.
+pub const SOFTWARE_NAMES: [&str; 3] = ["car_radio", "jpeg", "race"];
+
 /// Builds the platform registered under `name`, or `None` for an unknown
 /// name. All platforms use the calendar scheduler (the production fast
 /// path); the race platform runs 200 iterations per core.
@@ -46,10 +49,52 @@ pub fn by_name(name: &str) -> Option<Platform> {
     }
 }
 
+/// Loads a platform from a declarative `.soc` description file
+/// (`mpsoc-pdl`). The platform comes up with empty program memories; use
+/// [`install_software`] to load one of the testbed software images.
+///
+/// # Errors
+///
+/// I/O failures and source-located compile errors, rendered as strings
+/// (`path:line:col: message`).
+pub fn load_soc_file(path: &str) -> Result<Platform, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    mpsoc_pdl::compile(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+/// Installs a named testbed software image onto `p` (typically a platform
+/// built from a `.soc` replica of the matching hardware): the car-radio
+/// chain, the JPEG MAC kernel, or the race demonstrator (200 iterations).
+///
+/// # Errors
+///
+/// Unknown image names and program-load failures (e.g. the platform has
+/// fewer cores or peripherals than the image expects).
+pub fn install_software(name: &str, p: &mut Platform) -> Result<(), String> {
+    match name {
+        "car_radio" => install_car_radio_software(p),
+        "jpeg" => install_jpeg_software(p),
+        "race" => mpsoc_vpdebug::load_race_programs(p, 200).map_err(|e| e.to_string()),
+        _ => Err(format!(
+            "unknown software image {name:?} (known: {})",
+            SOFTWARE_NAMES.join(", ")
+        )),
+    }
+}
+
 /// Builds the car-radio platform: a dual-tuner (DAB+FM) chain on 4
 /// heterogeneous cores with 8 sample/status clocks, 36 inter-stage FIFOs,
 /// two hardware locks, and two streaming DMA engines (48 peripherals).
 pub fn build_car_radio(mode: SchedulerMode) -> Platform {
+    let mut p = car_radio_hardware(mode);
+    install_car_radio_software(&mut p).expect("car-radio software installs");
+    p
+}
+
+/// Builds the car-radio *hardware* only: cores, memories, and the 48
+/// peripherals, with no programs loaded. `examples/platforms/car_radio.soc`
+/// is the declarative replica of exactly this configuration.
+pub fn car_radio_hardware(mode: SchedulerMode) -> Platform {
     let freqs = vec![
         Frequency::mhz(100),
         Frequency::mhz(100),
@@ -62,15 +107,31 @@ pub fn build_car_radio(mode: SchedulerMode) -> Platform {
         .scheduler(mode)
         .build()
         .expect("car-radio platform builds");
-    let timers: Vec<usize> = (0..8).map(|i| p.add_timer(&format!("tick{i}"))).collect();
-    let mboxes: Vec<usize> = (0..36)
-        .map(|i| p.add_mailbox(&format!("fifo{i}"), 16))
-        .collect();
-    let sems = [
-        p.add_semaphore("agc_lock", 1),
-        p.add_semaphore("tuner_lock", 1),
-    ];
-    let dmas = [p.add_dma("sample_dma"), p.add_dma("audio_dma")];
+    for i in 0..8 {
+        p.add_timer(&format!("tick{i}"));
+    }
+    for i in 0..36 {
+        p.add_mailbox(&format!("fifo{i}"), 16);
+    }
+    p.add_semaphore("agc_lock", 1);
+    p.add_semaphore("tuner_lock", 1);
+    p.add_dma("sample_dma");
+    p.add_dma("audio_dma");
+    p
+}
+
+/// Loads the car-radio software image onto `p`. Peripheral pages follow
+/// the [`car_radio_hardware`] declaration order: timers at pages 0–7,
+/// FIFOs at 8–43, locks at 44–45, DMA engines at 46–47.
+///
+/// # Errors
+///
+/// Program-load failures when `p` does not match the expected hardware.
+pub fn install_car_radio_software(p: &mut Platform) -> Result<(), String> {
+    let timers: Vec<usize> = (0..8).collect();
+    let mboxes: Vec<usize> = (8..44).collect();
+    let sems = [44, 45];
+    let dmas = [46, 47];
 
     for core in 0..4 {
         // ISR at pc 0..2, main at pc 2; entry below must match.
@@ -133,25 +194,47 @@ pub fn build_car_radio(mode: SchedulerMode) -> Platform {
         }
         asm.push_str("     addi r1, r1, 1\n     blt r1, r2, loop\n     halt\n");
         let prog = assemble(&asm).expect("car-radio program assembles");
-        p.load_program(core, prog, 2).expect("program loads");
+        p.load_program(core, prog, 2).map_err(|e| e.to_string())?;
         p.core_mut(core)
-            .expect("core exists")
+            .map_err(|e| e.to_string())?
             .set_irq_vector(Some(0));
     }
-    p
+    Ok(())
 }
 
 /// Builds the JPEG platform: 4 cores running a DCT-like MAC kernel, with
 /// only a handoff mailbox and a DMA engine attached.
 pub fn build_jpeg(mode: SchedulerMode) -> Platform {
+    let mut p = jpeg_hardware(mode);
+    install_jpeg_software(&mut p).expect("jpeg software installs");
+    p
+}
+
+/// Builds the JPEG *hardware* only: 4 cores, a handoff mailbox, and a DMA
+/// engine, with no programs loaded. `examples/platforms/jpeg.soc` is the
+/// declarative replica of exactly this configuration.
+pub fn jpeg_hardware(mode: SchedulerMode) -> Platform {
     let mut p = PlatformBuilder::new()
         .cores(4, Frequency::mhz(100))
         .shared_words(4096)
         .scheduler(mode)
         .build()
         .expect("jpeg platform builds");
-    let mb = p.add_mailbox("blocks_done", 32);
-    let dma = p.add_dma("block_dma");
+    p.add_mailbox("blocks_done", 32);
+    p.add_dma("block_dma");
+    p
+}
+
+/// Loads the JPEG software image onto `p`. Peripheral pages follow the
+/// [`jpeg_hardware`] declaration order: the mailbox at page 0, the DMA
+/// engine at page 1.
+///
+/// # Errors
+///
+/// Program-load failures when `p` does not match the expected hardware.
+pub fn install_jpeg_software(p: &mut Platform) -> Result<(), String> {
+    let mb = 0usize;
+    let dma = 1usize;
 
     for core in 0..4 {
         let mut asm = String::new();
@@ -181,9 +264,9 @@ pub fn build_jpeg(mode: SchedulerMode) -> Platform {
         }
         asm.push_str("     addi r1, r1, 1\n     blt r1, r2, outer\n     halt\n");
         let prog = assemble(&asm).expect("jpeg program assembles");
-        p.load_program(core, prog, 0).expect("program loads");
+        p.load_program(core, prog, 0).map_err(|e| e.to_string())?;
     }
-    p
+    Ok(())
 }
 
 /// Builds E12's fault-target platform: two cores computing redundantly

@@ -15,6 +15,8 @@
 //!
 //! ```text
 //! platform NAME                    # car_radio | jpeg | race | e12
+//! platform PATH.soc [SOFTWARE]     # declarative platform (mpsoc-pdl); optional
+//!                                  #   testbed software image to install
 //! budget N                         # step budget for `run` (default 2_000_000)
 //! break PC                         # software breakpoint on every core
 //! unbreak PC
@@ -241,12 +243,22 @@ impl Engine {
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
             ["platform", name] => {
-                let p = testbed::by_name(name).ok_or_else(|| {
-                    format!(
-                        "unknown platform {name:?} (known: {})",
-                        testbed::PLATFORM_NAMES.join(", ")
-                    )
-                })?;
+                let p = if name.ends_with(".soc") {
+                    testbed::load_soc_file(name)?
+                } else {
+                    testbed::by_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown platform {name:?} (known: {}, or a .soc file path)",
+                            testbed::PLATFORM_NAMES.join(", ")
+                        )
+                    })?
+                };
+                self.target = Some(DebugTarget::new(Debugger::new(p)));
+                Ok(())
+            }
+            ["platform", path, software] if path.ends_with(".soc") => {
+                let mut p = testbed::load_soc_file(path)?;
+                testbed::install_software(software, &mut p)?;
                 self.target = Some(DebugTarget::new(Debugger::new(p)));
                 Ok(())
             }

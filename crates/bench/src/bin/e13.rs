@@ -1,0 +1,17 @@
+//! Regenerates extension experiment E13 (see EXPERIMENTS.md) and writes the
+//! joint mapping×topology Pareto artifact `target/E13_joint_dse.json`.
+//!
+//! `--smoke` selects the seconds-scale CI profile; the default is the full
+//! 384-trial sweep.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let r = mpsoc_bench::experiments::e13_joint_dse(smoke);
+    print!("{r}");
+    assert!(
+        r.thread_invariant,
+        "E13 Pareto front must be bit-identical at 1/2/4/8 threads"
+    );
+    std::fs::create_dir_all("target").expect("target dir exists");
+    std::fs::write("target/E13_joint_dse.json", r.to_json()).expect("writes Pareto artifact");
+    println!("wrote target/E13_joint_dse.json");
+}

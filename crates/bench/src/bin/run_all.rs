@@ -6,6 +6,7 @@
 use mpsoc_bench::experiments as e;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("{}", e::e1_scalability());
     println!("{}", e::e2_sched());
     println!("{}", e::e3_corruption());
@@ -21,7 +22,10 @@ fn main() {
     println!("{e12}");
     std::fs::create_dir_all("target").expect("target dir exists");
     std::fs::write("target/E12_faults.json", e12.to_json()).expect("writes fault-coverage report");
-    if std::env::args().any(|a| a == "--smoke") {
+    let e13 = e::e13_joint_dse(smoke);
+    println!("{e13}");
+    std::fs::write("target/E13_joint_dse.json", e13.to_json()).expect("writes Pareto artifact");
+    if smoke {
         let report = mpsoc_bench::sim_fastpath::run(&mpsoc_bench::sim_fastpath::Config::smoke());
         print!("{report}");
         std::fs::write("target/BENCH_simulator.json", report.to_json())

@@ -910,3 +910,67 @@ impl fmt::Display for E12Faults {
         )
     }
 }
+
+/// E13 — joint mapping×topology DSE over the declarative platform
+/// generator (see `crates/pdl`).
+#[derive(Clone, Debug)]
+pub struct E13JointDse {
+    /// The sweep report (trials, Pareto front) at one thread count.
+    pub report: mpsoc_pdl::JointReport,
+    /// Whether the Pareto front *and* the serialized JSON artifact were
+    /// bit-identical at 1, 2, 4 and 8 worker threads.
+    pub thread_invariant: bool,
+    /// Whether the smoke profile (CI) or the full profile ran.
+    pub smoke: bool,
+}
+
+impl E13JointDse {
+    /// The CI artifact (`target/E13_joint_dse.json`): the report JSON is
+    /// thread-count-free by construction, so the artifact is byte-identical
+    /// regardless of the machine's parallelism.
+    pub fn to_json(&self) -> String {
+        self.report.to_json()
+    }
+}
+
+/// Runs E13: the joint sweep at 1, 2, 4 and 8 worker threads, requiring
+/// the Pareto front and the JSON artifact to be bit-identical across all
+/// four runs.
+pub fn e13_joint_dse(smoke: bool) -> E13JointDse {
+    use mpsoc_pdl::{joint_sweep, JointConfig};
+
+    let base = if smoke {
+        JointConfig::smoke()
+    } else {
+        JointConfig::full()
+    };
+    let reports: Vec<mpsoc_pdl::JointReport> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| joint_sweep(&JointConfig { threads, ..base }).expect("joint sweep runs"))
+        .collect();
+    let thread_invariant = reports[1..]
+        .iter()
+        .all(|r| r.front == reports[0].front && r.to_json() == reports[0].to_json());
+    E13JointDse {
+        report: reports.into_iter().next().expect("four reports"),
+        thread_invariant,
+        smoke,
+    }
+}
+
+impl fmt::Display for E13JointDse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E13 (ext): joint mapping x topology DSE ({} profile, master seed {:#x})",
+            if self.smoke { "smoke" } else { "full" },
+            self.report.master_seed
+        )?;
+        write!(f, "{}", self.report)?;
+        writeln!(
+            f,
+            "  Pareto front and JSON identical at 1/2/4/8 threads: {}",
+            self.thread_invariant
+        )
+    }
+}

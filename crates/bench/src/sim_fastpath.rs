@@ -86,6 +86,9 @@ pub struct Config {
     /// Busy-loop iterations in the measurement prefix of the engine-sweep
     /// rows (makes the cold prefix cost visible).
     pub engine_prefix_spin: u64,
+    /// Iterations per timing loop in the `.soc` front-end row (compiles
+    /// and topology generations).
+    pub pdl_iters: usize,
     /// Label recorded in the JSON (`"full"` / `"smoke"`).
     pub mode: &'static str,
 }
@@ -103,6 +106,7 @@ impl Config {
             campaign_faults: 96,
             campaign_budget_steps: 2_000,
             engine_prefix_spin: 20_000,
+            pdl_iters: 1_500,
             mode: "full",
         }
     }
@@ -119,6 +123,7 @@ impl Config {
             campaign_faults: 12,
             campaign_budget_steps: 300,
             engine_prefix_spin: 500,
+            pdl_iters: 100,
             mode: "smoke",
         }
     }
@@ -256,6 +261,21 @@ impl EngineSweepResult {
     }
 }
 
+/// Throughput of the `.soc` language front end (`mpsoc-pdl`): full
+/// compiles — parse, validate, build — of the committed car-radio
+/// description, and seeded topology generation (seed → source text).
+#[derive(Clone, Debug)]
+pub struct PdlResult {
+    /// Bytes of the benchmarked `.soc` source.
+    pub source_bytes: usize,
+    /// Cores in the compiled platform.
+    pub cores: usize,
+    /// Best-of-N full compiles (source → `Platform`) per wall second.
+    pub compiles_per_sec: f64,
+    /// Best-of-N topology generations (seed → `.soc` text) per wall second.
+    pub generates_per_sec: f64,
+}
+
 /// Time-travel ring capacity under one byte budget with XOR+RLE delta-page
 /// compression on versus off (raw whole-page deltas): the same workload and
 /// budget must retain strictly more checkpoints when deltas compress.
@@ -284,6 +304,8 @@ pub struct SimFastpathReport {
     pub engine: Vec<EngineSweepResult>,
     /// Time-travel ring capacity, compressed versus raw delta pages.
     pub ring: Option<RingCompareResult>,
+    /// `.soc` front-end throughput (compile and generate), when measured.
+    pub pdl: Option<PdlResult>,
     /// Annealer wall times at 1/2/4 threads.
     pub anneal: Vec<AnnealResult>,
     /// Annealer iterations per restart / restart count used.
@@ -431,6 +453,14 @@ impl SimFastpathReport {
             );
             s.push_str("  },\n");
         }
+        if let Some(p) = &self.pdl {
+            s.push_str("  \"pdl\": {\n");
+            let _ = writeln!(s, "    \"source_bytes\": {},", p.source_bytes);
+            let _ = writeln!(s, "    \"cores\": {},", p.cores);
+            let _ = writeln!(s, "    \"compiles_per_sec\": {:.0},", p.compiles_per_sec);
+            let _ = writeln!(s, "    \"generates_per_sec\": {:.0}", p.generates_per_sec);
+            s.push_str("  },\n");
+        }
         s.push_str("  \"anneal\": {\n");
         let _ = writeln!(s, "    \"iters\": {},", self.anneal_iters);
         let _ = writeln!(s, "    \"starts\": {},", self.anneal_starts);
@@ -550,6 +580,13 @@ impl fmt::Display for SimFastpathReport {
                 f,
                 "  ring ({} B budget): {} raw checkpoints vs {} compressed",
                 r.budget_bytes, r.raw_checkpoints, r.compressed_checkpoints
+            )?;
+        }
+        if let Some(p) = &self.pdl {
+            writeln!(
+                f,
+                "  pdl: compile {}B / {}-core .soc at {:.0}/s, generate topologies at {:.0}/s",
+                p.source_bytes, p.cores, p.compiles_per_sec, p.generates_per_sec
             )?;
         }
         writeln!(
@@ -721,6 +758,18 @@ fn measure_snapshot(
         p.recycle(ev);
     }
     let delta_img = p.capture_delta().expect("delta capture succeeds");
+    // The adaptive page encoder falls back to a raw literal run whenever
+    // XOR+RLE would not win, so a compressed delta can never exceed the
+    // raw encoding of the same dirty pages.
+    p.set_delta_compression(false);
+    let raw_delta = p.capture_delta().expect("raw delta capture succeeds");
+    p.set_delta_compression(true);
+    assert!(
+        delta_img.len() <= raw_delta.len(),
+        "{name}: adaptive delta ({}B) encodes larger than raw ({}B)",
+        delta_img.len(),
+        raw_delta.len()
+    );
     let caps = cfg.snapshot_captures.max(1);
     // Delta timing first: a full capture would re-base and empty the dirty
     // set. `capture_delta` never clears it, so every iteration does the
@@ -976,6 +1025,42 @@ fn measure_engine_sweeps(cfg: &Config) -> Vec<EngineSweepResult> {
     vec![rt, df]
 }
 
+/// Measures the `.soc` front end: full compiles of the committed car-radio
+/// description and topology-generation throughput. Also cross-checks the
+/// generator corpus: a sample of generated sources must parse.
+fn measure_pdl(cfg: &Config) -> PdlResult {
+    let src = include_str!("../../../examples/platforms/car_radio.soc");
+    let iters = cfg.pdl_iters.max(1);
+    let cores = mpsoc_pdl::compile(src)
+        .expect("committed car_radio.soc compiles")
+        .num_cores();
+    let mut compile_secs = f64::INFINITY;
+    for _ in 0..cfg.repeats.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(mpsoc_pdl::compile(src).expect("car_radio.soc compiles"));
+        }
+        compile_secs = compile_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let mut gen_secs = f64::INFINITY;
+    for _ in 0..cfg.repeats.max(1) {
+        let t0 = Instant::now();
+        for seed in 0..iters as u64 {
+            std::hint::black_box(mpsoc_pdl::generate(seed));
+        }
+        gen_secs = gen_secs.min(t0.elapsed().as_secs_f64());
+    }
+    for seed in 0..8u64 {
+        mpsoc_pdl::parse(&mpsoc_pdl::generate(seed)).expect("generated topology parses");
+    }
+    PdlResult {
+        source_bytes: src.len(),
+        cores,
+        compiles_per_sec: iters as f64 / compile_secs,
+        generates_per_sec: iters as f64 / gen_secs,
+    }
+}
+
 /// Compares time-travel ring capacity under one byte budget with XOR+RLE
 /// delta-page compression on versus off. The budget is sized from a probe
 /// run so the raw encoding is forced to evict roughly half its deltas; the
@@ -1024,6 +1109,7 @@ pub fn run(cfg: &Config) -> SimFastpathReport {
     let campaign = Some(measure_campaign(cfg));
     let engine = measure_engine_sweeps(cfg);
     let ring = Some(measure_ring());
+    let pdl = Some(measure_pdl(cfg));
     let anneal = measure_anneal(cfg);
     SimFastpathReport {
         mode: cfg.mode,
@@ -1032,6 +1118,7 @@ pub fn run(cfg: &Config) -> SimFastpathReport {
         campaign,
         engine,
         ring,
+        pdl,
         anneal,
         anneal_iters: cfg.anneal_iters,
         anneal_starts: cfg.anneal_starts,
@@ -1104,6 +1191,7 @@ mod tests {
                 warm_prefix_steps: 0,
             }],
             ring: None,
+            pdl: None,
             anneal: vec![
                 base.clone(),
                 AnnealResult {
@@ -1157,6 +1245,10 @@ mod tests {
             .ring
             .as_ref()
             .is_some_and(|rg| rg.compressed_checkpoints > rg.raw_checkpoints));
+        assert!(r
+            .pdl
+            .as_ref()
+            .is_some_and(|p| p.cores > 0 && p.compiles_per_sec > 0.0));
         let json = r.to_json();
         assert!(json.contains("\"car_radio\""));
         assert!(json.contains("\"jpeg\""));
@@ -1168,5 +1260,7 @@ mod tests {
         assert!(json.contains("\"dataflow_sizing\""));
         assert!(json.contains("\"warm_prefix_steps\": 0"));
         assert!(json.contains("\"compressed_checkpoints\""));
+        assert!(json.contains("\"compiles_per_sec\""));
+        assert!(json.contains("\"generates_per_sec\""));
     }
 }

@@ -1,0 +1,52 @@
+//! Source-located error type for the platform description language.
+
+use std::fmt;
+
+/// A lexing, parsing, or validation error with source position.
+///
+/// Every failure mode of the `.soc` front end — including platform-builder
+/// rejections surfaced during compilation — carries the 1-based line/column
+/// of the construct that caused it, so tooling can point at the offending
+/// text. The front end never panics on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl Error {
+    /// Creates an error at a position.
+    pub fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Error {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the `.soc` front end.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position() {
+        let e = Error::new(7, 3, "unknown core class `gpu`");
+        assert_eq!(e.to_string(), "7:3: unknown core class `gpu`");
+    }
+}

@@ -1,0 +1,222 @@
+//! The `.soc` lexer (same hand-rolled idiom as the mini-C front end).
+
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `.soc` source text.
+///
+/// Supports `//` line comments and `/* */` block comments, decimal and
+/// `0x` hexadecimal integer literals.
+///
+/// # Errors
+///
+/// Returns an [`Error`] at the first unrecognised character or unterminated
+/// block comment.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_pdl::lexer::lex;
+/// let toks = lex("core c0 { freq_mhz = 100; }").unwrap();
+/// assert_eq!(toks.len(), 9); // core, c0, {, freq_mhz, =, 100, ;, }, eof
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(Error::new(sl, sc, "unterminated block comment"));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let scol = col;
+                let value: i64 = if c == '0' && matches!(next, Some('x') | Some('X')) {
+                    i += 2;
+                    let hstart = i;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        return Err(Error::new(line, scol, "empty hex literal"));
+                    }
+                    let text: String = chars[hstart..i].iter().collect();
+                    i64::from_str_radix(&text, 16)
+                        .map_err(|_| Error::new(line, scol, "hex literal overflows i64"))?
+                } else {
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    text.parse()
+                        .map_err(|_| Error::new(line, scol, "integer literal overflows i64"))?
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                    col: scol,
+                });
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let scol = col;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = match text.as_str() {
+                    "platform" => TokenKind::KwPlatform,
+                    "cluster" => TokenKind::KwCluster,
+                    "core" => TokenKind::KwCore,
+                    "memory" => TokenKind::KwMemory,
+                    "cache" => TokenKind::KwCache,
+                    "interconnect" => TokenKind::KwInterconnect,
+                    "budget" => TokenKind::KwBudget,
+                    "timer" => TokenKind::KwTimer,
+                    "mailbox" => TokenKind::KwMailbox,
+                    "semaphore" => TokenKind::KwSemaphore,
+                    "dma" => TokenKind::KwDma,
+                    "bus" => TokenKind::KwBus,
+                    "mesh" => TokenKind::KwMesh,
+                    "none" => TokenKind::KwNone,
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token {
+                    kind,
+                    line,
+                    col: scol,
+                });
+                col += i - start;
+            }
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '=' => push!(TokenKind::Assign, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            other => {
+                return Err(Error::new(
+                    line,
+                    col,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_core_decl() {
+        assert_eq!(
+            kinds("core c0 { freq_mhz = 0x64; }"),
+            vec![
+                TokenKind::KwCore,
+                TokenKind::Ident("c0".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("freq_mhz".into()),
+                TokenKind::Assign,
+                TokenKind::Int(100),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("core /* block \n comment */ a; // line\ncore b;"),
+            kinds("core a; core b;")
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("core\n  foo;").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        let e = lex("core $x;").unwrap_err();
+        assert!(e.msg.contains('$'));
+        assert_eq!(e.col, 6);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("meshy")[0], TokenKind::Ident("meshy".into()));
+        assert_eq!(kinds("mesh")[0], TokenKind::KwMesh);
+    }
+}

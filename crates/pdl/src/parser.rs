@@ -1,0 +1,731 @@
+//! Recursive-descent parser and validator for `.soc` sources.
+//!
+//! Grammar (sections may appear in any order; `memory`, `cache`,
+//! `interconnect`, and `budget` are optional and default to the
+//! `PlatformBuilder` defaults):
+//!
+//! ```text
+//! platform   := "platform" IDENT "{" item* "}"
+//! item       := cluster | core | memory | cache | interconnect
+//!             | budget | periph
+//! cluster    := "cluster" IDENT "{" core* "}"
+//! core       := "core" IDENT "{" attr* "}"
+//!               // class = apu|rpu|dsp|accel; freq_mhz = N (or freq_khz);
+//!               // cluster = NAME; area_mmm2 = N; power_uw = N
+//! memory     := "memory" "{" attr* "}"      // shared_words, local_words
+//! cache      := "cache" ("none" ";" | "{" attr* "}")
+//!               // sets, assoc, line_words, hit_cycles
+//! interconnect := "interconnect" ("bus" | "mesh") "{" attr* "}"
+//!               // bus: latency_ns, occupancy_ns
+//!               // mesh: width, height, hop_ns, link_ns
+//! budget     := "budget" "{" attr* "}"      // max_area_mm2, max_power_mw
+//! periph     := ("timer"|"mailbox"|"semaphore"|"dma") IDENT
+//!               (";" | "{" attr* "}")       // mailbox: capacity; semaphore: count
+//! attr       := IDENT "=" (INT | IDENT) ";"
+//! ```
+//!
+//! Validation is part of parsing: duplicate names, unknown cluster
+//! references, unknown keywords/attributes, and out-of-range values all
+//! produce source-located [`Error`]s; the parser never panics.
+
+use crate::ast::{
+    CoreClass, SocBudget, SocCore, SocDesc, SocInterconnect, SocPeriph, SocPeriphKind, Span,
+};
+use crate::error::{Error, Result};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use mpsoc_platform::platform::CacheConfig;
+
+/// Upper bound accepted for any size-like attribute (words, capacities),
+/// keeping generated platforms within the simulator's practical range.
+const MAX_WORDS: i64 = 1 << 22;
+
+/// Parses and validates a `.soc` source into a [`SocDesc`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its source
+/// position. Budget violations are checked against the cost model in
+/// [`crate::compile()`] (they need the metrics), not here.
+pub fn parse(src: &str) -> Result<SocDesc> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.platform()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Attribute value: integer or bare identifier.
+enum Value {
+    Int(i64),
+    Ident(String),
+}
+
+/// One parsed `key = value;` attribute with spans for key and value.
+struct Attr {
+    key: String,
+    key_span: Span,
+    value: Value,
+    value_span: Span,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token> {
+        let t = self.bump();
+        if t.kind == kind {
+            Ok(t)
+        } else {
+            Err(Error::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span)> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, Span::new(t.line, t.col))),
+            other => Err(Error::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    /// Parses a `{ key = value; ... }` attribute block.
+    fn attr_block(&mut self) -> Result<Vec<Attr>> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut attrs = Vec::new();
+        loop {
+            let t = self.bump();
+            match attr_key(&t.kind) {
+                None if t.kind == TokenKind::RBrace => return Ok(attrs),
+                Some(key) => {
+                    let key_span = Span::new(t.line, t.col);
+                    self.expect(TokenKind::Assign, "`=`")?;
+                    let v = self.bump();
+                    let value_span = Span::new(v.line, v.col);
+                    let value = match v.kind {
+                        TokenKind::Int(n) => Value::Int(n),
+                        TokenKind::Ident(s) => Value::Ident(s),
+                        other => {
+                            return Err(Error::new(
+                                v.line,
+                                v.col,
+                                format!("expected attribute value, found {other}"),
+                            ))
+                        }
+                    };
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    attrs.push(Attr {
+                        key,
+                        key_span,
+                        value,
+                        value_span,
+                    });
+                }
+                None => {
+                    return Err(Error::new(
+                        t.line,
+                        t.col,
+                        format!("expected attribute or `}}`, found {}", t.kind),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn platform(&mut self) -> Result<SocDesc> {
+        let kw = self.expect(TokenKind::KwPlatform, "`platform`")?;
+        let plat_span = Span::new(kw.line, kw.col);
+        let (name, _) = self.expect_ident("platform name")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+
+        let mut desc = SocDesc {
+            name,
+            cores: Vec::new(),
+            clusters: Vec::new(),
+            shared_words: 64 * 1024,
+            local_words: 16 * 1024,
+            cache: Some(CacheConfig::default()),
+            interconnect: SocInterconnect::Bus {
+                latency_ns: 50,
+                occupancy_ns: 10,
+            },
+            peripherals: Vec::new(),
+            budget: SocBudget::default(),
+            memory_span: plat_span,
+            interconnect_span: plat_span,
+            cache_span: plat_span,
+            budget_span: plat_span,
+        };
+        let mut seen_memory = false;
+        let mut seen_cache = false;
+        let mut seen_interconnect = false;
+        let mut seen_budget = false;
+
+        loop {
+            let t = self.bump();
+            let span = Span::new(t.line, t.col);
+            match t.kind {
+                TokenKind::RBrace => break,
+                TokenKind::KwCluster => self.cluster(&mut desc, span)?,
+                TokenKind::KwCore => self.core(&mut desc, None, span)?,
+                TokenKind::KwMemory => {
+                    unique_section(&mut seen_memory, "memory", span)?;
+                    desc.memory_span = span;
+                    self.memory(&mut desc)?;
+                }
+                TokenKind::KwCache => {
+                    unique_section(&mut seen_cache, "cache", span)?;
+                    desc.cache_span = span;
+                    self.cache(&mut desc)?;
+                }
+                TokenKind::KwInterconnect => {
+                    unique_section(&mut seen_interconnect, "interconnect", span)?;
+                    desc.interconnect_span = span;
+                    self.interconnect(&mut desc)?;
+                }
+                TokenKind::KwBudget => {
+                    unique_section(&mut seen_budget, "budget", span)?;
+                    desc.budget_span = span;
+                    self.budget(&mut desc)?;
+                }
+                TokenKind::KwTimer => self.periph(&mut desc, span, "timer")?,
+                TokenKind::KwMailbox => self.periph(&mut desc, span, "mailbox")?,
+                TokenKind::KwSemaphore => self.periph(&mut desc, span, "semaphore")?,
+                TokenKind::KwDma => self.periph(&mut desc, span, "dma")?,
+                TokenKind::Ident(w) => {
+                    return Err(Error::new(
+                        t.line,
+                        t.col,
+                        format!("unknown declaration keyword `{w}`"),
+                    ))
+                }
+                other => {
+                    return Err(Error::new(
+                        t.line,
+                        t.col,
+                        format!("expected declaration or `}}`, found {other}"),
+                    ))
+                }
+            }
+        }
+        self.expect(TokenKind::Eof, "end of input")?;
+
+        // Late validation that needs the whole description: cluster
+        // references (forward references are allowed) and the core count.
+        for core in &desc.cores {
+            if let Some(cl) = &core.cluster {
+                if !desc.clusters.contains(cl) {
+                    return Err(Error::new(
+                        core.span.line,
+                        core.span.col,
+                        format!(
+                            "core `{}` references unknown cluster `{cl}` (declared: {})",
+                            core.name,
+                            if desc.clusters.is_empty() {
+                                "none".to_string()
+                            } else {
+                                desc.clusters.join(", ")
+                            }
+                        ),
+                    ));
+                }
+            }
+        }
+        if desc.cores.is_empty() {
+            return Err(Error::new(
+                plat_span.line,
+                plat_span.col,
+                format!("platform `{}` declares no cores", desc.name),
+            ));
+        }
+        Ok(desc)
+    }
+
+    fn cluster(&mut self, desc: &mut SocDesc, span: Span) -> Result<()> {
+        let (name, _) = self.expect_ident("cluster name")?;
+        if desc.clusters.contains(&name) {
+            return Err(Error::new(
+                span.line,
+                span.col,
+                format!("duplicate cluster `{name}`"),
+            ));
+        }
+        desc.clusters.push(name.clone());
+        self.expect(TokenKind::LBrace, "`{`")?;
+        loop {
+            let t = self.bump();
+            let ispan = Span::new(t.line, t.col);
+            match t.kind {
+                TokenKind::RBrace => return Ok(()),
+                TokenKind::KwCore => self.core(desc, Some(name.clone()), ispan)?,
+                other => {
+                    return Err(Error::new(
+                        t.line,
+                        t.col,
+                        format!("expected `core` or `}}` inside cluster, found {other}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn core(&mut self, desc: &mut SocDesc, cluster: Option<String>, span: Span) -> Result<()> {
+        let (name, _) = self.expect_ident("core name")?;
+        if desc.cores.iter().any(|c| c.name == name) {
+            return Err(Error::new(
+                span.line,
+                span.col,
+                format!("duplicate core `{name}`"),
+            ));
+        }
+        let mut class = None;
+        let mut freq_khz = None;
+        let mut cluster = cluster;
+        let mut area_mmm2 = None;
+        let mut power_uw = None;
+        for a in self.attr_block()? {
+            match a.key.as_str() {
+                "class" => {
+                    let v = attr_ident(&a, "a core class (apu, rpu, dsp, accel)")?;
+                    class = Some(CoreClass::parse(&v).ok_or_else(|| {
+                        Error::new(
+                            a.value_span.line,
+                            a.value_span.col,
+                            format!("unknown core class `{v}` (expected apu, rpu, dsp, accel)"),
+                        )
+                    })?);
+                }
+                "freq_mhz" => {
+                    freq_khz = Some(attr_range(&a, 1, 10_000)? as u64 * 1000);
+                }
+                "freq_khz" => {
+                    freq_khz = Some(attr_range(&a, 1, 10_000_000)? as u64);
+                }
+                "cluster" => {
+                    cluster = Some(attr_ident(&a, "a cluster name")?);
+                }
+                "area_mmm2" => area_mmm2 = Some(attr_range(&a, 1, 1_000_000)? as u64),
+                "power_uw" => power_uw = Some(attr_range(&a, 1, 1_000_000_000)? as u64),
+                other => {
+                    return Err(Error::new(
+                        a.key_span.line,
+                        a.key_span.col,
+                        format!("unknown core attribute `{other}`"),
+                    ))
+                }
+            }
+        }
+        let class = class.ok_or_else(|| {
+            Error::new(
+                span.line,
+                span.col,
+                format!("core `{name}` is missing the required `class` attribute"),
+            )
+        })?;
+        let freq_khz = freq_khz.ok_or_else(|| {
+            Error::new(
+                span.line,
+                span.col,
+                format!(
+                    "core `{name}` is missing the required `freq_mhz` (or `freq_khz`) attribute"
+                ),
+            )
+        })?;
+        desc.cores.push(SocCore {
+            name,
+            class,
+            freq_khz,
+            cluster,
+            area_mmm2,
+            power_uw,
+            span,
+        });
+        Ok(())
+    }
+
+    fn memory(&mut self, desc: &mut SocDesc) -> Result<()> {
+        for a in self.attr_block()? {
+            match a.key.as_str() {
+                "shared_words" => desc.shared_words = attr_range(&a, 1, MAX_WORDS)? as usize,
+                "local_words" => desc.local_words = attr_range(&a, 0, MAX_WORDS)? as usize,
+                other => {
+                    return Err(Error::new(
+                        a.key_span.line,
+                        a.key_span.col,
+                        format!("unknown memory attribute `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cache(&mut self, desc: &mut SocDesc) -> Result<()> {
+        if self.peek().kind == TokenKind::KwNone {
+            self.bump();
+            self.expect(TokenKind::Semi, "`;`")?;
+            desc.cache = None;
+            return Ok(());
+        }
+        let mut cfg = CacheConfig::default();
+        for a in self.attr_block()? {
+            match a.key.as_str() {
+                "sets" => cfg.sets = attr_pow2(&a, 1 << 16)?,
+                "assoc" => cfg.assoc = attr_range(&a, 1, 64)? as u32,
+                "line_words" => cfg.line_words = attr_pow2(&a, 1 << 10)?,
+                "hit_cycles" => cfg.hit_cycles = attr_range(&a, 0, 1_000)? as u64,
+                other => {
+                    return Err(Error::new(
+                        a.key_span.line,
+                        a.key_span.col,
+                        format!("unknown cache attribute `{other}`"),
+                    ))
+                }
+            }
+        }
+        desc.cache = Some(cfg);
+        Ok(())
+    }
+
+    fn interconnect(&mut self, desc: &mut SocDesc) -> Result<()> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::KwBus => {
+                let mut latency_ns = 50u64;
+                let mut occupancy_ns = 10u64;
+                for a in self.attr_block()? {
+                    match a.key.as_str() {
+                        "latency_ns" => latency_ns = attr_range(&a, 0, 1_000_000)? as u64,
+                        "occupancy_ns" => occupancy_ns = attr_range(&a, 0, 1_000_000)? as u64,
+                        other => {
+                            return Err(Error::new(
+                                a.key_span.line,
+                                a.key_span.col,
+                                format!("unknown bus attribute `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                desc.interconnect = SocInterconnect::Bus {
+                    latency_ns,
+                    occupancy_ns,
+                };
+            }
+            TokenKind::KwMesh => {
+                let mut width = 0usize;
+                let mut height = 0usize;
+                let mut hop_ns = 5u64;
+                let mut link_ns = 2u64;
+                for a in self.attr_block()? {
+                    match a.key.as_str() {
+                        "width" => width = attr_range(&a, 1, 64)? as usize,
+                        "height" => height = attr_range(&a, 1, 64)? as usize,
+                        "hop_ns" => hop_ns = attr_range(&a, 0, 1_000_000)? as u64,
+                        "link_ns" => link_ns = attr_range(&a, 0, 1_000_000)? as u64,
+                        other => {
+                            return Err(Error::new(
+                                a.key_span.line,
+                                a.key_span.col,
+                                format!("unknown mesh attribute `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                if width == 0 || height == 0 {
+                    return Err(Error::new(
+                        t.line,
+                        t.col,
+                        "mesh interconnect requires `width` and `height`",
+                    ));
+                }
+                desc.interconnect = SocInterconnect::Mesh {
+                    width,
+                    height,
+                    hop_ns,
+                    link_ns,
+                };
+            }
+            other => {
+                return Err(Error::new(
+                    t.line,
+                    t.col,
+                    format!("expected `bus` or `mesh`, found {other}"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn budget(&mut self, desc: &mut SocDesc) -> Result<()> {
+        for a in self.attr_block()? {
+            match a.key.as_str() {
+                "max_area_mm2" => {
+                    desc.budget.max_area_mm2 = Some(attr_range(&a, 1, 1_000_000)? as u64)
+                }
+                "max_power_mw" => {
+                    desc.budget.max_power_mw = Some(attr_range(&a, 1, 1_000_000_000)? as u64)
+                }
+                other => {
+                    return Err(Error::new(
+                        a.key_span.line,
+                        a.key_span.col,
+                        format!("unknown budget attribute `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn periph(&mut self, desc: &mut SocDesc, span: Span, kind: &str) -> Result<()> {
+        let (name, _) = self.expect_ident(&format!("{kind} name"))?;
+        if desc.peripherals.iter().any(|p| p.name == name) {
+            return Err(Error::new(
+                span.line,
+                span.col,
+                format!("duplicate peripheral `{name}`"),
+            ));
+        }
+        let attrs = if self.peek().kind == TokenKind::Semi {
+            self.bump();
+            Vec::new()
+        } else {
+            self.attr_block()?
+        };
+        let kind = match kind {
+            "timer" => {
+                reject_attrs(&attrs, "timer")?;
+                SocPeriphKind::Timer
+            }
+            "dma" => {
+                reject_attrs(&attrs, "dma")?;
+                SocPeriphKind::Dma
+            }
+            "mailbox" => {
+                let mut capacity = 16usize;
+                for a in &attrs {
+                    match a.key.as_str() {
+                        "capacity" => capacity = attr_range(a, 1, MAX_WORDS)? as usize,
+                        other => {
+                            return Err(Error::new(
+                                a.key_span.line,
+                                a.key_span.col,
+                                format!("unknown mailbox attribute `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                SocPeriphKind::Mailbox { capacity }
+            }
+            _ => {
+                let mut count = 1i64;
+                for a in &attrs {
+                    match a.key.as_str() {
+                        "count" => count = attr_range(a, 0, MAX_WORDS)?,
+                        other => {
+                            return Err(Error::new(
+                                a.key_span.line,
+                                a.key_span.col,
+                                format!("unknown semaphore attribute `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                SocPeriphKind::Semaphore { count }
+            }
+        };
+        desc.peripherals.push(SocPeriph { name, kind, span });
+        Ok(())
+    }
+}
+
+/// Returns the textual form of a token usable as an attribute key:
+/// identifiers and keywords (so `cluster = host;` works inside a core
+/// block even though `cluster` is a section keyword).
+fn attr_key(kind: &TokenKind) -> Option<String> {
+    match kind {
+        TokenKind::Ident(s) => Some(s.clone()),
+        TokenKind::KwPlatform => Some("platform".into()),
+        TokenKind::KwCluster => Some("cluster".into()),
+        TokenKind::KwCore => Some("core".into()),
+        TokenKind::KwMemory => Some("memory".into()),
+        TokenKind::KwCache => Some("cache".into()),
+        TokenKind::KwInterconnect => Some("interconnect".into()),
+        TokenKind::KwBudget => Some("budget".into()),
+        TokenKind::KwTimer => Some("timer".into()),
+        TokenKind::KwMailbox => Some("mailbox".into()),
+        TokenKind::KwSemaphore => Some("semaphore".into()),
+        TokenKind::KwDma => Some("dma".into()),
+        TokenKind::KwBus => Some("bus".into()),
+        TokenKind::KwMesh => Some("mesh".into()),
+        TokenKind::KwNone => Some("none".into()),
+        _ => None,
+    }
+}
+
+fn unique_section(seen: &mut bool, what: &str, span: Span) -> Result<()> {
+    if *seen {
+        return Err(Error::new(
+            span.line,
+            span.col,
+            format!("duplicate `{what}` section"),
+        ));
+    }
+    *seen = true;
+    Ok(())
+}
+
+fn reject_attrs(attrs: &[Attr], kind: &str) -> Result<()> {
+    if let Some(a) = attrs.first() {
+        return Err(Error::new(
+            a.key_span.line,
+            a.key_span.col,
+            format!("unknown {kind} attribute `{}`", a.key),
+        ));
+    }
+    Ok(())
+}
+
+fn attr_ident(a: &Attr, what: &str) -> Result<String> {
+    match &a.value {
+        Value::Ident(s) => Ok(s.clone()),
+        Value::Int(n) => Err(Error::new(
+            a.value_span.line,
+            a.value_span.col,
+            format!("`{}` expects {what}, found integer `{n}`", a.key),
+        )),
+    }
+}
+
+fn attr_range(a: &Attr, lo: i64, hi: i64) -> Result<i64> {
+    match &a.value {
+        Value::Int(n) if (lo..=hi).contains(n) => Ok(*n),
+        Value::Int(n) => Err(Error::new(
+            a.value_span.line,
+            a.value_span.col,
+            format!("`{}` = {n} is out of range (expected {lo}..={hi})", a.key),
+        )),
+        Value::Ident(s) => Err(Error::new(
+            a.value_span.line,
+            a.value_span.col,
+            format!("`{}` expects an integer, found `{s}`", a.key),
+        )),
+    }
+}
+
+fn attr_pow2(a: &Attr, hi: i64) -> Result<u32> {
+    let v = attr_range(a, 1, hi)?;
+    if !(v as u64).is_power_of_two() {
+        return Err(Error::new(
+            a.value_span.line,
+            a.value_span.col,
+            format!("`{}` = {v} must be a power of two", a.key),
+        ));
+    }
+    Ok(v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "platform p { core c0 { class = rpu; freq_mhz = 100; } }";
+
+    #[test]
+    fn parses_minimal_platform() {
+        let d = parse(MINIMAL).unwrap();
+        assert_eq!(d.name, "p");
+        assert_eq!(d.cores.len(), 1);
+        assert_eq!(d.cores[0].freq_khz, 100_000);
+        assert_eq!(d.shared_words, 64 * 1024);
+        assert!(d.cache.is_some());
+    }
+
+    #[test]
+    fn parses_clusters_and_refs() {
+        let d = parse(
+            "platform p {
+               cluster radio { core a { class = apu; freq_mhz = 600; } }
+               core b { class = dsp; freq_mhz = 200; cluster = radio; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(d.clusters, vec!["radio".to_string()]);
+        assert_eq!(d.cores[1].cluster.as_deref(), Some("radio"));
+    }
+
+    #[test]
+    fn rejects_unknown_cluster_ref() {
+        let e = parse("platform p { core b { class = dsp; freq_mhz = 200; cluster = nope; } }")
+            .unwrap_err();
+        assert!(e.msg.contains("unknown cluster `nope`"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        for src in [
+            "platform p { core a { class = rpu; freq_mhz = 1; } core a { class = rpu; freq_mhz = 1; } }",
+            "platform p { cluster x {} cluster x {} core a { class = rpu; freq_mhz = 1; } }",
+            "platform p { core a { class = rpu; freq_mhz = 1; } timer t; timer t; }",
+            "platform p { core a { class = rpu; freq_mhz = 1; } memory {} memory {} }",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.msg.contains("duplicate"), "{src} -> {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let e = parse("platform p { core a { class = rpu; freq_mhz = 0; } }").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+        let e = parse("platform p { core a { class = rpu; freq_mhz = 1; } cache { sets = 3; } }")
+            .unwrap_err();
+        assert!(e.msg.contains("power of two"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_keywords_and_attrs() {
+        let e = parse("platform p { gizmo g; }").unwrap_err();
+        assert!(e.msg.contains("unknown declaration keyword `gizmo`"), "{e}");
+        let e = parse("platform p { core a { class = rpu; freq_mhz = 1; wat = 2; } }").unwrap_err();
+        assert!(e.msg.contains("unknown core attribute `wat`"), "{e}");
+    }
+
+    #[test]
+    fn requires_cores() {
+        let e = parse("platform empty { }").unwrap_err();
+        assert!(e.msg.contains("declares no cores"), "{e}");
+    }
+
+    #[test]
+    fn periph_order_is_preserved() {
+        let d = parse(
+            "platform p { core a { class = rpu; freq_mhz = 1; }
+              timer t0; mailbox m0 { capacity = 4; } semaphore s0 { count = 2; } dma d0; }",
+        )
+        .unwrap();
+        let names: Vec<&str> = d.peripherals.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["t0", "m0", "s0", "d0"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Lexical tokens of the `.soc` platform description language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// The kinds of `.soc` tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// An identifier (names, attribute keys, class values).
+    Ident(String),
+    /// `platform`
+    KwPlatform,
+    /// `cluster`
+    KwCluster,
+    /// `core`
+    KwCore,
+    /// `memory`
+    KwMemory,
+    /// `cache`
+    KwCache,
+    /// `interconnect`
+    KwInterconnect,
+    /// `budget`
+    KwBudget,
+    /// `timer`
+    KwTimer,
+    /// `mailbox`
+    KwMailbox,
+    /// `semaphore`
+    KwSemaphore,
+    /// `dma`
+    KwDma,
+    /// `bus`
+    KwBus,
+    /// `mesh`
+    KwMesh,
+    /// `none`
+    KwNone,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Assign,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::KwPlatform => write!(f, "`platform`"),
+            TokenKind::KwCluster => write!(f, "`cluster`"),
+            TokenKind::KwCore => write!(f, "`core`"),
+            TokenKind::KwMemory => write!(f, "`memory`"),
+            TokenKind::KwCache => write!(f, "`cache`"),
+            TokenKind::KwInterconnect => write!(f, "`interconnect`"),
+            TokenKind::KwBudget => write!(f, "`budget`"),
+            TokenKind::KwTimer => write!(f, "`timer`"),
+            TokenKind::KwMailbox => write!(f, "`mailbox`"),
+            TokenKind::KwSemaphore => write!(f, "`semaphore`"),
+            TokenKind::KwDma => write!(f, "`dma`"),
+            TokenKind::KwBus => write!(f, "`bus`"),
+            TokenKind::KwMesh => write!(f, "`mesh`"),
+            TokenKind::KwNone => write!(f, "`none`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded fuzz properties for the `.soc` front end.
+//!
+//! Mirrors the RSP framing fuzz test (`crates/gdbrsp/tests/packet_fuzz.rs`)
+//! and the snapshot layer's corrupt-token test: hostile input must surface
+//! as source-located errors, never as panics — across truncation, byte
+//! mutation, token soup, and targeted semantic attacks (unknown keywords,
+//! duplicate and dangling references, out-of-range attributes).
+
+use mpsoc_obs::rng::XorShift64Star;
+use mpsoc_pdl::{generate, parse};
+
+/// A healthy description exercising every construct of the grammar.
+const WELL_FORMED: &str = "platform fuzz_target {
+  cluster host {
+    core apu0 { class = apu; freq_mhz = 600; }
+  }
+  core dsp0 { class = dsp; freq_mhz = 200; cluster = host; }
+  core acc0 { class = accel; freq_mhz = 100; area_mmm2 = 500; power_uw = 9000; }
+  memory { shared_words = 4096; local_words = 8192; }
+  cache { sets = 32; assoc = 2; line_words = 8; hit_cycles = 1; }
+  interconnect mesh { width = 2; height = 2; hop_ns = 5; link_ns = 2; }
+  timer tick0;
+  mailbox fifo0 { capacity = 16; }
+  semaphore lock0 { count = 1; }
+  dma dma0;
+  budget { max_area_mm2 = 100; max_power_mw = 9000; }
+}";
+
+/// Parse + budget-check + build: the whole front end, errors tolerated,
+/// panics not.
+fn full_pipeline(src: &str) {
+    if let Ok(desc) = parse(src) {
+        let _ = desc.check_budget();
+        let _ = desc.build();
+        let _ = desc.metrics();
+        let _ = desc.arch_model();
+    }
+}
+
+#[test]
+fn well_formed_source_compiles() {
+    let desc = parse(WELL_FORMED).expect("well-formed source parses");
+    desc.check_budget().expect("fits its own budget");
+    let p = desc.build().expect("builds");
+    assert_eq!(p.num_cores(), 3);
+}
+
+#[test]
+fn every_truncation_errors_cleanly() {
+    // Truncation at every char boundary must produce a located error (or,
+    // for a comment-only prefix, some error) — never a panic.
+    let chars: Vec<char> = WELL_FORMED.chars().collect();
+    for len in 0..chars.len() {
+        let prefix: String = chars[..len].iter().collect();
+        let e = parse(&prefix).expect_err("every strict prefix is incomplete");
+        assert!(
+            e.line >= 1 && e.col >= 1,
+            "located error for len {len}: {e}"
+        );
+    }
+}
+
+#[test]
+fn random_byte_mutations_never_panic() {
+    let mut rng = XorShift64Star::new(0x50c_f022);
+    for _ in 0..2000 {
+        let mut chars: Vec<char> = WELL_FORMED.chars().collect();
+        for _ in 0..rng.usize_in(1, 8) {
+            let idx = rng.usize_in(0, chars.len() - 1);
+            chars[idx] = match rng.usize_in(0, 5) {
+                0 => '{',
+                1 => '}',
+                2 => ';',
+                3 => '=',
+                4 => char::from(rng.u64_in(0x20, 0x7e) as u8),
+                _ => '0',
+            };
+        }
+        let mutated: String = chars.iter().collect();
+        full_pipeline(&mutated);
+    }
+}
+
+#[test]
+fn random_token_soup_never_panics() {
+    let words = [
+        "platform",
+        "cluster",
+        "core",
+        "memory",
+        "cache",
+        "interconnect",
+        "budget",
+        "timer",
+        "mailbox",
+        "semaphore",
+        "dma",
+        "bus",
+        "mesh",
+        "none",
+        "class",
+        "freq_mhz",
+        "apu",
+        "x",
+        "{",
+        "}",
+        ";",
+        "=",
+        "0",
+        "7",
+        "4096",
+        "0x40",
+        "99999999999999999999",
+    ];
+    let mut rng = XorShift64Star::new(0x50c_50fa);
+    for _ in 0..2000 {
+        let n = rng.usize_in(0, 40);
+        let soup: Vec<&str> = (0..n)
+            .map(|_| words[rng.usize_in(0, words.len() - 1)])
+            .collect();
+        full_pipeline(&soup.join(" "));
+    }
+}
+
+#[test]
+fn targeted_semantic_attacks_are_located() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "platform p { widget w; }",
+            "unknown declaration keyword",
+        ),
+        (
+            "platform p { core a { class = gpu; freq_mhz = 1; } }",
+            "unknown core class",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 1; } core a { class = rpu; freq_mhz = 1; } }",
+            "duplicate core",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 1; cluster = ghost; } }",
+            "unknown cluster",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 20000; } }",
+            "out of range",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 1; } mailbox m { capacity = 0; } }",
+            "out of range",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 1; } cache { sets = 48; } }",
+            "power of two",
+        ),
+        (
+            "platform p { core a { class = rpu; freq_mhz = 1; } interconnect mesh { hop_ns = 1; } }",
+            "requires `width` and `height`",
+        ),
+        (
+            "platform p { core a { class = apu; freq_mhz = 1000; } budget { max_power_mw = 1; } }",
+            "exceeds budget",
+        ),
+    ];
+    for (src, needle) in cases {
+        let err = parse(src)
+            .and_then(|d| d.check_budget())
+            .expect_err("attack must be rejected");
+        assert!(
+            err.msg.contains(needle),
+            "{src:?}: expected {needle:?} in {err}"
+        );
+        assert!(err.line >= 1 && err.col >= 1);
+    }
+}
+
+#[test]
+fn generated_corpus_survives_mutation() {
+    // The generator's output is a second, structurally different corpus:
+    // mutate it too, so fuzzing does not overfit to one hand-written file.
+    let mut rng = XorShift64Star::new(0x50c_9e4e);
+    for seed in 0..64u64 {
+        let src = generate(seed);
+        let mut chars: Vec<char> = src.chars().collect();
+        let idx = rng.usize_in(0, chars.len() - 1);
+        chars[idx] = char::from(rng.u64_in(0x21, 0x7e) as u8);
+        let mutated: String = chars.iter().collect();
+        full_pipeline(&mutated);
+    }
+}

@@ -395,7 +395,9 @@ impl PlatformBuilder {
     /// # Errors
     ///
     /// Returns [`Error::Config`] for zero cores, oversized local stores, an
-    /// undersized mesh, or zero shared memory.
+    /// undersized mesh, zero shared memory, or a cache geometry the
+    /// bit-sliced indexing cannot serve — each error names the offending
+    /// component and the value that broke it.
     pub fn build(self) -> Result<Platform> {
         if self.core_freqs.is_empty() {
             return Err(Error::Config("platform needs at least one core".into()));
@@ -408,6 +410,29 @@ impl PlatformBuilder {
                 "local store of {} words exceeds the {} word window",
                 self.local_words, LOCAL_STRIDE
             )));
+        }
+        if let Some(c) = self.cache {
+            // `Cache::new` would panic on these; reject them as named
+            // configuration errors instead.
+            if c.sets == 0 || c.assoc == 0 || c.line_words == 0 {
+                return Err(Error::Config(format!(
+                    "cache geometry {} sets x {} ways x {} line words: every \
+                     dimension must be non-zero",
+                    c.sets, c.assoc, c.line_words
+                )));
+            }
+            if !c.sets.is_power_of_two() {
+                return Err(Error::Config(format!(
+                    "cache with {} sets: set count must be a power of two",
+                    c.sets
+                )));
+            }
+            if !c.line_words.is_power_of_two() {
+                return Err(Error::Config(format!(
+                    "cache line of {} words: line size must be a power of two",
+                    c.line_words
+                )));
+            }
         }
         let n = self.core_freqs.len();
         let interconnect: Box<dyn Interconnect> = match self.interconnect {
@@ -1793,6 +1818,39 @@ mod tests {
             })
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_cache_geometry_with_named_errors() {
+        // Each rejection must be an `Error::Config` naming the cache and
+        // the offending value — never a `Cache::new` panic.
+        let build = |sets, assoc, line_words| {
+            PlatformBuilder::new()
+                .cores(1, Frequency::mhz(100))
+                .shared_words(256)
+                .cache(Some(CacheConfig {
+                    sets,
+                    assoc,
+                    line_words,
+                    hit_cycles: 1,
+                }))
+                .build()
+        };
+        for (sets, assoc, line, needle) in [
+            (0, 2, 8, "non-zero"),
+            (64, 0, 8, "non-zero"),
+            (64, 2, 0, "non-zero"),
+            (48, 2, 8, "48 sets"),
+            (64, 2, 6, "6 words"),
+        ] {
+            let err = build(sets, assoc, line).expect_err("bad geometry rejected");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("cache") && msg.contains(needle),
+                "{sets}x{assoc}x{line}: expected cache error naming {needle:?}, got {msg}"
+            );
+        }
+        assert!(build(64, 2, 8).is_ok(), "the default geometry still builds");
     }
 
     #[test]

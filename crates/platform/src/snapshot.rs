@@ -426,6 +426,11 @@ type DeltaPages = Vec<(usize, Vec<Word>)>;
 /// run covering all of it — still valid v2 wire format, at v1's raw cost —
 /// which is what [`Platform::set_delta_compression`] toggles so the two
 /// encodings can be compared under the same byte budget.
+///
+/// With `compress` on, the encoder is *adaptive per page*: it costs the
+/// XOR+RLE token stream and emits the raw single-literal-run form instead
+/// whenever RLE would not be strictly smaller (e.g. a page rewritten
+/// wholesale, or word-alternating damage where every token buys nothing).
 fn save_dirty_pages(ram: &Ram, base: &[Word], compress: bool, w: &mut Writer) {
     let xor = |v: Word, b: Word| ((v as u64) ^ (b as u64)) as Word;
     w.put_u32(ram.dirty_page_count() as u32);
@@ -441,6 +446,12 @@ fn save_dirty_pages(ram: &Ram, base: &[Word], compress: bool, w: &mut Writer) {
             }
             continue;
         }
+        // Adaptive encoding: cost the run list first (4 B per token, 8 B
+        // per literal word) and fall back to one raw literal run whenever
+        // RLE would not be strictly smaller — so no page ever encodes
+        // larger than its raw form (asserted by the bench suite).
+        let mut runs: Vec<(usize, usize, bool)> = Vec::new();
+        let mut rle_cost = 0usize;
         let mut i = 0;
         while i < words.len() {
             let same = words[i] == base_word(i);
@@ -448,16 +459,28 @@ fn save_dirty_pages(ram: &Ram, base: &[Word], compress: bool, w: &mut Writer) {
             while j < words.len() && (words[j] == base_word(j)) == same {
                 j += 1;
             }
-            let run = (j - i) as u32;
+            rle_cost += 4 + if same { 0 } else { 8 * (j - i) };
+            runs.push((i, j, same));
+            i = j;
+        }
+        let raw_cost = 4 + 8 * words.len();
+        if rle_cost >= raw_cost {
+            w.put_u32(((words.len() as u32) << 1) | 1);
+            for (k, &v) in words.iter().enumerate() {
+                w.put_i64(xor(v, base_word(k)));
+            }
+            continue;
+        }
+        for (lo, hi, same) in runs {
+            let run = (hi - lo) as u32;
             if same {
                 w.put_u32(run << 1);
             } else {
                 w.put_u32((run << 1) | 1);
-                for (k, &v) in words.iter().enumerate().take(j).skip(i) {
+                for (k, &v) in words.iter().enumerate().take(hi).skip(lo) {
                     w.put_i64(xor(v, base_word(k)));
                 }
             }
-            i = j;
         }
     }
 }
@@ -1317,6 +1340,40 @@ mod tests {
             compressed.len(),
             raw.len()
         );
+        for delta in [&compressed, &raw] {
+            let mut restored = Platform::from_image(base.image()).unwrap();
+            restored.restore_delta(&base, delta).unwrap();
+            assert_eq!(restored.state_checksum(), mark);
+        }
+    }
+
+    #[test]
+    fn dense_pages_fall_back_to_raw_encoding() {
+        // A page damaged everywhere except isolated single words is RLE's
+        // worst case: every `same` token buys back exactly its own cost.
+        // The adaptive encoder must emit the raw single-literal-run form,
+        // so the compressed capture is byte-for-byte the raw capture — and
+        // never larger, which is the invariant the bench suite asserts.
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for _ in 0..6 {
+            p.step().unwrap();
+        }
+        let base = super::BaseImage::new(p.capture().unwrap()).unwrap();
+        let mut pattern = vec![7i64; 64];
+        pattern[10] = 0;
+        pattern[20] = 0;
+        pattern[30] = 0;
+        p.load_shared(0x200, &pattern).unwrap();
+        let compressed = p.capture_delta().unwrap();
+        p.set_delta_compression(false);
+        let raw = p.capture_delta().unwrap();
+        p.set_delta_compression(true);
+        assert_eq!(
+            compressed.len(),
+            raw.len(),
+            "dense page must fall back to the raw form"
+        );
+        let mark = p.state_checksum();
         for delta in [&compressed, &raw] {
             let mut restored = Platform::from_image(base.image()).unwrap();
             restored.restore_delta(&base, delta).unwrap();

@@ -87,6 +87,20 @@ pub fn build_race_platform(iters: i64) -> Result<Platform> {
         .cache(None)
         .build()
         .map_err(Error::from)?;
+    load_race_programs(&mut p, iters)?;
+    Ok(p)
+}
+
+/// Loads the two racing increment loops onto cores 0 and 1 of `p`.
+///
+/// Split out of [`build_race_platform`] so declaratively described
+/// platforms (a `.soc` replica of the race hardware) can run the identical
+/// software image.
+///
+/// # Errors
+///
+/// Propagates assembly/load errors (e.g. fewer than two cores).
+pub fn load_race_programs(p: &mut Platform, iters: i64) -> Result<()> {
     let prog = |seed: i64| {
         assemble(&format!(
             "movi r1, {COUNTER_ADDR}\n\
@@ -103,7 +117,7 @@ pub fn build_race_platform(iters: i64) -> Result<Platform> {
     };
     p.load_program(0, prog(0)?, 0).map_err(Error::from)?;
     p.load_program(1, prog(1)?, 0).map_err(Error::from)?;
-    Ok(p)
+    Ok(())
 }
 
 /// Runs the race scenario under the given debugging regime.

@@ -67,7 +67,9 @@ pub use crate::campaign::{
 };
 pub use crate::debugger::{Breakpoint, Debugger, OriginFilter, Stop, Watchpoint};
 pub use crate::error::{Error, Result};
-pub use crate::heisenbug::{build_race_platform, run_race, DebugMode, RaceReport};
+pub use crate::heisenbug::{
+    build_race_platform, load_race_programs, run_race, DebugMode, RaceReport,
+};
 pub use crate::script::{ScriptEngine, Violation};
 pub use crate::stimulus::{StimulusKind, StimulusLog, StimulusRecord};
 pub use crate::timetravel::TimeTravel;

@@ -20,12 +20,23 @@
 //! Retention is bounded by **bytes, not count** (a delta and a full image
 //! can differ by 100x, so a count bound says nothing about memory):
 //! when the ring exceeds its byte budget the oldest delta is evicted and
-//! the rewind horizon moves forward. The base image and the newest
-//! checkpoint are never evicted — the base because every delta needs it,
-//! the newest so the budget can never strand the debugger without a recent
-//! rewind target. Attach a metrics registry
+//! the rewind horizon moves forward. The current base image and the newest
+//! checkpoint are never evicted — the base because every later delta needs
+//! it, the newest so the budget can never strand the debugger without a
+//! recent rewind target. Attach a metrics registry
 //! ([`Debugger::attach_metrics`]) to watch occupancy on the
 //! `vpdebug.ring_bytes` gauge.
+//!
+//! ## Delta chains
+//!
+//! Against one ancient base, deltas grow without bound — every page the
+//! workload ever dirtied stays in every later delta. With
+//! [`Debugger::set_rebase_every`] the ring *re-bases* after every `n`
+//! deltas: a fresh full image is captured, becomes the chain base, and
+//! subsequent deltas cover only pages dirtied since it. The ring then
+//! holds several delta chains; a rewind still restores at most one base
+//! plus one delta (no chain walking), and eviction frees an old chain's
+//! base once none of its deltas remain.
 //!
 //! Each checkpoint also carries the host-side debugger state that must
 //! rewind with it: the trace buffer, the signal-edge bookkeeping, and the
@@ -41,15 +52,14 @@ use crate::debugger::{Debugger, Stop};
 use crate::error::{Error, Result};
 use crate::trace::TraceBuffer;
 
-/// The platform-state part of a checkpoint: the ring's shared base image,
-/// or a delta against it.
+/// The platform-state part of a checkpoint: one of the ring's full base
+/// images, or a delta against one of them.
 #[derive(Clone, Debug)]
 pub(crate) enum CheckpointImage {
-    /// This checkpoint *is* the base (stored once in
-    /// [`TimeTravel::base`]).
-    Base,
-    /// A delta image chained against the base.
-    Delta(Vec<u8>),
+    /// This checkpoint *is* base `.0` in [`TimeTravel::bases`].
+    Base(usize),
+    /// A delta image chained against base `.0` in [`TimeTravel::bases`].
+    Delta(usize, Vec<u8>),
 }
 
 /// One auto-checkpoint: the platform image (base or delta) plus the
@@ -79,11 +89,22 @@ pub struct TimeTravel {
     /// Steps between auto-checkpoints.
     pub(crate) interval: u64,
     /// Maximum retained checkpoint bytes (oldest delta evicted first; the
-    /// base and the newest checkpoint are exempt).
+    /// current base and the newest checkpoint are exempt).
     pub(crate) budget_bytes: usize,
-    /// The full image every delta in the ring is chained against.
-    pub(crate) base: BaseImage,
-    /// Checkpoints, sorted ascending by step. Exactly one entry is
+    /// After this many consecutive deltas the ring captures a fresh full
+    /// base and chains subsequent deltas against it; `0` disables periodic
+    /// re-basing (the classic single-base ring).
+    pub(crate) rebase_every: usize,
+    /// Base images the deltas chain against. Slots become `None` once
+    /// evicted — indices must stay stable because every delta names its
+    /// base by index.
+    pub(crate) bases: Vec<Option<BaseImage>>,
+    /// Index of the base the platform's internal delta baseline currently
+    /// chains against (the base most recently captured or restored).
+    pub(crate) cur_base: usize,
+    /// Deltas captured since the last full base (drives `rebase_every`).
+    pub(crate) deltas_since_rebase: usize,
+    /// Checkpoints, sorted ascending by step. At least one entry is a
     /// [`CheckpointImage::Base`].
     pub(crate) checkpoints: Vec<Checkpoint>,
 }
@@ -94,31 +115,70 @@ impl TimeTravel {
         self.checkpoints.iter().map(|c| c.bytes).sum()
     }
 
-    /// Evicts oldest-first until within budget, never evicting the base
-    /// entry or the newest checkpoint.
+    /// The base image at slot `i`. Eviction and pruning never drop a base
+    /// that a retained checkpoint still references, so the slot is alive.
+    pub(crate) fn base_image(&self, i: usize) -> &BaseImage {
+        self.bases[i]
+            .as_ref()
+            .expect("a retained checkpoint keeps its base alive")
+    }
+
+    /// Whether any retained *delta* checkpoint chains against base `i`.
+    fn base_referenced(&self, i: usize) -> bool {
+        self.checkpoints
+            .iter()
+            .any(|c| matches!(c.image, CheckpointImage::Delta(b, _) if b == i))
+    }
+
+    /// Evicts oldest-first until within budget. The newest checkpoint is
+    /// never evicted; a base entry is only evicted once no retained delta
+    /// chains against it and it is not the platform's current chain base
+    /// (its slot is then freed too).
     fn evict_to_budget(&mut self) {
         while self.ring_bytes() > self.budget_bytes {
             let last = self.checkpoints.len().saturating_sub(1);
-            let victim = self
-                .checkpoints
-                .iter()
-                .position(|c| matches!(c.image, CheckpointImage::Delta(_)))
-                .filter(|&i| i != last);
+            let victim = (0..last).find(|&i| match self.checkpoints[i].image {
+                CheckpointImage::Delta(..) => true,
+                CheckpointImage::Base(b) => b != self.cur_base && !self.base_referenced(b),
+            });
             match victim {
                 Some(i) => {
+                    if let CheckpointImage::Base(b) = self.checkpoints[i].image {
+                        self.bases[b] = None;
+                    }
                     self.checkpoints.remove(i);
                 }
-                None => break, // only base + newest left; keep both
+                None => break, // nothing evictable left; keep what remains
+            }
+        }
+    }
+
+    /// Frees base slots no retained checkpoint references any more. The
+    /// current chain base is always kept — the next delta will need it.
+    fn prune_bases(&mut self) {
+        for i in 0..self.bases.len() {
+            if i == self.cur_base || self.bases[i].is_none() {
+                continue;
+            }
+            let in_use = self.base_referenced(i)
+                || self
+                    .checkpoints
+                    .iter()
+                    .any(|c| matches!(c.image, CheckpointImage::Base(b) if b == i));
+            if !in_use {
+                self.bases[i] = None;
             }
         }
     }
 
     /// Drops checkpoints describing a future past `step` (they became lies
-    /// when state at `step` was mutated). The base entry is always kept —
-    /// without it no delta is restorable.
+    /// when state at `step` was mutated). The current chain base is always
+    /// kept — without it no future delta is restorable.
     pub(crate) fn drop_checkpoints_after(&mut self, step: u64) {
+        let cur = self.cur_base;
         self.checkpoints
-            .retain(|c| c.step <= step || matches!(c.image, CheckpointImage::Base));
+            .retain(|c| c.step <= step || matches!(c.image, CheckpointImage::Base(b) if b == cur));
+        self.prune_bases();
     }
 }
 
@@ -176,14 +236,57 @@ impl Debugger {
     }
 
     fn install_time_travel(&mut self, interval: u64, budget_bytes: usize, base: BaseImage) {
-        let cp = self.checkpoint_now(CheckpointImage::Base, base.len_bytes());
+        let rebase_every = self.time_travel.as_ref().map_or(0, |tt| tt.rebase_every);
+        let cp = self.checkpoint_now(CheckpointImage::Base(0), base.len_bytes());
         self.time_travel = Some(TimeTravel {
             interval: interval.max(1),
             budget_bytes,
-            base,
+            rebase_every,
+            bases: vec![Some(base)],
+            cur_base: 0,
+            deltas_since_rebase: 0,
             checkpoints: vec![cp],
         });
         self.update_ring_gauge();
+    }
+
+    /// Enables delta-chain re-basing: after `every` consecutive delta
+    /// checkpoints the ring captures a fresh *full* base and chains
+    /// subsequent deltas against it. On long runs this bounds delta size —
+    /// against a single ancient base a delta eventually approaches the full
+    /// image as pages keep diverging, while a re-based chain's deltas only
+    /// cover pages dirtied since the last rebase. `0` restores the classic
+    /// single-base ring. The setting survives
+    /// [`rebase_checkpoints`](Debugger::rebase_checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TimeTravelDisabled`] when time travel is not enabled.
+    pub fn set_rebase_every(&mut self, every: usize) -> Result<()> {
+        match &mut self.time_travel {
+            Some(tt) => {
+                tt.rebase_every = every;
+                Ok(())
+            }
+            None => Err(Error::TimeTravelDisabled),
+        }
+    }
+
+    /// The step indices of the retained *full-base* checkpoints
+    /// (ascending). A subset of [`checkpoint_steps`](Debugger::checkpoint_steps);
+    /// more than one entry means [`set_rebase_every`](Debugger::set_rebase_every)
+    /// has split the ring into delta chains.
+    pub fn base_steps(&self) -> Vec<u64> {
+        self.time_travel
+            .as_ref()
+            .map(|tt| {
+                tt.checkpoints
+                    .iter()
+                    .filter(|c| matches!(c.image, CheckpointImage::Base(_)))
+                    .map(|c| c.step)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Disables time travel and drops every checkpoint.
@@ -253,12 +356,35 @@ impl Debugger {
         Ok(())
     }
 
-    /// Captures a delta checkpoint at the current step, keeping the list
-    /// sorted and the ring within its byte budget.
+    /// Captures a checkpoint at the current step — a delta against the
+    /// current chain base, or (when `rebase_every` deltas have accumulated)
+    /// a fresh full base starting a new chain — keeping the list sorted and
+    /// the ring within its byte budget.
     fn take_checkpoint(&mut self) -> Result<()> {
-        let delta = self.platform.capture_delta().map_err(Error::from)?;
-        let bytes = delta.len();
-        let cp = self.checkpoint_now(CheckpointImage::Delta(delta), bytes);
+        let tt = self
+            .time_travel
+            .as_ref()
+            .expect("take_checkpoint requires time travel enabled");
+        let rebase_due = tt.rebase_every > 0 && tt.deltas_since_rebase >= tt.rebase_every;
+        let cp = if rebase_due {
+            // `capture` also re-anchors the platform's internal delta
+            // baseline, so later `capture_delta` calls chain on this base.
+            let base = self.capture_base()?;
+            let bytes = base.len_bytes();
+            let tt = self.time_travel.as_mut().expect("checked above");
+            tt.bases.push(Some(base));
+            let idx = tt.bases.len() - 1;
+            tt.cur_base = idx;
+            tt.deltas_since_rebase = 0;
+            self.checkpoint_now(CheckpointImage::Base(idx), bytes)
+        } else {
+            let delta = self.platform.capture_delta().map_err(Error::from)?;
+            let bytes = delta.len();
+            let tt = self.time_travel.as_mut().expect("checked above");
+            let chain = tt.cur_base;
+            tt.deltas_since_rebase += 1;
+            self.checkpoint_now(CheckpointImage::Delta(chain, delta), bytes)
+        };
         let tt = self
             .time_travel
             .as_mut()
@@ -310,19 +436,29 @@ impl Debugger {
             return Ok(false);
         }
         let cp = &tt.checkpoints[pos - 1];
-        match &cp.image {
-            CheckpointImage::Base => self
-                .platform
-                .restore_image(tt.base.image())
-                .map_err(Error::from)?,
-            CheckpointImage::Delta(delta) => self
-                .platform
-                .restore_delta(&tt.base, delta)
-                .map_err(Error::from)?,
-        }
+        let restored_chain = match &cp.image {
+            CheckpointImage::Base(b) => {
+                self.platform
+                    .restore_image(tt.base_image(*b).image())
+                    .map_err(Error::from)?;
+                *b
+            }
+            CheckpointImage::Delta(b, delta) => {
+                self.platform
+                    .restore_delta(tt.base_image(*b), delta)
+                    .map_err(Error::from)?;
+                *b
+            }
+        };
         self.trace = cp.trace.clone();
         self.prev_signals = cp.prev_signals.clone();
         self.stim_cursor = cp.stim_applied;
+        // The restore re-anchored the platform's delta baseline onto the
+        // restored chain's base; new deltas must name it.
+        if let Some(tt) = &mut self.time_travel {
+            tt.cur_base = restored_chain;
+            tt.deltas_since_rebase = 0;
+        }
         while self.platform.steps() < target {
             let _ = self.step_evaluated()?;
         }
@@ -567,6 +703,87 @@ mod tests {
         dbg.platform_mut().inject_reg_flip(0, 1, 3).unwrap();
         dbg.rebase_checkpoints().unwrap();
         assert_eq!(dbg.checkpoint_steps(), vec![10]);
+    }
+
+    #[test]
+    fn rebase_every_bounds_delta_chains() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(3, usize::MAX).unwrap();
+        dbg.set_rebase_every(2).unwrap();
+        for _ in 0..30 {
+            dbg.step().unwrap();
+        }
+        // Checkpoints land every 3 steps; every third one is a fresh base.
+        let bases = dbg.base_steps();
+        assert_eq!(bases, vec![0, 9, 18, 27]);
+        // Between consecutive bases there are at most `rebase_every` deltas.
+        let steps = dbg.checkpoint_steps();
+        for w in bases.windows(2) {
+            let deltas = steps.iter().filter(|&&s| s > w[0] && s < w[1]).count();
+            assert!(deltas <= 2, "chain {w:?} holds {deltas} deltas");
+        }
+    }
+
+    #[test]
+    fn rewind_across_chain_boundaries_is_bit_identical() {
+        let mut dbg = debugger();
+        dbg.enable_time_travel(3, usize::MAX).unwrap();
+        dbg.set_rebase_every(2).unwrap();
+        let mut checksums = vec![dbg.platform().state_checksum()];
+        for _ in 0..30 {
+            dbg.step().unwrap();
+            checksums.push(dbg.platform().state_checksum());
+        }
+        // Rewind targets across every chain: on a base, mid-chain, and
+        // between a chain's last delta and the next base.
+        for &target in &[27u64, 20, 14, 10, 8, 4, 1] {
+            assert!(dbg.rewind_to_step(target).unwrap(), "rewind to {target}");
+            assert_eq!(dbg.platform().steps(), target);
+            assert_eq!(
+                dbg.platform().state_checksum(),
+                checksums[target as usize],
+                "state at step {target} must match the forward run"
+            );
+        }
+        // Forward replay out of the oldest chain reproduces the future.
+        for _ in 0..29 {
+            dbg.step().unwrap();
+        }
+        assert_eq!(dbg.platform().state_checksum(), checksums[30]);
+    }
+
+    #[test]
+    fn eviction_frees_whole_chains_but_keeps_current_base() {
+        let mut dbg = debugger();
+        // Probe one delta's size with an unbounded ring.
+        dbg.enable_time_travel(3, usize::MAX).unwrap();
+        let base_bytes = dbg.ring_bytes();
+        for _ in 0..6 {
+            dbg.step().unwrap();
+        }
+        let delta_bytes = dbg.ring_bytes() - base_bytes;
+
+        // Re-run with chains on and room for about two bases + two deltas:
+        // old chains (deltas first, then their base) must be evicted whole.
+        let mut dbg = debugger();
+        let budget = 2 * base_bytes + 2 * delta_bytes;
+        dbg.enable_time_travel_bytes(3, budget).unwrap();
+        dbg.set_rebase_every(2).unwrap();
+        for _ in 0..40 {
+            dbg.step().unwrap();
+        }
+        assert!(
+            dbg.ring_bytes() <= budget,
+            "ring {}B exceeds budget {budget}B",
+            dbg.ring_bytes()
+        );
+        let steps = dbg.checkpoint_steps();
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+        assert!(!dbg.base_steps().is_empty(), "a chain base is retained");
+        // The newest chain still rewinds exactly.
+        let newest_base = *dbg.base_steps().last().unwrap();
+        assert!(dbg.rewind_to_step(newest_base + 1).unwrap());
+        assert_eq!(dbg.platform().steps(), newest_base + 1);
     }
 
     #[test]

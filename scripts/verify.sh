@@ -61,6 +61,11 @@ stage "cargo doc (deny warnings)" doc_deny_warnings
 stage "bench smoke (sim_fastpath)" \
   cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
 stage "fault-injection campaign (E12)" cargo run --release -q -p mpsoc-bench --bin e12
+# The joint mapping x topology sweep over generated .soc platforms; writes
+# the Pareto-front artifact target/E13_joint_dse.json (uploaded by CI) and
+# asserts the front is bit-identical at 1/2/4/8 threads.
+stage "joint mapping x topology DSE (E13 smoke)" \
+  cargo run --release -q -p mpsoc-bench --bin e13 -- --smoke
 # The headless platform suite: scripted debug sessions through the GDB-RSP
 # stack, with JUnit/JSON verdicts under target/mpsoc-test/ (CI uploads
 # them as artifacts).

@@ -13,6 +13,7 @@
 //! | [`maps`] | IV | partitioning, mapping, MVP, code generation, OSIP |
 //! | [`cic`] | V | Common Intermediate Code + retargetable translator |
 //! | [`explore`] | IV/V/VII | deterministic parallel sweep engine + snapshot warm starts |
+//! | [`pdl`] | I/IV | declarative `.soc` platform language, topology generator, joint mapping×topology DSE |
 //! | [`recoder`] | VI | designer-controlled source recoding |
 //! | [`snapshot`] | VII | versioned binary checkpoint images for capture/restore |
 //! | [`vpdebug`] | VII | virtual-platform debugger, time travel, fault campaigns |
@@ -33,6 +34,7 @@ pub use mpsoc_gdbrsp as gdbrsp;
 pub use mpsoc_maps as maps;
 pub use mpsoc_minic as minic;
 pub use mpsoc_obs as obs;
+pub use mpsoc_pdl as pdl;
 pub use mpsoc_platform as platform;
 pub use mpsoc_recoder as recoder;
 pub use mpsoc_rtkernel as rtkernel;

@@ -314,6 +314,35 @@ mod dataflow_flow {
 }
 
 // ---------------------------------------------------------------------------
+// pdl: joint mapping×topology DSE
+// ---------------------------------------------------------------------------
+
+mod pdl_flow {
+    use super::*;
+    use mpsoc_suite::pdl::{joint_sweep, JointConfig};
+
+    #[test]
+    fn joint_sweep_front_and_json_are_thread_count_invariant() {
+        let base = JointConfig::smoke();
+        let reference = joint_sweep(&JointConfig { threads: 1, ..base }).unwrap();
+        assert!(!reference.front.is_empty());
+        for threads in THREADS {
+            let r = joint_sweep(&JointConfig { threads, ..base }).unwrap();
+            assert_eq!(
+                r.front, reference.front,
+                "pdl joint DSE at {threads} threads"
+            );
+            // The CI artifact is byte-identical, not just structurally equal.
+            assert_eq!(
+                r.to_json(),
+                reference.to_json(),
+                "pdl Pareto JSON at {threads} threads"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // vpdebug: fault-injection campaign
 // ---------------------------------------------------------------------------
 

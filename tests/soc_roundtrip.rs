@@ -1,0 +1,78 @@
+//! Declarative `.soc` platforms are bit-identical to their hand-built
+//! twins.
+//!
+//! The committed `examples/platforms/*.soc` files replicate the testbed
+//! hardware; installing the matching software image must then produce a
+//! platform whose `state_checksum` stays equal to the hand-built
+//! platform's at every probe point of a long run — proving the language
+//! front end introduces no configuration drift (core count, frequencies,
+//! memory sizes, cache geometry, peripheral pages, interconnect timing).
+
+use mpsoc_suite::apps::testbed;
+use mpsoc_suite::platform::Platform;
+
+/// Builds the `.soc` twin of a testbed platform and installs its software.
+fn soc_twin(name: &str) -> Platform {
+    let path = format!(
+        "{}/examples/platforms/{name}.soc",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let mut p = testbed::load_soc_file(&path).expect("soc file compiles");
+    testbed::install_software(name, &mut p).expect("software image installs");
+    p
+}
+
+/// Steps both platforms in lockstep, comparing checksums every chunk.
+fn assert_lockstep(mut hand: Platform, mut decl: Platform, steps: u64) {
+    assert_eq!(hand.num_cores(), decl.num_cores());
+    assert_eq!(hand.state_checksum(), decl.state_checksum(), "at step 0");
+    let chunk = (steps / 8).max(1);
+    let mut done = 0u64;
+    while done < steps {
+        for _ in 0..chunk {
+            if hand.is_finished() {
+                break;
+            }
+            hand.step().expect("hand-built platform steps");
+            decl.step().expect("declarative platform steps");
+        }
+        done += chunk;
+        assert_eq!(
+            hand.state_checksum(),
+            decl.state_checksum(),
+            "checksums diverge by step {done}"
+        );
+        assert_eq!(hand.is_finished(), decl.is_finished());
+        assert_eq!(hand.now(), decl.now());
+    }
+}
+
+#[test]
+fn car_radio_soc_matches_hand_built() {
+    let hand = testbed::by_name("car_radio").expect("registry builds car_radio");
+    assert_lockstep(hand, soc_twin("car_radio"), 20_000);
+}
+
+#[test]
+fn jpeg_soc_matches_hand_built() {
+    let hand = testbed::by_name("jpeg").expect("registry builds jpeg");
+    assert_lockstep(hand, soc_twin("jpeg"), 20_000);
+}
+
+#[test]
+fn race_soc_matches_hand_built() {
+    let hand = testbed::by_name("race").expect("registry builds race");
+    // The race halts on its own; lockstep past the halt point.
+    assert_lockstep(hand, soc_twin("race"), 10_000);
+}
+
+#[test]
+fn soc_registry_rejects_mismatched_software() {
+    let path = format!("{}/examples/platforms/race.soc", env!("CARGO_MANIFEST_DIR"));
+    let mut p = testbed::load_soc_file(&path).expect("race soc compiles");
+    // The car-radio image needs 4 cores; the race platform has 2.
+    let err = testbed::install_software("car_radio", &mut p).unwrap_err();
+    assert!(!err.is_empty());
+    let err = testbed::install_software("nope", &mut p).unwrap_err();
+    assert!(err.contains("unknown software image"), "{err}");
+}
