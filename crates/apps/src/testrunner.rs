@@ -38,6 +38,7 @@
 //! expect pc CORE OP VAL
 //! expect mem ADDR OP VAL
 //! expect sig NAME OP VAL
+//! expect sigedges NAME OP VAL      # edge count still in the trace ring
 //! expect sum ADDR LEN OP VAL       # arithmetic sum over a word range
 //! expect watch-addr OP VAL         # faulting address of the last watch stop
 //! ```
@@ -418,6 +419,10 @@ impl Engine {
                 let got = self.target()?.debugger().signal(name);
                 self.check(lineno, &format!("sig {name}"), got, op, val)
             }
+            ["sigedges", name, op, val] => {
+                let got = self.target()?.debugger().signal_edges(name).len() as i64;
+                self.check(lineno, &format!("sigedges {name}"), got, op, val)
+            }
             ["sum", addr, len, op, val] => {
                 let a = parse_num(addr)? as u32;
                 let len = parse_num(len)?.max(0) as u32;
@@ -653,6 +658,24 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"failed\": 1"), "{json}");
         assert!(json.contains("\"passed\": false"), "{json}");
+    }
+
+    #[test]
+    fn sigedges_counts_ring_resident_history() {
+        let v = run_script(
+            "edges",
+            "platform race\n\
+             step\n\
+             inject signal tick 1\n\
+             inject signal tick 0\n\
+             inject signal tick 1\n\
+             inject signal tick 1   # level, not an edge\n\
+             expect sig tick == 1\n\
+             expect sigedges tick == 3\n\
+             expect sigedges quiet == 0\n",
+        );
+        assert!(v.passed(), "failures: {:?}", v.failures);
+        assert_eq!(v.checks, 3);
     }
 
     #[test]

@@ -73,12 +73,17 @@ pub struct Config {
     pub anneal_starts: usize,
     /// Captures per timing loop in the snapshot rows.
     pub snapshot_captures: usize,
-    /// Simulated warm-up window for the snapshot rows. Kept short and
-    /// fixed on purpose: signal change history is serialized verbatim in
-    /// *both* full and delta images and grows with simulated time, so a
-    /// long warm-up would measure history copying, not checkpoint
-    /// encoding (bounding that history is a ROADMAP item).
+    /// Simulated warm-up window for the snapshot rows. Signal history
+    /// lives in the bounded trace ring and is checkpoint-excluded, so
+    /// image size is O(platform) regardless of how long the warm-up runs
+    /// — the full profile warms over the whole workload window.
     pub snapshot_window: Time,
+    /// Steps in the short trace-growth run (the O(platform) baseline).
+    pub trace_short_steps: u64,
+    /// Steps in the long trace-growth run; the suite asserts the full
+    /// image stays within 2x of the short run's despite the extra
+    /// history, which is retired through the trace ring instead.
+    pub trace_long_steps: u64,
     /// Faults in the campaign-rollback comparison.
     pub campaign_faults: usize,
     /// Step budget per campaign trial.
@@ -102,7 +107,9 @@ impl Config {
             anneal_iters: 300_000,
             anneal_starts: 8,
             snapshot_captures: 64,
-            snapshot_window: Time::from_us(200),
+            snapshot_window: Time::from_ms(4),
+            trace_short_steps: 10_000,
+            trace_long_steps: 1_000_000,
             campaign_faults: 96,
             campaign_budget_steps: 2_000,
             engine_prefix_spin: 20_000,
@@ -120,6 +127,8 @@ impl Config {
             anneal_starts: 4,
             snapshot_captures: 8,
             snapshot_window: Time::from_us(50),
+            trace_short_steps: 500,
+            trace_long_steps: 20_000,
             campaign_faults: 12,
             campaign_budget_steps: 300,
             engine_prefix_spin: 500,
@@ -289,6 +298,35 @@ pub struct RingCompareResult {
     pub compressed_checkpoints: usize,
 }
 
+/// Full-image size after a short versus a long run of the same workload:
+/// the O(platform)-image claim. Signal history beyond the bounded ring is
+/// retired through the spill tier, never serialized, so the long-window
+/// image must not grow with simulated steps.
+#[derive(Clone, Debug)]
+pub struct TraceGrowthResult {
+    /// Workload name (`"car_radio"`).
+    pub name: &'static str,
+    /// Steps in the short run.
+    pub short_steps: u64,
+    /// Steps in the long run.
+    pub long_steps: u64,
+    /// Full-image bytes after the short run.
+    pub short_bytes: usize,
+    /// Full-image bytes after the long run.
+    pub long_bytes: usize,
+    /// Trace-ring occupancy at the end of the long run.
+    pub ring_bytes: usize,
+    /// Records evicted from the ring during the long run.
+    pub evicted: u64,
+}
+
+impl TraceGrowthResult {
+    /// Long-window image size over short-window image size.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.long_bytes as f64 / self.short_bytes as f64
+    }
+}
+
 /// Everything the suite measured; serialises to `BENCH_simulator.json`.
 #[derive(Clone, Debug)]
 pub struct SimFastpathReport {
@@ -298,6 +336,8 @@ pub struct SimFastpathReport {
     pub workloads: Vec<WorkloadResult>,
     /// Per-workload full- vs delta-checkpoint comparison.
     pub snapshots: Vec<SnapshotResult>,
+    /// Image-size growth over simulated steps (the O(platform) claim).
+    pub trace_growth: Option<TraceGrowthResult>,
     /// Campaign rollback comparison (full vs delta), when measured.
     pub campaign: Option<CampaignCompareResult>,
     /// Engine-backed profiled sweeps, warm versus cold prefix.
@@ -397,6 +437,18 @@ impl SimFastpathReport {
             );
         }
         s.push_str("  ],\n");
+        if let Some(t) = &self.trace_growth {
+            s.push_str("  \"trace_growth\": {\n");
+            let _ = writeln!(s, "    \"name\": \"{}\",", t.name);
+            let _ = writeln!(s, "    \"short_steps\": {},", t.short_steps);
+            let _ = writeln!(s, "    \"long_steps\": {},", t.long_steps);
+            let _ = writeln!(s, "    \"short_bytes\": {},", t.short_bytes);
+            let _ = writeln!(s, "    \"long_bytes\": {},", t.long_bytes);
+            let _ = writeln!(s, "    \"bytes_ratio\": {:.4},", t.bytes_ratio());
+            let _ = writeln!(s, "    \"ring_bytes\": {},", t.ring_bytes);
+            let _ = writeln!(s, "    \"evicted\": {}", t.evicted);
+            s.push_str("  },\n");
+        }
         if let Some(c) = &self.campaign {
             s.push_str("  \"campaign\": {\n");
             let _ = writeln!(s, "    \"faults\": {},", c.faults);
@@ -542,6 +594,21 @@ impl fmt::Display for SimFastpathReport {
                     sn.capture_speedup()
                 )?;
             }
+        }
+        if let Some(t) = &self.trace_growth {
+            writeln!(
+                f,
+                "  trace growth ({}): {} steps -> {}B image, {} steps -> {}B \
+                 ({:.2}x; ring held {}B, {} evicted)",
+                t.name,
+                t.short_steps,
+                t.short_bytes,
+                t.long_steps,
+                t.long_bytes,
+                t.bytes_ratio(),
+                t.ring_bytes,
+                t.evicted
+            )?;
         }
         if let Some(c) = &self.campaign {
             writeln!(
@@ -807,6 +874,44 @@ fn measure_snapshot(
         result.capture_speedup() >= 3.0,
         "{name}: delta captures only {:.2}x faster than full captures",
         result.capture_speedup()
+    );
+    result
+}
+
+/// Captures a full image after a short and a long car-radio run and
+/// compares sizes. History retired from the bounded trace ring goes to the
+/// spill tier, never into the image, so the long-window image must stay
+/// flat — asserted in-bench (house style, like the ≤25% delta rule): the
+/// long run's image must be within 2x of the short run's.
+fn measure_trace_growth(cfg: &Config) -> TraceGrowthResult {
+    let run_for = |steps: u64| -> (usize, mpsoc_platform::TraceStats) {
+        let mut p = build_car_radio(SchedulerMode::Calendar);
+        for _ in 0..steps {
+            let ev = p.step().expect("trace-growth step succeeds");
+            assert!(!ev.is_idle(), "car_radio must stay busy");
+            p.recycle(ev);
+        }
+        let img = p.capture().expect("trace-growth capture succeeds");
+        (img.len(), p.trace_stats())
+    };
+    let (short_bytes, _) = run_for(cfg.trace_short_steps);
+    let (long_bytes, stats) = run_for(cfg.trace_long_steps);
+    let result = TraceGrowthResult {
+        name: "car_radio",
+        short_steps: cfg.trace_short_steps,
+        long_steps: cfg.trace_long_steps,
+        short_bytes,
+        long_bytes,
+        ring_bytes: stats.ring_bytes,
+        evicted: stats.evicted,
+    };
+    assert!(
+        result.long_bytes <= 2 * result.short_bytes,
+        "car_radio: image grew with history — {} steps -> {}B but {} steps -> {}B",
+        result.short_steps,
+        result.short_bytes,
+        result.long_steps,
+        result.long_bytes
     );
     result
 }
@@ -1106,6 +1211,7 @@ pub fn run(cfg: &Config) -> SimFastpathReport {
         measure_snapshot("car_radio", build_car_radio, cfg),
         measure_snapshot("jpeg", build_jpeg, cfg),
     ];
+    let trace_growth = Some(measure_trace_growth(cfg));
     let campaign = Some(measure_campaign(cfg));
     let engine = measure_engine_sweeps(cfg);
     let ring = Some(measure_ring());
@@ -1115,6 +1221,7 @@ pub fn run(cfg: &Config) -> SimFastpathReport {
         mode: cfg.mode,
         workloads,
         snapshots,
+        trace_growth,
         campaign,
         engine,
         ring,
@@ -1180,6 +1287,7 @@ mod tests {
             mode: "smoke",
             workloads: vec![],
             snapshots: vec![],
+            trace_growth: None,
             campaign: None,
             engine: vec![EngineSweepResult {
                 name: "rtkernel_policy",
@@ -1233,6 +1341,11 @@ mod tests {
         assert_eq!(r.workloads.len(), 2);
         assert!(r.workloads.iter().all(|w| w.steps > 0));
         assert_eq!(r.snapshots.len(), 2);
+        // The O(platform)-image row: 40x the steps, flat image bytes, and
+        // the overflow provably retired through the ring.
+        let t = r.trace_growth.as_ref().expect("trace growth measured");
+        assert!(t.long_bytes <= 2 * t.short_bytes);
+        assert!(t.evicted > 0, "long run should overflow the trace ring");
         assert!(r.campaign.as_ref().is_some_and(|c| c.identical));
         // The engine rows prove the warm start skipped the prefix.
         assert_eq!(r.engine.len(), 2);
@@ -1255,6 +1368,8 @@ mod tests {
         assert!(json.contains("\"threads\": ["));
         assert!(json.contains("\"snapshots\": ["));
         assert!(json.contains("\"delta_bytes\""));
+        assert!(json.contains("\"trace_growth\": {"));
+        assert!(json.contains("\"long_bytes\""));
         assert!(json.contains("\"identical_verdicts\": true"));
         assert!(json.contains("\"rtkernel_policy\""));
         assert!(json.contains("\"dataflow_sizing\""));

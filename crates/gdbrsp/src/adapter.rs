@@ -345,6 +345,7 @@ impl Target for DebugTarget {
                 self.dbg.stimulus_log().records().len()
             )),
             ["state-checksum"] => Ok(format!("{:#018x}\n", self.dbg.platform().state_checksum())),
+            ["trace-stats"] => Ok(format!("{}\n", self.dbg.trace_stats())),
             ["where"] => Ok(format!(
                 "step {} time {:?}\n",
                 self.dbg.platform().steps(),
@@ -372,6 +373,7 @@ monitor commands:
   stimulus-record dma P SRC DST N   record+inject a DMA descriptor
   stimulus-log                      count recorded stimuli
   state-checksum                    whole-platform state checksum
+  trace-stats                       signal-trace ring/spill occupancy
   where                             current step and simulated time
 ";
 
@@ -469,6 +471,28 @@ mod tests {
         let mut t = target();
         assert!(t.monitor("made-up-cmd").is_err());
         assert!(t.monitor("help").unwrap().contains("step-back"));
+        assert!(t.monitor("help").unwrap().contains("trace-stats"));
+    }
+
+    #[test]
+    fn monitor_trace_stats_reports_ring_and_spill() {
+        let mut t = target();
+        t.debugger_mut()
+            .platform_mut()
+            .set_trace_budget(2 * mpsoc_platform::TRACE_RECORD_BYTES);
+        for i in 1..=5 {
+            t.debugger_mut().platform_mut().debug_drive_signal("sig", i);
+        }
+        let out = t.monitor("trace-stats").unwrap();
+        let stats = t.debugger().trace_stats();
+        assert_eq!(stats.ring_records, 2);
+        assert_eq!(stats.evicted, 3);
+        assert!(out.contains("spilled 0"), "{out}");
+        assert!(out.contains("evicted 3"), "{out}");
+        assert!(
+            out.contains(&format!("{}B", 2 * mpsoc_platform::TRACE_RECORD_BYTES)),
+            "{out}"
+        );
     }
 
     #[test]

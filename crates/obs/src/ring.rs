@@ -122,6 +122,46 @@ impl EventSink for RingSink {
     }
 }
 
+/// A cloneable, shared handle around an [`EventSink`].
+///
+/// Some consumers take *ownership* of their sink — e.g. the platform's
+/// signal-trace spill adapter lives inside the signal board for the whole
+/// session. `SharedSink` lets the producer own one handle while the
+/// observer keeps another, so the stream can still be inspected or
+/// exported afterwards. Backed by `Arc<Mutex<_>>` so the owning consumer
+/// (and the platform embedding it) can cross threads; contention is nil in
+/// the single-threaded simulator loop.
+#[derive(Debug, Default)]
+pub struct SharedSink<S: EventSink>(std::sync::Arc<std::sync::Mutex<S>>);
+
+impl<S: EventSink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<S: EventSink> SharedSink<S> {
+    /// Wraps `sink` in a shared handle.
+    pub fn new(sink: S) -> Self {
+        SharedSink(std::sync::Arc::new(std::sync::Mutex::new(sink)))
+    }
+
+    /// Runs `f` with mutable access to the wrapped sink.
+    ///
+    /// # Panics
+    ///
+    /// If the mutex was poisoned by a panic in another `with` call.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.lock().expect("SharedSink poisoned"))
+    }
+}
+
+impl<S: EventSink> EventSink for SharedSink<S> {
+    fn emit(&mut self, ev: Event) {
+        self.0.lock().expect("SharedSink poisoned").emit(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +197,15 @@ mod tests {
         assert_eq!(got, vec![2, 3]);
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn shared_sink_is_readable_through_either_handle() {
+        let shared = SharedSink::new(RingSink::new(4));
+        let mut producer = shared.clone();
+        producer.emit(Event::instant(7, "e", "test", 0));
+        assert_eq!(shared.with(|s| s.events().to_vec()).len(), 1);
+        assert_eq!(shared.with(|s| s.events()[0].ts), 7);
     }
 
     #[test]

@@ -67,5 +67,9 @@ pub use crate::error::{Error, Result};
 pub use crate::platform::{
     Access, AccessKind, Originator, Platform, PlatformBuilder, StepEvent, StepKind,
 };
+pub use crate::signal::{
+    EventSinkSpill, Signal, SignalBoard, SignalChange, TraceMode, TraceRecord, TraceSpill,
+    TraceStats, DEFAULT_TRACE_BUDGET, TRACE_RECORD_BYTES,
+};
 pub use crate::snapshot::{BaseImage, PrefixSource};
 pub use crate::time::{Cycles, Frequency, Time};

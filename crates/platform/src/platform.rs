@@ -21,10 +21,10 @@ use crate::interconnect::{Bus, Interconnect, Mesh};
 use crate::isa::{Instr, Program, Reg, Word};
 use crate::mem::{decode, Ram, Region, LOCAL_STRIDE};
 use crate::periph::{Dma, Effect, Mailbox, PeriphCtx, Peripheral, Semaphore, Timer};
-use crate::signal::SignalBoard;
+use crate::signal::{SignalBoard, TraceMode, TraceSpill, TraceStats};
 use crate::time::{Cycles, Frequency, Time};
 use mpsoc_obs::event::{Event, EventSink};
-use mpsoc_obs::metrics::{Counter, MetricsRegistry};
+use mpsoc_obs::metrics::{Counter, Gauge, MetricsRegistry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -40,6 +40,9 @@ struct PlatformMetrics {
     dma_words: Counter,
     irq_delivered: Counter,
     periph_events: Counter,
+    trace_ring_bytes: Gauge,
+    trace_spilled: Gauge,
+    trace_evicted: Gauge,
 }
 
 impl PlatformMetrics {
@@ -52,7 +55,19 @@ impl PlatformMetrics {
             dma_words: registry.counter("platform.dma_words"),
             irq_delivered: registry.counter("platform.irq_delivered"),
             periph_events: registry.counter("platform.periph_events"),
+            trace_ring_bytes: registry.gauge("trace.ring_bytes"),
+            trace_spilled: registry.gauge("trace.spilled"),
+            trace_evicted: registry.gauge("trace.evicted"),
         }
+    }
+
+    /// Pushes the signal-trace store's occupancy and counters onto the
+    /// `trace.*` gauges — the same numbers the gdbrsp `trace-stats`
+    /// monitor command reports.
+    fn publish_trace(&self, stats: &TraceStats) {
+        self.trace_ring_bytes.set(stats.ring_bytes as u64);
+        self.trace_spilled.set(stats.spilled);
+        self.trace_evicted.set(stats.evicted);
     }
 }
 
@@ -577,7 +592,9 @@ impl Platform {
     /// events). Handles are resolved once here, so the steady-state cost is
     /// one relaxed atomic add per counted event.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
-        self.metrics = Some(PlatformMetrics::new(registry));
+        let m = PlatformMetrics::new(registry);
+        m.publish_trace(&self.signals.trace_stats());
+        self.metrics = Some(m);
     }
 
     /// Detaches a previously attached metrics registry.
@@ -623,6 +640,39 @@ impl Platform {
     /// The signal board (for debuggers and trace tools).
     pub fn signals(&self) -> &SignalBoard {
         &self.signals
+    }
+
+    /// Occupancy and counters of the signal-trace store (the bounded ring
+    /// plus spill tier — see [`crate::signal`]). The same numbers surface
+    /// on the `trace.ring_bytes` / `trace.spilled` / `trace.evicted`
+    /// gauges when a metrics registry is attached.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.signals.trace_stats()
+    }
+
+    /// Switches the signal-trace retention policy. Host-side observability
+    /// configuration, not simulated state: it survives checkpoint restores
+    /// and never perturbs the simulation.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.signals.set_trace_mode(mode);
+    }
+
+    /// Bounds the signal-trace ring to `budget_bytes`, evicting down
+    /// immediately if it is currently larger.
+    pub fn set_trace_budget(&mut self, budget_bytes: usize) {
+        self.signals.set_trace_budget(budget_bytes);
+    }
+
+    /// Attaches the spill sink that streams records evicted from the trace
+    /// ring (e.g. an [`crate::signal::EventSinkSpill`] over an `mpsoc-obs`
+    /// ring or Chrome-trace exporter); returns the previous sink.
+    pub fn attach_trace_spill(&mut self, sink: Box<dyn TraceSpill>) -> Option<Box<dyn TraceSpill>> {
+        self.signals.attach_trace_spill(sink)
+    }
+
+    /// Detaches and returns the trace spill sink.
+    pub fn detach_trace_spill(&mut self) -> Option<Box<dyn TraceSpill>> {
+        self.signals.detach_trace_spill()
     }
 
     /// Registers a peripheral; returns its page index (its registers appear
@@ -1151,6 +1201,9 @@ impl Platform {
                     m.irq_delivered.inc();
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.publish_trace(&self.signals.trace_stats());
         }
         let Some(sink) = sink else { return };
         match &ev.kind {

@@ -1,17 +1,51 @@
-//! Named hardware signals with full change history.
+//! Named hardware signals backed by a bounded, tiered trace store.
 //!
 //! Section VII stresses that a virtual platform exposes *"not only memory
 //! mapped registers … but all peripheral registers and even signals. A
 //! watchpoint can be set on a signal, such as the interrupt line of a
 //! peripheral."* The platform models observable wires (interrupt lines, DMA
-//! busy flags, …) as named [`Signal`]s collected in a [`SignalBoard`]; every
-//! change is timestamped so debuggers and trace tools can reconstruct
-//! complete waveforms.
+//! busy flags, …) as named [`Signal`]s collected in a [`SignalBoard`].
+//!
+//! ## The two tiers
+//!
+//! Signal history used to be architectural state: every edge ever driven was
+//! kept per signal and serialized into every checkpoint image, so image
+//! bytes grew O(steps). It is now split into two tiers, neither of which is
+//! checkpointed:
+//!
+//! * **Ring** — a byte-budgeted in-memory [`TraceRecord`] ring (the recent
+//!   window) shared by all signals, queryable through
+//!   [`SignalBoard::recent`] / [`SignalBoard::trace_records`]. The default
+//!   budget is [`DEFAULT_TRACE_BUDGET`]; [`TraceMode::Unbounded`] retains
+//!   everything and serves as the equivalence oracle in tests.
+//! * **Spill** — an optional streaming [`TraceSpill`] sink that receives
+//!   each record as it is evicted from the ring, so the *full* waveform can
+//!   be reconstructed from spill + ring. [`EventSinkSpill`] adapts any
+//!   `mpsoc-obs` [`EventSink`] (ring buffer, Chrome-trace exporter) as the
+//!   spill target.
+//!
+//! What stays architectural — and therefore in checkpoint images — is
+//! O(platform): each signal's current value, its most recent edge (the
+//! minimal window watchpoint semantics need), and the trace sequence
+//! counter. A restore reconciles the live ring against the restored
+//! sequence counter (records from the restored point's future are
+//! truncated; deterministic replay re-records them identically), and the
+//! eviction frontier dedups re-spills, so time-travel rewinds neither lose
+//! nor duplicate history.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 use crate::isa::Word;
 use crate::time::Time;
+use mpsoc_obs::event::{Event, EventSink};
+
+/// Default trace-ring byte budget of a freshly built board: room for a few
+/// thousand recent edges, independent of how long the simulation runs.
+pub const DEFAULT_TRACE_BUDGET: usize = 64 * 1024;
+
+/// Accounting size of one ring entry (what the byte budget counts).
+pub const TRACE_RECORD_BYTES: usize = std::mem::size_of::<TraceRecord>();
 
 /// One timestamped change of a signal's value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,11 +56,23 @@ pub struct SignalChange {
     pub value: Word,
 }
 
+/// One edge in the shared trace ring: which signal changed, when, to what,
+/// stamped with the board-wide monotonic sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Board-wide monotonic sequence number of this edge.
+    pub seq: u64,
+    /// Interned signal name (resolve via the owning board).
+    name_id: u32,
+    /// The edge itself.
+    pub change: SignalChange,
+}
+
 /// A single named wire.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Signal {
     value: Word,
-    history: Vec<SignalChange>,
+    last_change: Option<SignalChange>,
 }
 
 impl Signal {
@@ -35,9 +81,11 @@ impl Signal {
         self.value
     }
 
-    /// Every change ever driven, in time order.
-    pub fn history(&self) -> &[SignalChange] {
-        &self.history
+    /// The most recent edge, if the signal was ever driven — the minimal
+    /// recent window that stays architectural (and checkpointed) now that
+    /// full history lives in the trace ring.
+    pub fn last_change(&self) -> Option<SignalChange> {
+        self.last_change
     }
 
     fn drive(&mut self, at: Time, value: Word) -> bool {
@@ -45,12 +93,259 @@ impl Signal {
             return false;
         }
         self.value = value;
-        self.history.push(SignalChange { at, value });
+        self.last_change = Some(SignalChange { at, value });
         true
     }
 }
 
-/// The set of all named signals of a platform.
+/// Retention policy of the trace ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Keep at most `budget_bytes` of records; evict oldest-first into the
+    /// spill sink (if any). The default, with [`DEFAULT_TRACE_BUDGET`].
+    Bounded {
+        /// Ring byte budget ([`TRACE_RECORD_BYTES`] per record).
+        budget_bytes: usize,
+    },
+    /// Never evict — the ring is the complete history. This is the
+    /// unbounded-history oracle the equivalence tests compare against; it
+    /// restores the pre-refactor memory behaviour, so use it only for
+    /// bounded runs.
+    Unbounded,
+}
+
+impl Default for TraceMode {
+    fn default() -> Self {
+        TraceMode::Bounded {
+            budget_bytes: DEFAULT_TRACE_BUDGET,
+        }
+    }
+}
+
+/// Receives records evicted from the trace ring, oldest first — the spill
+/// tier that turns the bounded ring into a complete record. Delivery is
+/// exactly-once per sequence number even across time-travel rewinds: a
+/// rewind truncates the ring back to the restored sequence counter, and
+/// deterministic replay re-records the same edges, but the board's eviction
+/// frontier skips re-spilling anything already delivered.
+///
+/// `Send` is required so a platform carrying an attached sink can still be
+/// handed to a debug-server thread (the GDB stub serves from its own
+/// thread); wrap non-`Send` sinks behind [`mpsoc_obs::ring::SharedSink`].
+pub trait TraceSpill: Send {
+    /// Accepts one evicted record. Must not panic on any well-formed input.
+    fn record(&mut self, seq: u64, name: &str, change: SignalChange);
+}
+
+/// Adapts an `mpsoc-obs` [`EventSink`] as a [`TraceSpill`]: each evicted
+/// edge becomes a [`Event`] counter sample (category `"signal"`, timestamp
+/// in nanoseconds, the sequence number as the event argument), so the full
+/// signal record lands in the same ring / Chrome-trace pipeline as every
+/// other observability stream.
+#[derive(Debug, Default)]
+pub struct EventSinkSpill<S: EventSink> {
+    sink: S,
+}
+
+impl<S: EventSink> EventSinkSpill<S> {
+    /// Wraps `sink` as a spill target.
+    pub fn new(sink: S) -> Self {
+        EventSinkSpill { sink }
+    }
+
+    /// The wrapped sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The wrapped sink, mutably.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Unwraps the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+impl<S: EventSink + Send> TraceSpill for EventSinkSpill<S> {
+    fn record(&mut self, seq: u64, name: &str, change: SignalChange) {
+        self.sink.emit(
+            Event::counter(
+                change.at.as_ns(),
+                name.to_string(),
+                "signal",
+                0,
+                change.value as u64,
+            )
+            .with_arg("seq", seq),
+        );
+    }
+}
+
+/// Point-in-time statistics of a board's trace store, as reported by the
+/// `trace.ring_bytes` / `trace.spilled` gauges and the gdbrsp `trace-stats`
+/// monitor command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Records currently in the ring.
+    pub ring_records: usize,
+    /// Ring occupancy in accounting bytes.
+    pub ring_bytes: usize,
+    /// Ring byte budget (`None` in [`TraceMode::Unbounded`]).
+    pub budget_bytes: Option<usize>,
+    /// Records delivered to a spill sink (exactly-once per sequence
+    /// number, rewinds included).
+    pub spilled: u64,
+    /// Ring evictions, counting rewind-replayed duplicates — the host-side
+    /// churn number, always ≥ unique evictions.
+    pub evicted: u64,
+    /// Next sequence number to be assigned (architectural: checkpointed).
+    pub next_seq: u64,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.budget_bytes {
+            Some(b) => write!(f, "ring {}B of {}B", self.ring_bytes, b)?,
+            None => write!(f, "ring {}B (unbounded)", self.ring_bytes)?,
+        }
+        write!(
+            f,
+            " ({} records), spilled {}, evicted {}, next seq {}",
+            self.ring_records, self.spilled, self.evicted, self.next_seq
+        )
+    }
+}
+
+/// The shared trace store: the ring tier plus the spill frontier. Only
+/// `next_seq` is architectural; everything else is host-side observability
+/// that survives checkpoint restores (like an attached metrics registry).
+#[derive(Default)]
+struct TraceStore {
+    mode: TraceMode,
+    records: VecDeque<TraceRecord>,
+    /// Interned names, id → name. Host-side and monotonic: ids stay stable
+    /// across restores for the whole session.
+    names: Vec<String>,
+    ids: BTreeMap<String, u32>,
+    /// Next sequence number (architectural — serialized in v3 images).
+    next_seq: u64,
+    /// Eviction frontier: every seq below it has already left the ring
+    /// once. Evicting a replayed record below the frontier is not
+    /// re-spilled — that is the exactly-once guarantee across rewinds.
+    evict_mark: u64,
+    spilled: u64,
+    evicted: u64,
+    sink: Option<Box<dyn TraceSpill>>,
+}
+
+impl fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("mode", &self.mode)
+            .field("records", &self.records.len())
+            .field("next_seq", &self.next_seq)
+            .field("evict_mark", &self.evict_mark)
+            .field("spilled", &self.spilled)
+            .field("evicted", &self.evicted)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Clone for TraceStore {
+    // The spill sink is a host-side attachment like a metrics registry; a
+    // cloned board starts unspilled.
+    fn clone(&self) -> Self {
+        TraceStore {
+            mode: self.mode,
+            records: self.records.clone(),
+            names: self.names.clone(),
+            ids: self.ids.clone(),
+            next_seq: self.next_seq,
+            evict_mark: self.evict_mark,
+            spilled: self.spilled,
+            evicted: self.evicted,
+            sink: None,
+        }
+    }
+}
+
+impl TraceStore {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn push(&mut self, name: &str, change: SignalChange) {
+        let name_id = self.intern(name);
+        self.records.push_back(TraceRecord {
+            seq: self.next_seq,
+            name_id,
+            change,
+        });
+        self.next_seq += 1;
+        self.enforce_budget();
+    }
+
+    fn ring_bytes(&self) -> usize {
+        self.records.len() * TRACE_RECORD_BYTES
+    }
+
+    fn enforce_budget(&mut self) {
+        let TraceMode::Bounded { budget_bytes } = self.mode else {
+            return;
+        };
+        while self.ring_bytes() > budget_bytes {
+            let Some(rec) = self.records.pop_front() else {
+                break;
+            };
+            self.evicted += 1;
+            if rec.seq >= self.evict_mark {
+                self.evict_mark = rec.seq + 1;
+                if let Some(sink) = self.sink.as_mut() {
+                    self.spilled += 1;
+                    sink.record(rec.seq, &self.names[rec.name_id as usize], rec.change);
+                }
+            }
+        }
+    }
+
+    /// Reconciles the ring after a restore that rewound the architectural
+    /// sequence counter to `next_seq`: records from the restored point's
+    /// future are dropped (deterministic replay will re-record them
+    /// identically); older records stay, so the recent window survives an
+    /// in-place rewind.
+    fn rewind_to(&mut self, next_seq: u64) {
+        while self.records.back().is_some_and(|r| r.seq >= next_seq) {
+            self.records.pop_back();
+        }
+        self.next_seq = next_seq;
+    }
+
+    fn stats(&self) -> TraceStats {
+        TraceStats {
+            ring_records: self.records.len(),
+            ring_bytes: self.ring_bytes(),
+            budget_bytes: match self.mode {
+                TraceMode::Bounded { budget_bytes } => Some(budget_bytes),
+                TraceMode::Unbounded => None,
+            },
+            spilled: self.spilled,
+            evicted: self.evicted,
+            next_seq: self.next_seq,
+        }
+    }
+}
+
+/// The set of all named signals of a platform, plus the shared trace store.
 ///
 /// Names are hierarchical by convention, e.g. `"irq.core0"`,
 /// `"dma0.busy"`, `"timer0.tick"`. Driving an unknown name creates it, so
@@ -58,10 +353,12 @@ impl Signal {
 #[derive(Clone, Debug, Default)]
 pub struct SignalBoard {
     signals: BTreeMap<String, Signal>,
+    trace: TraceStore,
 }
 
 impl SignalBoard {
-    /// Creates an empty board.
+    /// Creates an empty board (bounded trace ring, default budget, no
+    /// spill sink).
     pub fn new() -> Self {
         Self::default()
     }
@@ -69,17 +366,22 @@ impl SignalBoard {
     /// Drives `name` to `value` at time `at`.
     ///
     /// Returns `true` if the value actually changed (edges, not levels,
-    /// populate the history).
+    /// populate the trace ring).
     pub fn drive(&mut self, name: &str, at: Time, value: Word) -> bool {
-        self.signals
+        let changed = self
+            .signals
             .entry(name.to_string())
             .or_default()
-            .drive(at, value)
+            .drive(at, value);
+        if changed {
+            self.trace.push(name, SignalChange { at, value });
+        }
+        changed
     }
 
     /// Current value of `name` (0 if the signal was never driven).
     pub fn value(&self, name: &str) -> Word {
-        self.signals.get(name).map_or(0, Signal::value)
+        self.signals.get(name).map_or(0, |s| s.value())
     }
 
     /// The signal object, if it exists.
@@ -95,6 +397,86 @@ impl SignalBoard {
     /// Names of all known signals, in order.
     pub fn names(&self) -> Vec<String> {
         self.signals.keys().cloned().collect()
+    }
+
+    // -- trace store --------------------------------------------------------
+
+    /// The edges of `name` still held in the trace ring, oldest first. In
+    /// [`TraceMode::Unbounded`] this is the signal's complete history; in
+    /// bounded mode it is the recent window (older edges live in the spill
+    /// sink, if one is attached).
+    pub fn recent(&self, name: &str) -> Vec<SignalChange> {
+        let Some(&id) = self.trace.ids.get(name) else {
+            return Vec::new();
+        };
+        self.trace
+            .records
+            .iter()
+            .filter(|r| r.name_id == id)
+            .map(|r| r.change)
+            .collect()
+    }
+
+    /// Every ring record across all signals, oldest first, as
+    /// `(seq, name, change)`.
+    pub fn trace_records(&self) -> impl Iterator<Item = (u64, &str, SignalChange)> {
+        self.trace.records.iter().map(|r| {
+            (
+                r.seq,
+                self.trace.names[r.name_id as usize].as_str(),
+                r.change,
+            )
+        })
+    }
+
+    /// Trace-store occupancy and counters.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.stats()
+    }
+
+    /// Current retention policy.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace.mode
+    }
+
+    /// Switches the retention policy. Shrinking the budget (or leaving
+    /// [`TraceMode::Unbounded`]) evicts immediately down to the new budget.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.mode = mode;
+        self.trace.enforce_budget();
+    }
+
+    /// Convenience for `set_trace_mode(TraceMode::Bounded { budget_bytes })`.
+    pub fn set_trace_budget(&mut self, budget_bytes: usize) {
+        self.set_trace_mode(TraceMode::Bounded { budget_bytes });
+    }
+
+    /// Attaches the spill sink that receives records evicted from the ring;
+    /// returns the previous sink, if any. Evictions before any sink was
+    /// attached are unrecoverable (the eviction frontier does not move
+    /// backwards).
+    pub fn attach_trace_spill(&mut self, sink: Box<dyn TraceSpill>) -> Option<Box<dyn TraceSpill>> {
+        self.trace.sink.replace(sink)
+    }
+
+    /// Detaches and returns the spill sink.
+    pub fn detach_trace_spill(&mut self) -> Option<Box<dyn TraceSpill>> {
+        self.trace.sink.take()
+    }
+
+    /// Adopts the architectural half of a restored board (signal values,
+    /// last edges, sequence counter) while keeping this board's host-side
+    /// trace tier (mode, ring, intern table, counters, spill sink), with
+    /// the ring reconciled to the restored sequence counter — the
+    /// checkpoint-restore hook.
+    ///
+    /// Ring contents are only meaningful when the restored image comes from
+    /// this platform's own timeline (the time-travel rewind case); after
+    /// restoring a foreign image, treat the ring as garbage until the next
+    /// wrap.
+    pub(crate) fn adopt(&mut self, restored: SignalBoard) {
+        self.signals = restored.signals;
+        self.trace.rewind_to(restored.trace.next_seq);
     }
 }
 
@@ -112,27 +494,33 @@ impl mpsoc_snapshot::Snapshot for SignalChange {
 }
 
 impl mpsoc_snapshot::Snapshot for Signal {
+    // v3 image layout: current value + last edge only. History is
+    // checkpoint-excluded by design — see the module docs.
     fn save(&self, w: &mut mpsoc_snapshot::Writer) {
         w.put_i64(self.value);
-        self.history.save(w);
+        self.last_change.save(w);
     }
     fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
         Ok(Signal {
             value: r.get_i64()?,
-            history: Vec::<SignalChange>::load(r)?,
+            last_change: Option::<SignalChange>::load(r)?,
         })
     }
 }
 
 impl mpsoc_snapshot::Snapshot for SignalBoard {
     // BTreeMap iteration is name-ordered, so the encoding is a
-    // deterministic function of board contents.
+    // deterministic function of board contents — and O(signals), never
+    // O(steps): the trace ring is host-side state and stays out of the
+    // image, except for the sequence counter that restores reconcile
+    // against.
     fn save(&self, w: &mut mpsoc_snapshot::Writer) {
         w.put_u64(self.signals.len() as u64);
         for (name, sig) in &self.signals {
             w.put_str(name);
             sig.save(w);
         }
+        w.put_u64(self.trace.next_seq);
     }
     fn load(r: &mut mpsoc_snapshot::Reader<'_>) -> mpsoc_snapshot::SnapResult<Self> {
         let n = r.get_len(1)?;
@@ -141,13 +529,30 @@ impl mpsoc_snapshot::Snapshot for SignalBoard {
             let name = r.get_str()?;
             signals.insert(name, Signal::load(r)?);
         }
-        Ok(SignalBoard { signals })
+        let mut board = SignalBoard {
+            signals,
+            trace: TraceStore::default(),
+        };
+        board.trace.next_seq = r.get_u64()?;
+        Ok(board)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Spill sink that keeps everything, for reconstruction checks. The
+    /// shared handle lets the test read what the board-owned box received.
+    #[derive(Clone, Default)]
+    pub(crate) struct VecSpill(pub(crate) Arc<Mutex<Vec<(u64, String, SignalChange)>>>);
+
+    impl TraceSpill for VecSpill {
+        fn record(&mut self, seq: u64, name: &str, change: SignalChange) {
+            self.0.lock().unwrap().push((seq, name.to_string(), change));
+        }
+    }
 
     #[test]
     fn undriven_signal_reads_zero() {
@@ -162,7 +567,7 @@ mod tests {
         assert!(b.drive("x", Time::from_ns(1), 1));
         assert!(!b.drive("x", Time::from_ns(2), 1)); // level, not edge
         assert!(b.drive("x", Time::from_ns(3), 0));
-        let h = b.get("x").unwrap().history();
+        let h = b.recent("x");
         assert_eq!(h.len(), 2);
         assert_eq!(
             h[0],
@@ -178,6 +583,8 @@ mod tests {
                 value: 0
             }
         );
+        assert_eq!(b.get("x").unwrap().last_change(), Some(h[1]));
+        assert_eq!(b.trace_stats().next_seq, 2);
     }
 
     #[test]
@@ -194,5 +601,168 @@ mod tests {
         b.drive("a", Time::ZERO, 5);
         let collected: Vec<_> = b.iter().map(|(n, s)| (n.to_string(), s.value())).collect();
         assert_eq!(collected, vec![("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest_into_spill() {
+        let mut b = SignalBoard::new();
+        b.set_trace_budget(4 * TRACE_RECORD_BYTES);
+        let spill = VecSpill::default();
+        b.attach_trace_spill(Box::new(spill.clone()));
+        for i in 0..10i64 {
+            b.drive("x", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        let st = b.trace_stats();
+        assert_eq!(st.ring_records, 4);
+        assert_eq!(st.ring_bytes, 4 * TRACE_RECORD_BYTES);
+        assert_eq!(st.evicted, 6);
+        assert_eq!(st.spilled, 6);
+        assert_eq!(st.next_seq, 10);
+        // Spill (oldest first) + ring reconstruct the full history.
+        let mut full: Vec<i64> = spill
+            .0
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, _, c)| c.value)
+            .collect();
+        full.extend(b.recent("x").iter().map(|c| c.value));
+        assert_eq!(full, (1..=10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn unbounded_mode_retains_everything() {
+        let mut b = SignalBoard::new();
+        b.set_trace_mode(TraceMode::Unbounded);
+        for i in 0..1000i64 {
+            b.drive("x", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        assert_eq!(b.recent("x").len(), 1000);
+        assert_eq!(b.trace_stats().evicted, 0);
+        assert_eq!(b.trace_stats().budget_bytes, None);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let mut b = SignalBoard::new();
+        for i in 0..8i64 {
+            b.drive("x", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        assert_eq!(b.trace_stats().ring_records, 8);
+        b.set_trace_budget(2 * TRACE_RECORD_BYTES);
+        assert_eq!(b.trace_stats().ring_records, 2);
+        assert_eq!(
+            b.recent("x").iter().map(|c| c.value).collect::<Vec<_>>(),
+            vec![7, 8]
+        );
+    }
+
+    #[test]
+    fn rewind_truncates_future_and_dedups_spill() {
+        let mut b = SignalBoard::new();
+        b.set_trace_budget(4 * TRACE_RECORD_BYTES);
+        let spill = VecSpill::default();
+        b.attach_trace_spill(Box::new(spill.clone()));
+        for i in 0..10i64 {
+            b.drive("x", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        // Checkpoint-restore to seq 8, then deterministically replay the
+        // same two edges: spill must not receive duplicates.
+        let spilled_before = b.trace_stats().spilled;
+        let mut restored = SignalBoard::new();
+        restored.trace.next_seq = 8;
+        restored.drive_raw_for_test();
+        b.adopt(restored);
+        assert_eq!(b.trace_stats().next_seq, 8);
+        for i in 8..10i64 {
+            b.drive("x", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        assert_eq!(
+            b.trace_stats().spilled,
+            spilled_before,
+            "rewind replay must not re-spill"
+        );
+        let mut full: Vec<i64> = spill
+            .0
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, _, c)| c.value)
+            .collect();
+        full.extend(b.recent("x").iter().map(|c| c.value));
+        assert_eq!(full, (1..=10).collect::<Vec<i64>>());
+    }
+
+    impl SignalBoard {
+        /// Test helper standing in for "values as they were at seq 8".
+        fn drive_raw_for_test(&mut self) {
+            self.signals.insert(
+                "x".into(),
+                Signal {
+                    value: 7,
+                    last_change: Some(SignalChange {
+                        at: Time::from_ns(7),
+                        value: 7,
+                    }),
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_o_platform() {
+        let mut small = SignalBoard::new();
+        let mut big = SignalBoard::new();
+        small.set_trace_mode(TraceMode::Unbounded);
+        big.set_trace_mode(TraceMode::Unbounded);
+        for i in 0..3i64 {
+            small.drive("s", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        for i in 0..5000i64 {
+            big.drive("s", Time::from_ns(i as u64 + 1), i + 1);
+        }
+        let encode = |b: &SignalBoard| {
+            let mut w = mpsoc_snapshot::Writer::new();
+            use mpsoc_snapshot::Snapshot;
+            b.save(&mut w);
+            w.into_bytes()
+        };
+        let (s, b) = (encode(&small), encode(&big));
+        assert_eq!(s.len(), b.len(), "image bytes must not grow with history");
+        use mpsoc_snapshot::Snapshot;
+        let mut r = mpsoc_snapshot::Reader::new(&b);
+        let loaded = SignalBoard::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(loaded.value("s"), 5000);
+        assert_eq!(
+            loaded.get("s").unwrap().last_change(),
+            big.get("s").unwrap().last_change()
+        );
+        assert_eq!(loaded.trace_stats().next_seq, 5000);
+        assert!(
+            loaded.recent("s").is_empty(),
+            "history is checkpoint-excluded"
+        );
+    }
+
+    #[test]
+    fn event_sink_spill_forwards_to_obs() {
+        use mpsoc_obs::event::EventKind;
+        use mpsoc_obs::ring::{RingSink, SharedSink};
+        let shared = SharedSink::new(RingSink::new(16));
+        let mut b = SignalBoard::new();
+        b.set_trace_budget(TRACE_RECORD_BYTES);
+        b.attach_trace_spill(Box::new(EventSinkSpill::new(shared.clone())));
+        b.drive("irq", Time::from_ns(5), 1);
+        b.drive("irq", Time::from_ns(9), 0);
+        // The first edge was evicted when the second arrived.
+        assert_eq!(b.trace_stats().spilled, 1);
+        let evs = shared.with(|s| s.events().to_vec());
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "irq");
+        assert_eq!(evs[0].cat, "signal");
+        assert_eq!(evs[0].ts, 5);
+        assert_eq!(evs[0].kind, EventKind::Counter { value: 1 });
+        assert_eq!(evs[0].arg, Some(("seq", 0)));
     }
 }

@@ -22,7 +22,11 @@
 //! What is deliberately **not** serialized: attached metrics handles (host
 //! observability, not simulated state), recycled scratch buffers, the
 //! event calendar (derived state, rebuilt from actor state on restore),
-//! and the RAM dirty bitmaps (meaningful only relative to a live base).
+//! the RAM dirty bitmaps (meaningful only relative to a live base), and —
+//! since image v3 — the signal trace ring and spill tier (host
+//! observability; only each signal's value, last edge, and the trace
+//! sequence counter are architectural, which is what keeps image size
+//! O(platform) instead of O(steps)).
 //!
 //! ## Delta checkpoints
 //!
@@ -65,7 +69,14 @@ pub const PLATFORM_IMAGE_MAGIC: u32 = u32::from_le_bytes(*b"MPSS");
 /// v2 appends a trailing `page_words: u32` (the dirty-page granularity the
 /// capturing build used) so delta compatibility is checkable from the image
 /// alone.
-pub const PLATFORM_IMAGE_VERSION: u16 = 2;
+///
+/// v3 evicts signal history from the image: each signal serializes its
+/// current value plus its most recent edge (and the board its trace
+/// sequence counter) instead of every change ever driven, so image size is
+/// O(platform), not O(steps). The full record lives in the host-side trace
+/// ring / spill tiers (see [`crate::signal`]), which are deliberately not
+/// checkpointed.
+pub const PLATFORM_IMAGE_VERSION: u16 = 3;
 
 /// Magic number of a platform *delta* checkpoint (`b"MPSD"`, little-endian).
 pub const PLATFORM_DELTA_MAGIC: u32 = u32::from_le_bytes(*b"MPSD");
@@ -77,7 +88,18 @@ pub const PLATFORM_DELTA_MAGIC: u32 = u32::from_le_bytes(*b"MPSD");
 /// (`run << 1`, the next `run` words equal the base) or a *literal run*
 /// (`run << 1 | 1`, followed by `run` XOR'd words). v1 deltas (raw pages)
 /// are rejected, never reinterpreted.
-pub const PLATFORM_DELTA_VERSION: u16 = 2;
+///
+/// v3 tracks the full-image v3 signal encoding (value + last edge + trace
+/// sequence counter instead of unbounded history), so a delta is
+/// O(platform + dirty pages) no matter how long the run.
+pub const PLATFORM_DELTA_VERSION: u16 = 3;
+
+/// Version-mismatch context for full images (see [`Image::open_as`]): a
+/// stale image is refused with an error naming this decoder and file.
+const IMAGE_WHAT: &str = concat!("platform full image (", file!(), ")");
+
+/// Version-mismatch context for delta images.
+const DELTA_WHAT: &str = concat!("platform delta image (", file!(), ")");
 
 /// Maps a low-level snapshot decode error into a platform [`Error`].
 fn snap_err(e: mpsoc_snapshot::SnapError) -> Error {
@@ -364,8 +386,13 @@ impl BaseImage {
     /// [`Error::Snapshot`] for anything [`Platform::restore_image`] would
     /// reject.
     pub fn new(image: Vec<u8>) -> Result<Self> {
-        let payload =
-            Image::open(&image, PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION).map_err(snap_err)?;
+        let payload = Image::open_as(
+            &image,
+            PLATFORM_IMAGE_MAGIC,
+            PLATFORM_IMAGE_VERSION,
+            IMAGE_WHAT,
+        )
+        .map_err(snap_err)?;
         let checksum = fnv1a64(payload);
         let d = decode_image(payload).map_err(snap_err)?;
         let shared = d.shared.as_slice().to_vec();
@@ -752,8 +779,13 @@ impl Platform {
     /// Decodes and validates `delta` against `base` — everything that can
     /// fail, before anything is committed.
     fn decode_delta(base: &BaseImage, delta: &[u8]) -> Result<DecodedDelta> {
-        let payload =
-            Image::open(delta, PLATFORM_DELTA_MAGIC, PLATFORM_DELTA_VERSION).map_err(snap_err)?;
+        let payload = Image::open_as(
+            delta,
+            PLATFORM_DELTA_MAGIC,
+            PLATFORM_DELTA_VERSION,
+            DELTA_WHAT,
+        )
+        .map_err(snap_err)?;
         let mut r = Reader::new(payload);
         let found_base = r.get_u64().map_err(snap_err)?;
         if found_base != base.checksum {
@@ -837,8 +869,13 @@ impl Platform {
     /// [`Error::Snapshot`] if the base image fails re-validation (only
     /// possible through memory corruption of the [`BaseImage`] itself).
     pub fn reset_to_base(&mut self, base: &BaseImage) -> Result<()> {
-        let payload = Image::open(base.image(), PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION)
-            .map_err(snap_err)?;
+        let payload = Image::open_as(
+            base.image(),
+            PLATFORM_IMAGE_MAGIC,
+            PLATFORM_IMAGE_VERSION,
+            IMAGE_WHAT,
+        )
+        .map_err(snap_err)?;
         let small = decode_small(payload, base.ram_range).map_err(snap_err)?;
         self.commit_small(small);
         self.commit_ram(base, &[], &[]);
@@ -848,6 +885,14 @@ impl Platform {
 
     /// Commits decoded small state into the platform (infallible half of a
     /// restore).
+    ///
+    /// The signal board is *adopted*, not replaced: the image carries only
+    /// architectural signal state (values, last edges, trace sequence
+    /// counter), so the live board keeps its host-side trace tier — ring,
+    /// spill sink, budget, counters — reconciled to the restored sequence
+    /// counter. An in-place time-travel rewind therefore keeps the recent
+    /// window from before the checkpoint, and deterministic replay
+    /// re-records the truncated future identically without re-spilling.
     fn commit_small(&mut self, s: SmallState) {
         self.scheduler = s.scheduler;
         self.enforce_locality = s.enforce_locality;
@@ -860,7 +905,7 @@ impl Platform {
         self.cores = s.cores;
         self.caches = s.caches;
         self.interconnect = s.interconnect;
-        self.signals = s.signals;
+        self.signals.adopt(s.signals);
         self.pending_dma = s.pending_dma;
         self.periphs = s.periphs;
     }
@@ -939,8 +984,13 @@ impl Platform {
     /// [`Error::Snapshot`] for a corrupt, truncated, or version-mismatched
     /// image, or one referencing an unknown peripheral kind.
     pub fn restore_image(&mut self, image: &[u8]) -> Result<()> {
-        let payload =
-            Image::open(image, PLATFORM_IMAGE_MAGIC, PLATFORM_IMAGE_VERSION).map_err(snap_err)?;
+        let payload = Image::open_as(
+            image,
+            PLATFORM_IMAGE_MAGIC,
+            PLATFORM_IMAGE_VERSION,
+            IMAGE_WHAT,
+        )
+        .map_err(snap_err)?;
         let d = decode_image(payload).map_err(snap_err)?;
         self.commit_small(d.small);
         self.shared = d.shared;
@@ -1382,17 +1432,97 @@ mod tests {
     }
 
     #[test]
-    fn v1_deltas_are_rejected_not_reinterpreted() {
+    fn stale_image_versions_are_rejected_with_located_errors() {
+        // Reseal a valid image/delta payload under every stale version
+        // (v0..current) — each must be refused at the frame, naming the
+        // found and expected versions and the refusing decoder, never
+        // misparsed into the platform.
         let mut p = counter_platform(SchedulerMode::Calendar);
         for _ in 0..5 {
             p.step().unwrap();
         }
-        let base = super::BaseImage::new(p.capture().unwrap()).unwrap();
+        let image = p.capture().unwrap();
+        let base = super::BaseImage::new(image.clone()).unwrap();
         p.step().unwrap();
         let delta = p.capture_delta().unwrap();
-        let payload = mpsoc_snapshot::Image::open(&delta, super::PLATFORM_DELTA_MAGIC, 2).unwrap();
-        let downgraded = mpsoc_snapshot::Image::seal(super::PLATFORM_DELTA_MAGIC, 1, payload);
-        assert!(p.restore_delta(&base, &downgraded).is_err());
+        let img_payload = mpsoc_snapshot::Image::open(
+            &image,
+            super::PLATFORM_IMAGE_MAGIC,
+            super::PLATFORM_IMAGE_VERSION,
+        )
+        .unwrap()
+        .to_vec();
+        let delta_payload = mpsoc_snapshot::Image::open(
+            &delta,
+            super::PLATFORM_DELTA_MAGIC,
+            super::PLATFORM_DELTA_VERSION,
+        )
+        .unwrap()
+        .to_vec();
+        let before = p.state_checksum();
+        for stale in 0..super::PLATFORM_IMAGE_VERSION {
+            let old_image =
+                mpsoc_snapshot::Image::seal(super::PLATFORM_IMAGE_MAGIC, stale, &img_payload);
+            let err = p.restore_image(&old_image).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("v{stale}"))
+                    && msg.contains(&format!("v{}", super::PLATFORM_IMAGE_VERSION)),
+                "image v{stale}: error must name both versions: {msg}"
+            );
+            assert!(
+                msg.contains("platform full image") && msg.contains("snapshot.rs"),
+                "image v{stale}: error must locate the refusing decoder: {msg}"
+            );
+            assert!(super::BaseImage::new(old_image).is_err());
+
+            let old_delta =
+                mpsoc_snapshot::Image::seal(super::PLATFORM_DELTA_MAGIC, stale, &delta_payload);
+            let err = p.restore_delta(&base, &old_delta).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("platform delta image") && msg.contains(&format!("v{stale}")),
+                "delta v{stale}: {msg}"
+            );
+        }
+        assert_eq!(p.state_checksum(), before, "rejections must not mutate");
+        p.restore_delta(&base, &delta).unwrap();
+    }
+
+    #[test]
+    fn restores_reconcile_the_trace_ring() {
+        // In-place rewind: the ring keeps the pre-checkpoint recent window
+        // and drops only the now-future records; the sequence counter (the
+        // one architectural piece) rewinds with the image.
+        let mut p = counter_platform(SchedulerMode::Calendar);
+        for i in 1..=3 {
+            p.debug_drive_signal("s", i);
+        }
+        let image = p.capture().unwrap();
+        let seq_at_capture = p.trace_stats().next_seq;
+        for i in 4..=5 {
+            p.debug_drive_signal("s", i);
+        }
+        assert_eq!(p.signals().recent("s").len(), 5);
+        p.restore_image(&image).unwrap();
+        assert_eq!(p.trace_stats().next_seq, seq_at_capture);
+        assert_eq!(p.signals().value("s"), 3);
+        assert_eq!(
+            p.signals()
+                .recent("s")
+                .iter()
+                .map(|c| c.value)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "pre-checkpoint window survives, future edges are truncated"
+        );
+        // A foreign platform built from the image starts with an empty ring
+        // but the same counter — history is checkpoint-excluded.
+        let fresh = Platform::from_image(&image).unwrap();
+        assert_eq!(fresh.trace_stats().next_seq, seq_at_capture);
+        assert_eq!(fresh.signals().value("s"), 3);
+        assert!(fresh.signals().recent("s").is_empty());
+        assert_eq!(fresh.state_checksum(), p.state_checksum());
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub enum SnapError {
     },
     /// The image was written by an incompatible format version.
     BadVersion {
+        /// What kind of image was being opened, ideally with its source
+        /// location — e.g. `"platform full image (crates/platform/src/
+        /// snapshot.rs)"` — so a stale image names exactly which decoder
+        /// refused it. [`crate::Image::open`] fills in a generic `"image"`.
+        what: &'static str,
         /// Version found in the image.
         found: u16,
         /// Version the decoder supports.
@@ -69,10 +74,16 @@ impl fmt::Display for SnapError {
                     "bad snapshot magic {found:#010x} (expected {expected:#010x})"
                 )
             }
-            SnapError::BadVersion { found, expected } => {
+            SnapError::BadVersion {
+                what,
+                found,
+                expected,
+            } => {
                 write!(
                     f,
-                    "unsupported snapshot version {found} (expected {expected})"
+                    "{what}: written as format v{found}, this build reads only v{expected} — \
+                     old images are rejected, never reinterpreted; re-capture with the \
+                     current tools"
                 )
             }
             SnapError::ChecksumMismatch { stored, computed } => write!(

@@ -198,7 +198,25 @@ impl Image {
 
     /// Validate the frame of `image` (magic, version, length, checksum)
     /// and return the payload slice.
+    ///
+    /// A version mismatch is reported with the generic context `"image"`;
+    /// owners of a format should prefer [`Image::open_as`] so the error
+    /// names which decoder refused the stale image.
     pub fn open(image: &[u8], magic: u32, version: u16) -> SnapResult<&[u8]> {
+        Self::open_as(image, magic, version, "image")
+    }
+
+    /// Like [`Image::open`], but a version mismatch carries `what` — the
+    /// image kind and, by convention, the defining source file (e.g. built
+    /// with `concat!("platform full image (", file!(), ")")`) — so stale
+    /// images fail with a clearly located error instead of a silent
+    /// misparse further into the payload.
+    pub fn open_as<'a>(
+        image: &'a [u8],
+        magic: u32,
+        version: u16,
+        what: &'static str,
+    ) -> SnapResult<&'a [u8]> {
         let mut r = Reader::new(image);
         let found_magic = r.get_u32()?;
         if found_magic != magic {
@@ -210,6 +228,7 @@ impl Image {
         let found_version = r.get_u16()?;
         if found_version != version {
             return Err(SnapError::BadVersion {
+                what,
                 found: found_version,
                 expected: version,
             });
@@ -283,6 +302,26 @@ mod tests {
             Image::open(&image, MAGIC, 2),
             Err(SnapError::BadVersion { .. })
         ));
+    }
+
+    #[test]
+    fn version_mismatch_names_the_refusing_decoder() {
+        let image = Image::seal(MAGIC, 2, b"x");
+        let err = Image::open_as(&image, MAGIC, 3, "unit-test image (here.rs)").unwrap_err();
+        match &err {
+            SnapError::BadVersion {
+                what,
+                found,
+                expected,
+            } => {
+                assert_eq!(*what, "unit-test image (here.rs)");
+                assert_eq!((*found, *expected), (2, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("unit-test image (here.rs)"), "{msg}");
+        assert!(msg.contains("v2") && msg.contains("v3"), "{msg}");
     }
 
     #[test]

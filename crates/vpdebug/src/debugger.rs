@@ -234,6 +234,18 @@ impl Debugger {
         self.platform.signals().value(name)
     }
 
+    /// Edges of `name` still held in the bounded trace ring, oldest first.
+    /// Older edges may have been evicted into the spill tier; see
+    /// [`Debugger::trace_stats`] for how much has spilled.
+    pub fn signal_edges(&self, name: &str) -> Vec<mpsoc_platform::SignalChange> {
+        self.platform.signals().recent(name)
+    }
+
+    /// Occupancy and counters of the platform's signal-trace store.
+    pub fn trace_stats(&self) -> mpsoc_platform::TraceStats {
+        self.platform.trace_stats()
+    }
+
     /// Intrusively halts one core: the rest of the platform keeps running —
     /// the real-hardware debugging model whose perturbation Section VII
     /// blames for Heisenbugs.

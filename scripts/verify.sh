@@ -57,6 +57,7 @@ stage "cargo test" cargo test -q
 stage "cargo test --workspace" cargo test --workspace -q
 stage "delta checkpoint round-trip" cargo test -q --test delta_roundtrip
 stage "exploration engine cross-layer equivalence" cargo test -q --test explore_equivalence
+stage "bounded trace store vs unbounded oracle" cargo test -q --test trace_equivalence
 stage "cargo doc (deny warnings)" doc_deny_warnings
 stage "bench smoke (sim_fastpath)" \
   cargo run --release -q -p mpsoc-bench --bin sim_fastpath -- --smoke
